@@ -1,0 +1,175 @@
+// E-A2 (§IV-B remark): "execution times are significantly lower with
+// hardware prefetching turned off for the CnC version ... the prefetcher
+// bringing in data expected to be used, while data-flow dependencies
+// essentially flush the cache immediately after."
+//
+// Ablation: replay the FULL sequence of GE base tasks through the cache
+// simulator in two execution orders — the depth-first serial recursion
+// order (what a fork-join worker does between steals) and a data-flow
+// completion order (pivot-round wavefronts, tasks scattered across the
+// table) — with the next-line prefetcher on and off. Reports total demand
+// misses per level for the 2x2 grid. Expected shape: prefetching helps the
+// depth-first order much more than the scattered data-flow order.
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cache/kernel_traces.hpp"
+#include "cache/profiles.hpp"
+#include "dp/common.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/table_printer.hpp"
+
+namespace {
+
+using namespace rdp;
+using dp::tile3;
+
+/// Base tasks in the serial recursion (depth-first fork-join) order.
+struct recursion_order {
+  std::int32_t t;  // tiles per side
+  std::vector<tile3>* out;
+
+  void A(std::int32_t d, std::int32_t s) {
+    if (s == 1) {
+      out->push_back({d, d, d});
+      return;
+    }
+    const std::int32_t h = s / 2;
+    A(d, h);
+    B(d, d + h, d, h);
+    C(d + h, d, d, h);
+    D(d + h, d + h, d, h);
+    A(d + h, h);
+  }
+  void B(std::int32_t xi, std::int32_t xj, std::int32_t xk, std::int32_t s) {
+    if (s == 1) {
+      out->push_back({xi, xj, xk});
+      return;
+    }
+    const std::int32_t h = s / 2;
+    B(xi, xj, xk, h);
+    B(xi, xj + h, xk, h);
+    D(xi + h, xj, xk, h);
+    D(xi + h, xj + h, xk, h);
+    B(xi + h, xj, xk + h, h);
+    B(xi + h, xj + h, xk + h, h);
+  }
+  void C(std::int32_t xi, std::int32_t xj, std::int32_t xk, std::int32_t s) {
+    if (s == 1) {
+      out->push_back({xi, xj, xk});
+      return;
+    }
+    const std::int32_t h = s / 2;
+    C(xi, xj, xk, h);
+    C(xi + h, xj, xk, h);
+    D(xi, xj + h, xk, h);
+    D(xi + h, xj + h, xk, h);
+    C(xi, xj + h, xk + h, h);
+    C(xi + h, xj + h, xk + h, h);
+  }
+  void D(std::int32_t xi, std::int32_t xj, std::int32_t xk, std::int32_t s) {
+    if (s == 1) {
+      out->push_back({xi, xj, xk});
+      return;
+    }
+    const std::int32_t h = s / 2;
+    for (std::int32_t kk = 0; kk < 2; ++kk)
+      for (std::int32_t ii = 0; ii < 2; ++ii)
+        for (std::int32_t jj = 0; jj < 2; ++jj)
+          D(xi + ii * h, xj + jj * h, xk + kk * h, h);
+  }
+};
+
+/// Base tasks in a data-flow completion order: pivot rounds, with the
+/// round's tasks interleaved across the table (as a parallel scheduler
+/// would complete them on one core's cache).
+std::vector<tile3> dataflow_order(std::int32_t t) {
+  std::vector<tile3> order;
+  for (std::int32_t k = 0; k < t; ++k) {
+    order.push_back({k, k, k});
+    // Interleave B/C/D of this round by anti-diagonals, spreading accesses.
+    for (std::int32_t d = 2 * k + 1; d <= 2 * (t - 1); ++d)
+      for (std::int32_t i = k; i < t; ++i) {
+        const std::int32_t j = d - i;
+        if (j < k || j >= t || (i == k && j == k)) continue;
+        order.push_back({i, j, k});
+      }
+  }
+  return order;
+}
+
+std::uint64_t replay(const std::vector<tile3>& order, std::size_t n,
+                     std::size_t b, bool prefetch, std::size_t level,
+                     std::uint64_t* accesses = nullptr) {
+  auto cfg = cache::epyc_hierarchy();
+  cfg.next_line_prefetch = prefetch;
+  cache::hierarchy_sim h(cfg);
+  for (const tile3& t3 : order)
+    cache::replay_ge_task(h, n, b, t3.i, t3.j, t3.k);
+  const auto c = h.counters();
+  if (accesses) *accesses = c.accesses[0];
+  return c.misses[level];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t n = 512, base = 32;
+  std::string csv_path = "ablation_prefetch.csv";
+  cli_parser cli("Prefetcher x execution-order ablation (E-A2)");
+  cli.add_int("n", &n, "problem size (default 512)");
+  cli.add_int("base", &base, "base size (default 32)");
+  cli.add_string("csv", &csv_path, "CSV output path");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  const auto t = static_cast<std::int32_t>(n / base);
+  std::vector<tile3> fj_order;
+  recursion_order rec{t, &fj_order};
+  rec.A(0, t);
+  const auto df_order = dataflow_order(t);
+
+  std::cout << "=== E-A2: prefetch x execution-order, GE " << n << "x" << n
+            << " base " << base << " (" << fj_order.size()
+            << " tasks, EPYC hierarchy) ===\n\n";
+
+  table_printer table({"order", "prefetch", "L2 misses", "L3 misses",
+                       "L2 saved by pf"});
+  csv_writer csv({"order", "prefetch", "level", "misses"});
+
+  for (const auto& [name, order] :
+       {std::pair<const char*, const std::vector<tile3>&>{"forkjoin-depthfirst",
+                                                          fj_order},
+        {"dataflow-wavefront", df_order}}) {
+    const auto l2_off = replay(order, n, base, false, 1);
+    const auto l3_off = replay(order, n, base, false, 2);
+    const auto l2_on = replay(order, n, base, true, 1);
+    const auto l3_on = replay(order, n, base, true, 2);
+    const double saved =
+        l2_off > 0 ? 100.0 * (1.0 - static_cast<double>(l2_on) /
+                                        static_cast<double>(l2_off))
+                   : 0;
+    table.add_row({name, "off", std::to_string(l2_off),
+                   std::to_string(l3_off), ""});
+    table.add_row({name, "on", std::to_string(l2_on), std::to_string(l3_on),
+                   table_printer::num(saved) + "%"});
+    csv.add_row({name, "off", "L2", std::to_string(l2_off)});
+    csv.add_row({name, "off", "L3", std::to_string(l3_off)});
+    csv.add_row({name, "on", "L2", std::to_string(l2_on)});
+    csv.add_row({name, "on", "L3", std::to_string(l3_on)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected: the depth-first order gains more from the "
+               "prefetcher than the scattered data-flow order (the paper's "
+               "explanation for CnC running better with prefetch off).\n";
+  csv.save(csv_path);
+  std::cout << "wrote " << csv_path << "\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "figure_common.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table_printer.hpp"
+
+namespace rdp::bench {
+
+namespace {
+
+constexpr sim::exec_variant k_variants[] = {
+    sim::exec_variant::cnc_native,
+    sim::exec_variant::cnc_tuner,
+    sim::exec_variant::cnc_manual,
+    sim::exec_variant::omp_tasking,
+};
+
+/// Base-size range of one panel, mirroring the paper's per-panel x-axes.
+std::vector<std::size_t> panel_bases(std::size_t n, std::size_t min_base,
+                                     bool full) {
+  std::vector<std::size_t> bases;
+  for (std::size_t b = min_base; b <= 2048 && b <= n; b *= 2) bases.push_back(b);
+  // Memory guard: the largest DAGs (tiles >= 256 for FW) are opt-in.
+  if (!full) {
+    std::erase_if(bases, [&](std::size_t b) { return n / b > 192; });
+  }
+  return bases;
+}
+
+}  // namespace
+
+int run_figure_bench(int argc, const char* const* argv,
+                     const figure_options& opts) {
+  bool quick = false, full = false;
+  std::string csv_path = opts.csv_file;
+  cli_parser cli(std::string("Regenerates ") + opts.figure_name);
+  cli.add_flag("quick", &quick, "only the 2K and 4K matrix panels");
+  cli.add_flag("full", &full,
+               "include the most memory-hungry configurations (tiles > 192)");
+  cli.add_string("csv", &csv_path, "CSV output path");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "=== " << opts.figure_name << " ===\n"
+            << "machine: " << opts.machine.name << " (" << opts.machine.cores
+            << " cores)   benchmark: " << sim::to_string(opts.bm) << "\n"
+            << "series: CnC, CnC_tuner, CnC_manual, OpenMP"
+            << (opts.with_estimated ? ", Estimated" : "") << "\n"
+            << "(simulated execution times — shapes, not absolute seconds;"
+               " see EXPERIMENTS.md)\n\n";
+
+  csv_writer csv({"figure", "machine", "benchmark", "n", "base", "variant",
+                  "seconds", "utilization", "base_tasks"});
+
+  std::vector<std::size_t> panels = {2048, 4096, 8192, 16384};
+  if (quick) panels = {2048, 4096};
+
+  stopwatch total;
+  for (std::size_t n : panels) {
+    const auto bases = panel_bases(n, opts.min_base, full);
+    std::cout << (n / 1024) << "K Matrix\n";
+    std::vector<std::string> header = {"Base Size", "CnC", "CnC_tuner",
+                                       "CnC_manual", "OpenMP"};
+    if (opts.with_estimated) header.push_back("Estimated");
+    table_printer table(header);
+
+    for (std::size_t base : bases) {
+      std::vector<std::string> row = {std::to_string(base)};
+      for (sim::exec_variant v : k_variants) {
+        const auto r = sim::simulate_variant(opts.bm, v, n, base,
+                                             opts.machine);
+        row.push_back(table_printer::num(r.seconds));
+        csv.add_row({opts.figure_name, opts.machine.name,
+                     sim::to_string(opts.bm), std::to_string(n),
+                     std::to_string(base), sim::to_string(v),
+                     table_printer::num(r.seconds, 9),
+                     table_printer::num(r.utilization, 6),
+                     std::to_string(r.base_tasks)});
+      }
+      if (opts.with_estimated) {
+        const double est = sim::estimated_seconds(opts.bm, n, base,
+                                                  opts.machine);
+        row.push_back(table_printer::num(est));
+        csv.add_row({opts.figure_name, opts.machine.name,
+                     sim::to_string(opts.bm), std::to_string(n),
+                     std::to_string(base), "Estimated",
+                     table_printer::num(est, 9), "", ""});
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "(execution time, seconds)\n\n";
+  }
+
+  csv.save(csv_path);
+  std::cout << "wrote " << csv.row_count() << " rows to " << csv_path
+            << "  [" << table_printer::num(total.seconds()) << "s]\n";
+  return 0;
+}
+
+}  // namespace rdp::bench

@@ -1,0 +1,32 @@
+// Shared driver for the figure-regeneration benches (Figures 4-9).
+//
+// Each figure binary declares its benchmark + machine profile and calls
+// run_figure_bench(), which sweeps the paper's panels (2K/4K/8K/16K
+// matrices × base-case sizes), simulates every variant (CnC, CnC_tuner,
+// CnC_manual, OpenMP — plus the analytical Estimated series for GE/FW),
+// prints one table per panel in the same layout the paper plots, and
+// writes a CSV with all series.
+#pragma once
+
+#include "sim/experiment.hpp"
+#include "sim/machine.hpp"
+
+namespace rdp::bench {
+
+struct figure_options {
+  const char* figure_name;  // e.g. "Figure 4: Gaussian Elimination, EPYC-64"
+  const char* csv_file;     // e.g. "fig4_ge_epyc64.csv"
+  sim::benchmark bm;
+  sim::machine_profile machine;
+  bool with_estimated = false;  // the GE/FW "Estimated" analytical series
+  std::size_t min_base = 64;    // smallest base size in the sweep
+};
+
+/// Runs the sweep; returns a process exit code. Flags:
+///   --quick        only the 2K and 4K panels
+///   --full         include the largest (memory-hungry) configurations
+///   --csv=<path>   override the CSV output path
+int run_figure_bench(int argc, const char* const* argv,
+                     const figure_options& opts);
+
+}  // namespace rdp::bench

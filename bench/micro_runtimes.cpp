@@ -1,0 +1,195 @@
+// E-M1: microbenchmarks of the two runtimes (google-benchmark).
+//
+// These are the numbers that calibrate the simulator's runtime_costs: task
+// spawn/join cost of the fork-join pool, item put/get and tag-prescription
+// cost of the data-flow runtime, abort/re-execute overhead of blocking
+// gets, and the raw concurrent-container costs underneath.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "cnc/cnc.hpp"
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/mpmc_queue.hpp"
+#include "concurrent/striped_hash_map.hpp"
+#include "forkjoin/task_group.hpp"
+#include "forkjoin/worker_pool.hpp"
+
+namespace {
+
+using namespace rdp;
+
+// ---------------------------------------------------------- containers ----
+
+void BM_DequePushPop(benchmark::State& state) {
+  concurrent::chase_lev_deque<int*> d;
+  int x = 0;
+  for (auto _ : state) {
+    d.push(&x);
+    benchmark::DoNotOptimize(d.pop());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_DequeSteal(benchmark::State& state) {
+  concurrent::chase_lev_deque<int*> d;
+  int x = 0;
+  for (auto _ : state) {
+    d.push(&x);
+    benchmark::DoNotOptimize(d.steal());
+  }
+}
+BENCHMARK(BM_DequeSteal);
+
+void BM_MpmcPushPop(benchmark::State& state) {
+  concurrent::mpmc_queue<int> q(1024);
+  for (auto _ : state) {
+    q.try_push(1);
+    benchmark::DoNotOptimize(q.try_pop());
+  }
+}
+BENCHMARK(BM_MpmcPushPop);
+
+void BM_StripedMapInsertFind(benchmark::State& state) {
+  concurrent::striped_hash_map<int, int> m;
+  int key = 0;
+  for (auto _ : state) {
+    m.insert(key, key);
+    benchmark::DoNotOptimize(m.find(key));
+    ++key;
+  }
+}
+BENCHMARK(BM_StripedMapInsertFind);
+
+// ----------------------------------------------------------- fork-join ----
+
+void BM_ForkJoinSpawnWait(benchmark::State& state) {
+  forkjoin::worker_pool pool(2);
+  const auto batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    forkjoin::task_group g(pool);
+    for (int i = 0; i < batch; ++i)
+      g.spawn([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    g.wait();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_ForkJoinSpawnWait)->Arg(16)->Arg(256);
+
+void BM_ForkJoinNestedRecursion(benchmark::State& state) {
+  forkjoin::worker_pool pool(2);
+  // Depth-8 binary recursion: 255 groups, 255 spawns.
+  struct rec {
+    static void go(forkjoin::worker_pool& p, int depth) {
+      if (depth == 0) return;
+      forkjoin::task_group g(p);
+      g.spawn([&p, depth] { go(p, depth - 1); });
+      go(p, depth - 1);
+      g.wait();
+    }
+  };
+  for (auto _ : state) {
+    pool.run([&] { rec::go(pool, 8); });
+  }
+}
+BENCHMARK(BM_ForkJoinNestedRecursion);
+
+// ----------------------------------------------------------- data-flow ----
+
+struct bench_ctx;
+struct bench_step {
+  int execute(int tag, bench_ctx& ctx) const;
+};
+struct bench_ctx : cnc::context<bench_ctx> {
+  cnc::step_collection<bench_ctx, bench_step, int> steps{*this, "s"};
+  cnc::tag_collection<int> tags{*this, "t", false};
+  cnc::item_collection<int, int> items{*this, "i"};
+  bench_ctx() : cnc::context<bench_ctx>(2) { tags.prescribe(steps); }
+};
+int bench_step::execute(int tag, bench_ctx& ctx) const {
+  ctx.items.put(tag, tag);
+  return 0;
+}
+
+void BM_CncItemPut(benchmark::State& state) {
+  bench_ctx ctx;
+  int key = 0;
+  for (auto _ : state) ctx.items.put(1'000'000 + key++, 7);
+}
+BENCHMARK(BM_CncItemPut);
+
+void BM_CncItemTryGet(benchmark::State& state) {
+  bench_ctx ctx;
+  for (int i = 0; i < 1024; ++i) ctx.items.put(i, i);
+  int key = 0, v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.items.try_get(key & 1023, v));
+    ++key;
+  }
+}
+BENCHMARK(BM_CncItemTryGet);
+
+void BM_CncTagToStepThroughput(benchmark::State& state) {
+  const auto batch = static_cast<int>(state.range(0));
+  int tag_base = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    bench_ctx ctx;  // fresh graph per batch (single-assignment items)
+    state.ResumeTiming();
+    for (int i = 0; i < batch; ++i) ctx.tags.put(tag_base + i);
+    ctx.wait();
+    tag_base += batch;
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CncTagToStepThroughput)->Arg(256);
+
+// Chain with reverse tag order: native pays aborts + re-executions,
+// preschedule pays dependency registration. The per-item gap between these
+// two is the df_abort_penalty knob of the simulator.
+struct chain_ctx2;
+struct chain_step2 {
+  int execute(int tag, chain_ctx2& ctx) const;
+  void depends(int tag, chain_ctx2& ctx, cnc::dependency_collector& dc) const;
+};
+struct chain_ctx2 : cnc::context<chain_ctx2> {
+  cnc::step_collection<chain_ctx2, chain_step2, int> steps;
+  cnc::tag_collection<int> tags{*this, "t", false};
+  cnc::item_collection<int, int> items{*this, "i"};
+  explicit chain_ctx2(cnc::schedule_policy p)
+      : cnc::context<chain_ctx2>(2), steps(*this, "s", chain_step2{}, p) {
+    tags.prescribe(steps);
+  }
+};
+int chain_step2::execute(int tag, chain_ctx2& ctx) const {
+  int prev = 0;
+  if (tag > 0) ctx.items.get(tag - 1, prev);
+  ctx.items.put(tag, prev + 1);
+  return 0;
+}
+void chain_step2::depends(int tag, chain_ctx2& ctx,
+                          cnc::dependency_collector& dc) const {
+  if (tag > 0) dc.require(ctx.items, tag - 1);
+}
+
+void BM_CncChain(benchmark::State& state) {
+  const bool preschedule = state.range(0) != 0;
+  constexpr int kLen = 128;
+  for (auto _ : state) {
+    state.PauseTiming();
+    chain_ctx2 ctx(preschedule ? cnc::schedule_policy::preschedule
+                               : cnc::schedule_policy::spawn_immediately);
+    state.ResumeTiming();
+    for (int i = kLen - 1; i >= 0; --i) ctx.tags.put(i);  // worst case order
+    ctx.wait();
+  }
+  state.SetItemsProcessed(state.iterations() * kLen);
+  state.SetLabel(preschedule ? "preschedule" : "blocking-get");
+}
+BENCHMARK(BM_CncChain)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Quickstart: Gaussian Elimination in both execution models, validated.
+//
+//   $ ./quickstart --n=512 --base=64 --workers=4
+//
+// Shows the complete public-API workflow:
+//   1. generate a safe workload (diagonally dominant matrix),
+//   2. run the serial loop oracle,
+//   3. run the 2-way R-DP algorithm on the fork-join runtime,
+//   4. run it on the data-flow (CnC) runtime,
+//   5. validate bit-identical results and print timings + runtime stats.
+#include <iostream>
+
+#include "dp/ge.hpp"
+#include "dp/ge_cnc.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+  std::int64_t n = 512, base = 64, workers = 4;
+  cli_parser cli("Quickstart: R-DP Gaussian Elimination, fork-join vs "
+                 "data-flow");
+  cli.add_int("n", &n, "matrix size (power of two, default 512)");
+  cli.add_int("base", &base, "recursion base size (power of two, default 64)");
+  cli.add_int("workers", &workers, "worker threads (default 4)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "GE " << n << "x" << n << ", base " << base << ", " << workers
+            << " workers\n\n";
+
+  // 1. Workload: GE without pivoting needs a matrix whose pivots never
+  //    vanish; diagonal dominance guarantees that.
+  const auto input = make_diag_dominant(static_cast<std::size_t>(n), 42);
+
+  // 2. Serial loop oracle (Listing 2 of the paper).
+  auto oracle = input;
+  stopwatch t0;
+  dp::ge_loop_serial(oracle);
+  std::cout << "loop-serial      " << t0.millis() << " ms\n";
+
+  // 3. Fork-join: function A of Listing 3 — spawn B and C, taskwait, D, A.
+  {
+    auto m = input;
+    forkjoin::worker_pool pool(static_cast<unsigned>(workers));
+    stopwatch t1;
+    dp::ge_rdp_forkjoin(m, static_cast<std::size_t>(base), pool);
+    const double ms = t1.millis();
+    const auto stats = pool.stats();
+    std::cout << "fork-join R-DP   " << ms << " ms   (tasks spawned "
+              << stats.tasks_spawned << ", steals " << stats.steals << ")  "
+              << (m == oracle ? "validated" : "MISMATCH!") << "\n";
+  }
+
+  // 4. Data-flow: the CnC graph of Listings 4/5 — four step collections
+  //    with item collections enforcing the true data dependencies.
+  {
+    auto m = input;
+    stopwatch t2;
+    const auto info = dp::ge_cnc(m, static_cast<std::size_t>(base),
+                                 dp::cnc_variant::native,
+                                 static_cast<unsigned>(workers));
+    const double ms = t2.millis();
+    std::cout << "data-flow R-DP   " << ms << " ms   (steps "
+              << info.stats.steps_executed << ", re-executions "
+              << info.stats.steps_aborted << ", items "
+              << info.stats.items_put << ")  "
+              << (m == oracle ? "validated" : "MISMATCH!") << "\n";
+  }
+
+  std::cout << "\nAll three executions produce bit-identical elimination "
+               "results.\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "cache/cache_sim.hpp"
+
+#include "dp/common.hpp"  // mix64
+
+namespace rdp::cache {
+
+cache_sim::cache_sim(const cache_config& cfg) : cfg_(cfg) {
+  RDP_REQUIRE_MSG(cfg.size_bytes > 0 && cfg.line_bytes > 0 &&
+                      cfg.associativity > 0,
+                  "cache dimensions must be positive");
+  RDP_REQUIRE_MSG(cfg.size_bytes % (static_cast<std::uint64_t>(
+                                        cfg.line_bytes) *
+                                    cfg.associativity) ==
+                      0,
+                  "size must be a multiple of line * associativity");
+  RDP_REQUIRE_MSG(is_pow2(cfg.sets()), "set count must be a power of two");
+  set_mask_ = cfg.sets() - 1;
+  ways_.assign(cfg.sets() * cfg.associativity, way_entry{});
+}
+
+bool cache_sim::access_line(std::uint64_t line_addr, bool is_prefetch) {
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::uint64_t tag = line_addr;  // full line id: uniqueness is cheap
+  way_entry* base = &ways_[set * cfg_.associativity];
+  ++stamp_;
+
+  way_entry* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    way_entry& e = base[w];
+    if (e.valid && e.tag == tag) {
+      e.lru = stamp_;
+      if (!is_prefetch) ++hits_;
+      return true;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  if (is_prefetch)
+    ++prefetch_fills_;
+  else
+    ++misses_;
+  return false;
+}
+
+void cache_sim::reset_counters() {
+  hits_ = 0;
+  misses_ = 0;
+  prefetch_fills_ = 0;
+}
+
+void cache_sim::flush() {
+  ways_.assign(ways_.size(), way_entry{});
+}
+
+hierarchy_sim::hierarchy_sim(hierarchy_config cfg) : cfg_(std::move(cfg)) {
+  RDP_REQUIRE_MSG(!cfg_.levels.empty(), "hierarchy needs at least one level");
+  for (const auto& lc : cfg_.levels)
+    levels_.push_back(std::make_unique<cache_sim>(lc));
+  accesses_.assign(levels_.size(), 0);
+}
+
+std::uint64_t hierarchy_sim::translate(std::uint64_t vaddr) const {
+  if (!cfg_.page_randomization) return vaddr;
+  const std::uint64_t page = vaddr / cfg_.page_bytes;
+  const std::uint64_t offset = vaddr % cfg_.page_bytes;
+  // Deterministic pseudo-random physical frame per virtual page.
+  return dp::mix64(page) * cfg_.page_bytes + offset;
+}
+
+void hierarchy_sim::access_line(std::uint64_t line_addr) {
+  bool missed_somewhere = false;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    ++accesses_[lvl];
+    if (levels_[lvl]->access_line(line_addr)) break;  // hit at this level
+    missed_somewhere = true;
+  }
+  // Simple streamer: on a demand miss, pull the next line into L2+ so a
+  // sequential follow-up hits. Models the direction of the §IV-B
+  // prefetching observation without a full stride predictor.
+  if (missed_somewhere && cfg_.next_line_prefetch) {
+    for (std::size_t lvl = 1; lvl < levels_.size(); ++lvl)
+      levels_[lvl]->access_line(line_addr + 1, /*is_prefetch=*/true);
+  }
+}
+
+void hierarchy_sim::access(std::uint64_t vaddr, std::uint32_t bytes) {
+  const std::uint32_t line = cfg_.levels[0].line_bytes;
+  const std::uint64_t paddr = translate(vaddr);
+  const std::uint64_t first = paddr / line;
+  const std::uint64_t last = (paddr + bytes - 1) / line;
+  for (std::uint64_t l = first; l <= last; ++l) access_line(l);
+}
+
+hierarchy_counters hierarchy_sim::counters() const {
+  hierarchy_counters c;
+  for (std::size_t lvl = 0; lvl < levels_.size(); ++lvl) {
+    c.accesses.push_back(accesses_[lvl]);
+    c.misses.push_back(levels_[lvl]->misses());
+  }
+  return c;
+}
+
+void hierarchy_sim::reset_counters() {
+  for (auto& l : levels_) l->reset_counters();
+  accesses_.assign(levels_.size(), 0);
+}
+
+void hierarchy_sim::flush() {
+  for (auto& l : levels_) l->flush();
+}
+
+}  // namespace rdp::cache

@@ -1,0 +1,145 @@
+#include "cache/kernel_traces.hpp"
+
+#include <algorithm>
+
+#include "support/assertions.hpp"
+
+namespace rdp::cache {
+
+namespace {
+constexpr std::uint32_t kD = sizeof(double);
+constexpr std::uint32_t kI32 = sizeof(std::int32_t);
+}  // namespace
+
+void replay_ge_task(hierarchy_sim& h, std::size_t n, std::size_t b,
+                    std::int32_t ti, std::int32_t tj, std::int32_t tk,
+                    std::uint64_t table_base) {
+  const std::size_t i0 = static_cast<std::size_t>(ti) * b;
+  const std::size_t j0 = static_cast<std::size_t>(tj) * b;
+  const std::size_t k0 = static_cast<std::size_t>(tk) * b;
+  RDP_REQUIRE(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  auto addr = [&](std::size_t r, std::size_t c) {
+    return table_base + (r * n + c) * kD;
+  };
+  const std::size_t k_end = std::min(k0 + b, n - 1);
+  for (std::size_t k = k0; k < k_end; ++k) {
+    h.access(addr(k, k), kD);  // pivot
+    const std::size_t i_lo = std::max(i0, k + 1);
+    const std::size_t j_lo = std::max(j0, k + 1);
+    for (std::size_t i = i_lo; i < i0 + b; ++i) {
+      h.access(addr(i, k), kD);  // multiplier read
+      for (std::size_t j = j_lo; j < j0 + b; ++j) {
+        h.access(addr(k, j), kD);  // pivot-row read
+        h.access(addr(i, j), kD);  // read-modify-write of the target
+      }
+    }
+  }
+}
+
+void replay_ge_task_krange(hierarchy_sim& h, std::size_t n, std::size_t b,
+                           std::int32_t ti, std::int32_t tj, std::int32_t tk,
+                           std::size_t k_begin, std::size_t k_end,
+                           std::uint64_t table_base) {
+  const std::size_t i0 = static_cast<std::size_t>(ti) * b;
+  const std::size_t j0 = static_cast<std::size_t>(tj) * b;
+  const std::size_t k0 = static_cast<std::size_t>(tk) * b;
+  RDP_REQUIRE(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  RDP_REQUIRE(k_begin <= k_end && k_end <= b);
+  auto addr = [&](std::size_t r, std::size_t c) {
+    return table_base + (r * n + c) * kD;
+  };
+  const std::size_t k_stop = std::min(k0 + k_end, n - 1);
+  for (std::size_t k = k0 + k_begin; k < k_stop; ++k) {
+    h.access(addr(k, k), kD);
+    const std::size_t i_lo = std::max(i0, k + 1);
+    const std::size_t j_lo = std::max(j0, k + 1);
+    for (std::size_t i = i_lo; i < i0 + b; ++i) {
+      h.access(addr(i, k), kD);
+      for (std::size_t j = j_lo; j < j0 + b; ++j) {
+        h.access(addr(k, j), kD);
+        h.access(addr(i, j), kD);
+      }
+    }
+  }
+}
+
+task_miss_estimate estimate_ge_task_misses(hierarchy_sim& h, std::size_t n,
+                                           std::size_t b, std::int32_t ti,
+                                           std::int32_t tj, std::int32_t tk,
+                                           std::size_t exact_threshold) {
+  task_miss_estimate out;
+  h.flush();
+  h.reset_counters();
+  if (b <= exact_threshold) {
+    replay_ge_task(h, n, b, ti, tj, tk);
+    out.misses = h.counters().misses;
+    return out;
+  }
+  out.sampled = true;
+  // Both windows span one full cache-line period of the U-column stream
+  // (8 doubles per 64-byte line): a shorter window would over- or
+  // under-count the one-miss-per-8-iterations pattern depending on
+  // alignment.
+  constexpr std::size_t kWarm = 8;    // cold transient
+  constexpr std::size_t kSample = 8;  // steady-state slice
+  // Warm-up: first pivot iterations from a cold cache.
+  replay_ge_task_krange(h, n, b, ti, tj, tk, 0, kWarm);
+  const auto warm = h.counters().misses;
+  // Steady state, sampled mid-tile so the triangular kinds (A/B/C) see
+  // their average per-iteration footprint.
+  const std::size_t mid = b / 2;
+  h.reset_counters();
+  replay_ge_task_krange(h, n, b, ti, tj, tk, mid, mid + kSample);
+  const auto steady = h.counters().misses;
+
+  out.misses.resize(warm.size());
+  for (std::size_t lvl = 0; lvl < warm.size(); ++lvl) {
+    const double per_iter =
+        static_cast<double>(steady[lvl]) / static_cast<double>(kSample);
+    out.misses[lvl] =
+        warm[lvl] +
+        static_cast<std::uint64_t>(per_iter * static_cast<double>(b - kWarm));
+  }
+  return out;
+}
+
+void replay_fw_task(hierarchy_sim& h, std::size_t n, std::size_t b,
+                    std::int32_t ti, std::int32_t tj, std::int32_t tk,
+                    std::uint64_t table_base) {
+  const std::size_t i0 = static_cast<std::size_t>(ti) * b;
+  const std::size_t j0 = static_cast<std::size_t>(tj) * b;
+  const std::size_t k0 = static_cast<std::size_t>(tk) * b;
+  RDP_REQUIRE(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  auto addr = [&](std::size_t r, std::size_t c) {
+    return table_base + (r * n + c) * kD;
+  };
+  for (std::size_t k = k0; k < k0 + b; ++k)
+    for (std::size_t i = i0; i < i0 + b; ++i) {
+      h.access(addr(i, k), kD);
+      for (std::size_t j = j0; j < j0 + b; ++j) {
+        h.access(addr(k, j), kD);
+        h.access(addr(i, j), kD);
+      }
+    }
+}
+
+void replay_sw_task(hierarchy_sim& h, std::size_t n, std::size_t b,
+                    std::int32_t ti, std::int32_t tj,
+                    std::uint64_t table_base) {
+  const std::size_t ld = n + 1;
+  const std::size_t i0 = static_cast<std::size_t>(ti) * b;
+  const std::size_t j0 = static_cast<std::size_t>(tj) * b;
+  RDP_REQUIRE(i0 + b <= n && j0 + b <= n);
+  auto addr = [&](std::size_t r, std::size_t c) {
+    return table_base + (r * ld + c) * kI32;
+  };
+  for (std::size_t i = i0 + 1; i <= i0 + b; ++i)
+    for (std::size_t j = j0 + 1; j <= j0 + b; ++j) {
+      h.access(addr(i - 1, j - 1), kI32);
+      h.access(addr(i - 1, j), kI32);
+      h.access(addr(i, j - 1), kI32);
+      h.access(addr(i, j), kI32);
+    }
+}
+
+}  // namespace rdp::cache

@@ -1,0 +1,56 @@
+// Address-stream replay of the DP base-case kernels through a simulated
+// cache hierarchy — the measurement side of Table I.
+//
+// Each function replays the exact reference stream the corresponding base
+// kernel (ge_base_kernel / fw_base_kernel / sw_base_kernel) would issue on
+// an n×n row-major table of doubles (or int32 for SW), for the tile task at
+// tile coordinates (I, J, K) with base size b.
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_sim.hpp"
+#include "dp/common.hpp"
+
+namespace rdp::cache {
+
+/// Replay one GE base task. `table_base` is the virtual byte address of
+/// element (0,0); pass a nonzero value to avoid page-0 artefacts.
+void replay_ge_task(hierarchy_sim& h, std::size_t n, std::size_t b,
+                    std::int32_t ti, std::int32_t tj, std::int32_t tk,
+                    std::uint64_t table_base = 1ull << 30);
+
+/// Replay one FW base task (same footprint, no guards).
+void replay_fw_task(hierarchy_sim& h, std::size_t n, std::size_t b,
+                    std::int32_t ti, std::int32_t tj, std::int32_t tk,
+                    std::uint64_t table_base = 1ull << 30);
+
+/// Replay one SW base tile (int32 table, (n+1)×(n+1)).
+void replay_sw_task(hierarchy_sim& h, std::size_t n, std::size_t b,
+                    std::int32_t ti, std::int32_t tj,
+                    std::uint64_t table_base = 1ull << 30);
+
+/// Replay only pivot iterations k in [k_begin, k_end) of a GE base task
+/// (tile-local indices). Building block of the sampled estimator below.
+void replay_ge_task_krange(hierarchy_sim& h, std::size_t n, std::size_t b,
+                           std::int32_t ti, std::int32_t tj, std::int32_t tk,
+                           std::size_t k_begin, std::size_t k_end,
+                           std::uint64_t table_base = 1ull << 30);
+
+/// Per-level demand-miss estimate of one GE base task, starting from a
+/// flushed hierarchy. Tiles up to `exact_threshold` are replayed in full
+/// (exact); larger tiles are *sampled*: a short warm-up k-slice captures
+/// the cold transient and a mid-tile steady-state slice is extrapolated
+/// across the remaining pivot iterations (validated against full replays
+/// in the test suite). This is what makes Table I's 2048-base row feasible
+/// (a full 2048³ replay would issue ~2·10^10 references).
+struct task_miss_estimate {
+  std::vector<std::uint64_t> misses;  // per level
+  bool sampled = false;
+};
+task_miss_estimate estimate_ge_task_misses(hierarchy_sim& h, std::size_t n,
+                                           std::size_t b, std::int32_t ti,
+                                           std::int32_t tj, std::int32_t tk,
+                                           std::size_t exact_threshold = 256);
+
+}  // namespace rdp::cache

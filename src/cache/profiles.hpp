@@ -1,0 +1,31 @@
+// Cache-hierarchy profiles of the paper's two testbeds (§IV-A).
+#pragma once
+
+#include "cache/cache_sim.hpp"
+
+namespace rdp::cache {
+
+/// Intel Xeon Platinum 8160 (SKYLAKE): 32K L1, 1MB L2, 32MB per-core L3
+/// share (the figure Table I's discussion uses).
+inline hierarchy_config skylake_hierarchy() {
+  hierarchy_config cfg;
+  cfg.levels = {
+      cache_config{"L1", 32u * 1024, 64, 8},
+      cache_config{"L2", 1024u * 1024, 64, 16},
+      cache_config{"L3", 32ull * 1024 * 1024, 64, 16},
+  };
+  return cfg;
+}
+
+/// AMD EPYC 7501: 32K L1, 512K L2, 8MB L3 (per-CCX slice).
+inline hierarchy_config epyc_hierarchy() {
+  hierarchy_config cfg;
+  cfg.levels = {
+      cache_config{"L1", 32u * 1024, 64, 8},
+      cache_config{"L2", 512u * 1024, 64, 8},
+      cache_config{"L3", 8ull * 1024 * 1024, 64, 16},
+  };
+  return cfg;
+}
+
+}  // namespace rdp::cache

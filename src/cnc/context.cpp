@@ -1,0 +1,111 @@
+#include "cnc/context.hpp"
+
+#include <sstream>
+#include <thread>
+
+#include "cnc/step_instance.hpp"
+#include "concurrent/backoff.hpp"
+
+namespace rdp::cnc {
+
+context_base::context_base(unsigned workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  owned_pool_ = std::make_unique<forkjoin::worker_pool>(workers);
+  pool_ = owned_pool_.get();
+}
+
+context_base::context_base(forkjoin::worker_pool& pool) : pool_(&pool) {}
+
+context_base::~context_base() {
+  // Reclaim instances that never ran because their dependencies were never
+  // produced (abandoned or deadlocked graphs). Waiter lists never delete.
+  std::scoped_lock lock(suspended_mutex_);
+  for (step_instance_base* inst : suspended_registry_) delete inst;
+  suspended_registry_.clear();
+}
+
+void context_base::on_suspend(step_instance_base* inst) {
+  {
+    std::scoped_lock lock(suspended_mutex_);
+    suspended_registry_.insert(inst);
+  }
+  suspended_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void context_base::on_resume(step_instance_base* inst) {
+  // Order matters for wait()'s quiescence test: make the instance visible
+  // as active *before* it stops being suspended, so (active==0 &&
+  // suspended==0) can never be observed while a resume is in flight.
+  active_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::scoped_lock lock(suspended_mutex_);
+    suspended_registry_.erase(inst);
+  }
+  suspended_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void context_base::record_error(std::exception_ptr e) noexcept {
+  std::scoped_lock lock(error_mutex_);
+  if (!first_error_) first_error_ = std::move(e);
+}
+
+void context_base::wait() {
+  concurrent::backoff bo;
+  for (;;) {
+    if (pool_->try_run_one()) {
+      bo.reset();
+      continue;
+    }
+    const long a = active_.load(std::memory_order_acquire);
+    const long s = suspended_.load(std::memory_order_acquire);
+    if (a == 0) {
+      if (s == 0) break;
+      // No step is runnable or running, yet some are parked: no producer
+      // can ever publish the items they need. Deterministic deadlock.
+      std::ostringstream os;
+      os << "CnC graph quiesced with " << s
+         << " step instance(s) blocked on items that were never produced";
+      throw unsatisfied_dependency(os.str());
+    }
+    bo.pause();
+  }
+  std::exception_ptr error;
+  {
+    std::scoped_lock lock(error_mutex_);
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+context_stats context_base::stats() const {
+  context_stats s;
+  s.steps_executed = counters_.executed.load(std::memory_order_relaxed);
+  s.steps_aborted = counters_.aborted.load(std::memory_order_relaxed);
+  s.steps_prescribed = counters_.prescribed.load(std::memory_order_relaxed);
+  s.items_put = counters_.items_put.load(std::memory_order_relaxed);
+  s.gets_ok = counters_.gets_ok.load(std::memory_order_relaxed);
+  s.gets_failed = counters_.gets_failed.load(std::memory_order_relaxed);
+  s.tags_put = counters_.tags_put.load(std::memory_order_relaxed);
+  s.preschedule_deferrals =
+      counters_.deferrals.load(std::memory_order_relaxed);
+  s.steps_requeued = counters_.requeued.load(std::memory_order_relaxed);
+  return s;
+}
+
+void context_base::reset_stats() {
+  counters_.executed.store(0, std::memory_order_relaxed);
+  counters_.aborted.store(0, std::memory_order_relaxed);
+  counters_.prescribed.store(0, std::memory_order_relaxed);
+  counters_.items_put.store(0, std::memory_order_relaxed);
+  counters_.gets_ok.store(0, std::memory_order_relaxed);
+  counters_.gets_failed.store(0, std::memory_order_relaxed);
+  counters_.tags_put.store(0, std::memory_order_relaxed);
+  counters_.deferrals.store(0, std::memory_order_relaxed);
+  counters_.requeued.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rdp::cnc

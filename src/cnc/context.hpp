@@ -1,0 +1,155 @@
+// context_base — the runtime half of a CnC graph.
+//
+// A user context derives from rdp::cnc::context<Derived> (CRTP, mirroring
+// Intel CnC) and declares its step/item/tag collections as members. The base
+// owns (or borrows) the worker pool, tracks in-flight step instances, and
+// implements wait(): help the pool until the graph quiesces, then either
+// return (all steps done) or throw unsatisfied_dependency (steps still
+// parked on items nobody produced).
+//
+// Instance accounting — every step instance is in exactly one state:
+//   active    : scheduled in the pool or currently executing
+//   suspended : parked on an item-collection waiter list
+// put() can only happen from an active step or from the environment thread
+// inside wait(), so `active == 0` while the environment is quiescent is a
+// stable property: if suspended > 0 at that point the graph is deadlocked.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "cnc/errors.hpp"
+#include "forkjoin/worker_pool.hpp"
+
+namespace rdp::cnc {
+
+class step_instance_base;
+
+/// Runtime counters of one context (relaxed atomics; exact when quiescent).
+struct context_stats {
+  std::uint64_t steps_executed = 0;   // successful executions
+  std::uint64_t steps_aborted = 0;    // executions aborted by an unmet get
+  std::uint64_t steps_prescribed = 0; // instances created by tag puts
+  std::uint64_t items_put = 0;
+  std::uint64_t gets_ok = 0;
+  std::uint64_t gets_failed = 0;
+  std::uint64_t tags_put = 0;
+  std::uint64_t preschedule_deferrals = 0;  // tuner: deps not yet all ready
+  std::uint64_t steps_requeued = 0;  // non-blocking gets: self-requeues
+};
+
+class context_base {
+public:
+  /// `workers` == 0 uses hardware_concurrency(). The pool is owned.
+  explicit context_base(unsigned workers = 0);
+  /// Borrow an existing pool (shared across contexts / with fork-join code).
+  explicit context_base(forkjoin::worker_pool& pool);
+  virtual ~context_base();
+
+  context_base(const context_base&) = delete;
+  context_base& operator=(const context_base&) = delete;
+
+  forkjoin::worker_pool& pool() noexcept { return *pool_; }
+
+  /// Block until every prescribed step instance has finished. Helps the
+  /// pool while waiting. Throws unsatisfied_dependency if the graph
+  /// quiesces with suspended steps, and rethrows the first step error.
+  void wait();
+
+  context_stats stats() const;
+  void reset_stats();
+
+  // ---- internal API used by collections and step instances ----
+  struct counters {
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> aborted{0};
+    std::atomic<std::uint64_t> prescribed{0};
+    std::atomic<std::uint64_t> items_put{0};
+    std::atomic<std::uint64_t> gets_ok{0};
+    std::atomic<std::uint64_t> gets_failed{0};
+    std::atomic<std::uint64_t> tags_put{0};
+    std::atomic<std::uint64_t> deferrals{0};
+    std::atomic<std::uint64_t> requeued{0};
+  };
+  counters& metrics() noexcept { return counters_; }
+
+  /// State transitions of step instances (see file comment).
+  void on_schedule() noexcept {
+    active_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void on_complete() noexcept {
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  void on_suspend(step_instance_base* inst);
+  void on_resume(step_instance_base* inst);
+
+  /// Record a user-step exception; the first one is rethrown by wait().
+  void record_error(std::exception_ptr e) noexcept;
+
+  /// Schedule a type-erased runnable in the pool as a detached task.
+  template <class F>
+  void schedule(F&& f) {
+    pool_->enqueue(forkjoin::make_task(std::forward<F>(f), nullptr));
+  }
+
+  /// Low-priority scheduling through the pool's FIFO injection queue —
+  /// used for self-requeued steps (non-blocking get retries) so a retry
+  /// cannot starve the producer it waits for (see worker_pool).
+  template <class F>
+  void schedule_global(F&& f) {
+    pool_->enqueue_global(forkjoin::make_task(std::forward<F>(f), nullptr));
+  }
+
+  /// Pin a runnable to one worker (the compute_on tuner's substrate).
+  template <class F>
+  void schedule_affine(unsigned worker, F&& f) {
+    pool_->enqueue_affine(worker,
+                          forkjoin::make_task(std::forward<F>(f), nullptr));
+  }
+
+  long active_count() const noexcept {
+    return active_.load(std::memory_order_acquire);
+  }
+  long suspended_count() const noexcept {
+    return suspended_.load(std::memory_order_acquire);
+  }
+
+private:
+  std::unique_ptr<forkjoin::worker_pool> owned_pool_;
+  forkjoin::worker_pool* pool_;
+  std::atomic<long> active_{0};
+  std::atomic<long> suspended_{0};
+  counters counters_;
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+
+  // Suspended instances are owned by the waiter lists; the context keeps a
+  // registry so a deadlocked or abandoned graph can still reclaim them.
+  std::mutex suspended_mutex_;
+  std::unordered_set<step_instance_base*> suspended_registry_;
+};
+
+/// CRTP convenience mirroring Intel CnC's `CnC::context<Derived>`.
+template <class Derived>
+class context : public context_base {
+public:
+  using context_base::context_base;
+};
+
+/// Scheduling policy of a step collection ("tuner" in CnC terminology).
+enum class schedule_policy {
+  /// Native-CnC: spawn the step instance immediately on prescription; an
+  /// unmet blocking get aborts it and parks it on the item's waiter list.
+  spawn_immediately,
+  /// Tuner-CnC: collect the step's declared dependencies first and only
+  /// schedule the instance once all of them are available, avoiding
+  /// re-executions entirely (the pre-scheduling tuner of §III-D).
+  preschedule,
+};
+
+}  // namespace rdp::cnc

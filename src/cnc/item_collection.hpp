@@ -1,0 +1,179 @@
+// Item collections: the data half of a CnC graph.
+//
+// An item collection is an associative container indexed by tags, with
+// *dynamic single assignment* semantics — each key may be put exactly once
+// (a second put throws dsa_violation, mirroring Intel CnC's run-time check).
+//
+// get() is the blocking variant described in §II/§III-C of the paper: if the
+// item is not yet available and the caller is a step instance, the instance
+// is atomically parked on the item's waiter list and aborted; the eventual
+// put() re-triggers every parked instance. Called from the environment
+// (outside any step), get() helps the worker pool until the item appears.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cnc/context.hpp"
+#include "cnc/errors.hpp"
+#include "cnc/step_instance.hpp"
+#include "concurrent/backoff.hpp"
+#include "concurrent/striped_hash_map.hpp"
+
+namespace rdp::cnc {
+
+template <class Key, class Value, class Hash = std::hash<Key>>
+class item_collection {
+public:
+  using key_type = Key;
+  using value_type = Value;
+
+  item_collection(context_base& ctx, std::string name)
+      : ctx_(ctx), name_(std::move(name)) {}
+
+  item_collection(const item_collection&) = delete;
+  item_collection& operator=(const item_collection&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Publish `value` under `key`. Exactly-once: a repeated put throws
+  /// dsa_violation. Resumes every step instance parked on the key.
+  ///
+  /// `get_count` > 0 enables Intel-CnC-style item garbage collection: the
+  /// item is erased after exactly that many successful blocking get()s,
+  /// bounding the collection's memory (essential for value-passing graphs
+  /// like FW's tile items). Only safe when every consumer executes its
+  /// gets exactly once — i.e. with the preschedule tuner or manual
+  /// pre-declaration, NOT with abort-and-re-execute blocking steps (a
+  /// re-executed step re-gets items it already counted).
+  void put(const Key& key, Value value, std::uint32_t get_count = 0) {
+    std::vector<waiter*> to_wake;
+    map_.mutate(key, [&](slot& s) {
+      if (s.value.has_value())
+        throw dsa_violation("duplicate put into item collection '" + name_ +
+                            "'");
+      s.value.emplace(std::move(value));
+      s.remaining_gets = get_count;
+      to_wake.swap(s.waiters);
+    });
+    ctx_.metrics().items_put.fetch_add(1, std::memory_order_relaxed);
+    // Wake outside the stripe lock: item_ready() may schedule work.
+    for (waiter* w : to_wake) w->item_ready();
+  }
+
+  /// Blocking get (CnC semantics — see file comment). Successful blocking
+  /// gets count towards the item's get_count (try_get never does).
+  void get(const Key& key, Value& out) const {
+    step_instance_base* self = step_instance_base::current();
+    if (self == nullptr) {
+      environment_get(key, out);
+      return;
+    }
+    bool found = false;
+    bool erase_after = false;
+    map_.mutate(key, [&](slot& s) {
+      if (s.value.has_value()) {
+        out = *s.value;
+        found = true;
+        if (s.remaining_gets > 0 && --s.remaining_gets == 0)
+          erase_after = true;  // last declared consumer: collect the item
+        return;
+      }
+      // Park-then-abort, atomically w.r.t. put() on the same stripe.
+      self->ctx().on_suspend(self);
+      s.waiters.push_back(self);
+    });
+    if (found) {
+      if (erase_after) map_.erase(key);
+      ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ctx_.metrics().gets_failed.fetch_add(1, std::memory_order_relaxed);
+    throw detail::unmet_dependency_signal{};
+  }
+
+  /// Non-blocking get: true and a copy when present, false otherwise.
+  bool try_get(const Key& key, Value& out) const {
+    bool found = false;
+    map_.visit(key, [&](const slot& s) {
+      if (s.value.has_value()) {
+        out = *s.value;
+        found = true;
+      }
+    });
+    return found;
+  }
+
+  bool contains(const Key& key) const {
+    bool present = false;
+    map_.visit(key, [&](const slot& s) { present = s.value.has_value(); });
+    return present;
+  }
+
+  /// Number of *published* items (keys whose value was put).
+  std::size_t size() const {
+    std::size_t n = 0;
+    map_.for_each([&](const Key&, const slot& s) {
+      if (s.value.has_value()) ++n;
+    });
+    return n;
+  }
+
+  /// Internal (pre-scheduling tuner): if the item exists return true;
+  /// otherwise register `w` on the waiter list and return false.
+  bool present_or_register(const Key& key, waiter* w) {
+    bool present = false;
+    map_.mutate(key, [&](slot& s) {
+      if (s.value.has_value()) {
+        present = true;
+      } else {
+        s.waiters.push_back(w);
+      }
+    });
+    return present;
+  }
+
+private:
+  struct slot {
+    std::optional<Value> value;
+    std::vector<waiter*> waiters;
+    std::uint32_t remaining_gets = 0;  // 0 = keep forever
+  };
+
+  /// Counted lookup shared by the environment path: a success consumes one
+  /// of the item's declared gets.
+  bool try_get_counted(const Key& key, Value& out) const {
+    bool found = false;
+    bool erase_after = false;
+    map_.mutate(key, [&](slot& s) {
+      if (s.value.has_value()) {
+        out = *s.value;
+        found = true;
+        if (s.remaining_gets > 0 && --s.remaining_gets == 0)
+          erase_after = true;
+      }
+    });
+    if (found && erase_after) map_.erase(key);
+    return found;
+  }
+
+  /// Environment-side blocking get: help the pool until the item appears.
+  void environment_get(const Key& key, Value& out) const {
+    concurrent::backoff bo;
+    while (!try_get_counted(key, out)) {
+      if (ctx_.pool().try_run_one())
+        bo.reset();
+      else
+        bo.pause();
+    }
+    ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  context_base& ctx_;
+  std::string name_;
+  mutable concurrent::striped_hash_map<Key, slot, Hash> map_;
+};
+
+}  // namespace rdp::cnc

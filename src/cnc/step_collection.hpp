@@ -1,0 +1,195 @@
+// Step collections: the computation half of a CnC graph.
+//
+// A step collection wraps a user functor `Step` with
+//     int execute(const Tag& tag, Ctx& ctx) const;
+// Each tag put into a prescribing tag collection creates one dynamic step
+// instance. The collection's schedule_policy selects the tuner:
+//
+//  * spawn_immediately (Native-CnC): dispatch at prescription time; unmet
+//    blocking gets abort + park + re-execute.
+//  * preschedule (Tuner-CnC): if the step also provides
+//        void depends(const Tag&, Ctx&, dependency_collector&) const;
+//    the instance is dispatched only once every declared item exists, so
+//    its gets never fail (the pre-scheduling tuner of §III-D).
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <string>
+#include <utility>
+
+#include "cnc/context.hpp"
+#include "cnc/errors.hpp"
+#include "cnc/step_instance.hpp"
+#include "cnc/waiter.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp::cnc {
+
+/// Collects the declared dependencies of a step instance (preschedule
+/// tuner). require() registers on the item's waiter list immediately using
+/// an increment-then-register protocol, so concurrent puts are safe.
+class dependency_collector {
+public:
+  dependency_collector(std::atomic<long>& remaining, waiter& w)
+      : remaining_(remaining), waiter_(w) {}
+
+  dependency_collector(const dependency_collector&) = delete;
+  dependency_collector& operator=(const dependency_collector&) = delete;
+
+  /// Declare that the step will get() `key` from `items`. The key type is
+  /// taken from the collection so braced initialiser lists work.
+  template <class ItemCollection>
+  void require(ItemCollection& items,
+               const typename ItemCollection::key_type& key) {
+    remaining_.fetch_add(1, std::memory_order_acq_rel);
+    if (items.present_or_register(key, &waiter_)) {
+      // Already available: undo the provisional count.
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    } else {
+      ++absent_;
+    }
+  }
+
+  /// Number of declared dependencies that were absent at declaration time.
+  long absent() const noexcept { return absent_; }
+
+private:
+  std::atomic<long>& remaining_;
+  waiter& waiter_;
+  long absent_ = 0;
+};
+
+namespace detail {
+
+/// Steps usable with the preschedule tuner declare their item reads.
+template <class Step, class Tag, class Ctx>
+concept declares_dependencies =
+    requires(const Step s, const Tag& t, Ctx& c, dependency_collector& dc) {
+      s.depends(t, c, dc);
+    };
+
+/// Steps usable with the compute_on tuner map tags to worker indices:
+///     int compute_on(const Tag&, Ctx&) const;
+/// (§V of the paper: pinning steps to cores to minimise inter-core and
+/// inter-NUMA data movement.)
+template <class Step, class Tag, class Ctx>
+concept declares_placement = requires(const Step s, const Tag& t, Ctx& c) {
+  { s.compute_on(t, c) } -> std::convertible_to<int>;
+};
+
+/// Countdown that fires a parked step instance when every declared
+/// dependency has been produced. Self-deleting.
+class preschedule_countdown final : public waiter {
+public:
+  explicit preschedule_countdown(step_instance_base& inst) : inst_(inst) {}
+
+  std::atomic<long>& remaining() noexcept { return remaining_; }
+
+  void item_ready() override { release(); }
+
+  /// Called after depends() finished declaring; drops the arming guard.
+  void finish_arming() { release(); }
+
+private:
+  void release() {
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      step_instance_base& inst = inst_;
+      delete this;
+      inst.item_ready();  // resume accounting + dispatch
+    }
+  }
+
+  std::atomic<long> remaining_{1};  // arming guard
+  step_instance_base& inst_;
+};
+
+/// Concrete dynamic instance binding (step functor, tag, typed context).
+template <class Ctx, class Step, class Tag>
+class typed_step_instance final : public step_instance_base {
+public:
+  typed_step_instance(Ctx& ctx, const Step& step, Tag tag)
+      : step_instance_base(ctx), typed_ctx_(ctx), step_(step),
+        tag_(std::move(tag)) {}
+
+private:
+  void run_body() override { (void)step_.execute(tag_, typed_ctx_); }
+
+  Ctx& typed_ctx_;
+  const Step& step_;
+  const Tag tag_;
+};
+
+}  // namespace detail
+
+// Note: Ctx is typically the *incomplete* user context type at the point the
+// collection members are declared inside it (exactly as in Intel CnC), so no
+// compile-time base-of check is possible here; the constructor takes Ctx& and
+// implicitly converts it to context_base&, which enforces the inheritance.
+template <class Ctx, class Step, class Tag>
+class step_collection {
+public:
+  step_collection(Ctx& ctx, std::string name, Step step = Step{},
+                  schedule_policy policy = schedule_policy::spawn_immediately)
+      : ctx_(ctx), name_(std::move(name)), step_(std::move(step)),
+        policy_(policy) {}
+
+  step_collection(const step_collection&) = delete;
+  step_collection& operator=(const step_collection&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  const Step& step() const noexcept { return step_; }
+  schedule_policy policy() const noexcept { return policy_; }
+
+  /// Create and dispatch a dynamic instance for `tag` (called by the
+  /// prescribing tag collection, or directly by the environment).
+  void spawn(const Tag& tag) {
+    ctx_.metrics().prescribed.fetch_add(1, std::memory_order_relaxed);
+    auto* inst =
+        new detail::typed_step_instance<Ctx, Step, Tag>(ctx_, step_, tag);
+    if constexpr (detail::declares_placement<Step, Tag, Ctx>) {
+      const auto workers = ctx_.pool().worker_count();
+      const int target = step_.compute_on(tag, ctx_);
+      if (target >= 0)
+        inst->set_affinity(static_cast<int>(
+            static_cast<unsigned>(target) % workers));
+    }
+    if (policy_ == schedule_policy::preschedule) {
+      if constexpr (detail::declares_dependencies<Step, Tag, Ctx>) {
+        auto* cd = new detail::preschedule_countdown(*inst);
+        // The instance starts out parked: it becomes active only when the
+        // countdown fires (possibly during depends() below).
+        ctx_.on_suspend(inst);
+        dependency_collector dc(cd->remaining(), *cd);
+        step_.depends(tag, ctx_, dc);
+        if (dc.absent() > 0)
+          ctx_.metrics().deferrals.fetch_add(1, std::memory_order_relaxed);
+        cd->finish_arming();
+        return;
+      } else {
+        RDP_REQUIRE_MSG(false,
+                        "preschedule policy requires the step to define "
+                        "depends(tag, ctx, collector)");
+      }
+    }
+    inst->initial_dispatch();
+  }
+
+  /// Requeue `tag` for a later retry (non-blocking get protocol, §IV-B):
+  /// a fresh instance is dispatched through the pool's FIFO injection
+  /// queue so the retry runs after currently queued producers.
+  void respawn(const Tag& tag) {
+    ctx_.metrics().requeued.fetch_add(1, std::memory_order_relaxed);
+    auto* inst =
+        new detail::typed_step_instance<Ctx, Step, Tag>(ctx_, step_, tag);
+    inst->initial_dispatch_global();
+  }
+
+private:
+  Ctx& ctx_;
+  std::string name_;
+  Step step_;
+  schedule_policy policy_;
+};
+
+}  // namespace rdp::cnc

@@ -1,0 +1,46 @@
+#include "cnc/step_instance.hpp"
+
+namespace rdp::cnc {
+
+namespace {
+thread_local step_instance_base* tl_current_step = nullptr;
+}
+
+step_instance_base* step_instance_base::current() noexcept {
+  return tl_current_step;
+}
+
+void step_instance_base::execute_wrapper() noexcept {
+  // Capture the context up front: once an unmet get parks this instance on
+  // a waiter list, ownership transfers there — a concurrent put may resume,
+  // re-execute and even delete it before this frame finishes unwinding, so
+  // `this` must not be dereferenced after the catch below.
+  context_base& ctx = ctx_;
+  step_instance_base* previous = tl_current_step;
+  tl_current_step = this;
+  bool suspended = false;
+  std::exception_ptr error;
+  try {
+    run_body();
+  } catch (const detail::unmet_dependency_signal&) {
+    suspended = true;
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tl_current_step = previous;
+
+  if (suspended) {
+    ctx.metrics().aborted.fetch_add(1, std::memory_order_relaxed);
+    ctx.on_complete();  // leaves "active"; on_suspend already counted it
+    return;
+  }
+  if (error) {
+    ctx.record_error(error);
+  } else {
+    ctx.metrics().executed.fetch_add(1, std::memory_order_relaxed);
+  }
+  delete this;
+  ctx.on_complete();
+}
+
+}  // namespace rdp::cnc

@@ -1,0 +1,80 @@
+// Dynamic step instances: the unit of execution of the data-flow runtime.
+//
+// A step instance is created when a tag is put into a prescribed tag
+// collection. Its lifecycle:
+//
+//   prescribed ──schedule──▶ active ──run──▶ done (deleted)
+//                    ▲                 │ unmet get
+//                    │                 ▼
+//                 resumed ◀──put── suspended (owned by item waiter list)
+//
+// Re-execution restarts the step body from the top (Intel CnC semantics);
+// gets that previously succeeded simply succeed again from the hash map.
+#pragma once
+
+#include <exception>
+#include <utility>
+
+#include "cnc/context.hpp"
+#include "cnc/errors.hpp"
+#include "cnc/waiter.hpp"
+
+namespace rdp::cnc {
+
+class step_instance_base : public waiter {
+public:
+  explicit step_instance_base(context_base& ctx) : ctx_(ctx) {}
+
+  /// The step instance currently executing on this thread (nullptr outside
+  /// step bodies, e.g. in the environment). Blocking gets consult this to
+  /// know which instance to park.
+  static step_instance_base* current() noexcept;
+
+  context_base& ctx() noexcept { return ctx_; }
+
+  /// First dispatch of a freshly prescribed instance.
+  void initial_dispatch() {
+    ctx_.on_schedule();  // becomes "active"
+    enqueue();
+  }
+
+  /// Dispatch through the pool's low-priority FIFO path (retry instances
+  /// created by non-blocking-get requeues).
+  void initial_dispatch_global() {
+    ctx_.on_schedule();
+    ctx_.schedule_global([this] { this->execute_wrapper(); });
+  }
+
+  /// Pin this instance to one worker (compute_on tuner). Applies to the
+  /// initial dispatch AND every resume after a suspension.
+  void set_affinity(int worker) noexcept { affinity_ = worker; }
+  int affinity() const noexcept { return affinity_; }
+
+  /// waiter: an item this instance was parked on became available.
+  /// on_resume() already moves the instance from "suspended" to "active".
+  void item_ready() final {
+    ctx_.on_resume(this);
+    enqueue();
+  }
+
+protected:
+  /// Runs the user step body once. Throws detail::unmet_dependency_signal
+  /// if a blocking get failed (after parking `this` on the waiter list).
+  virtual void run_body() = 0;
+
+private:
+  void enqueue() {
+    if (affinity_ >= 0) {
+      ctx_.schedule_affine(static_cast<unsigned>(affinity_),
+                           [this] { this->execute_wrapper(); });
+    } else {
+      ctx_.schedule([this] { this->execute_wrapper(); });
+    }
+  }
+  void execute_wrapper() noexcept;
+
+  context_base& ctx_;
+  int affinity_ = -1;
+};
+
+}  // namespace rdp::cnc

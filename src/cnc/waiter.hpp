@@ -1,0 +1,19 @@
+// Waiter interface: anything parked on an item-collection slot until the
+// item is produced. Two implementations exist:
+//   * a suspended step instance (Native-CnC blocking-get protocol) — resumed
+//     and re-executed from the top when the item arrives;
+//   * a countdown used by the pre-scheduling tuner — the step is scheduled
+//     only once ALL declared dependencies are present.
+#pragma once
+
+namespace rdp::cnc {
+
+class waiter {
+public:
+  virtual ~waiter() = default;
+  /// Called exactly once per registered dependency when the item becomes
+  /// available. May be invoked from the producing thread.
+  virtual void item_ready() = 0;
+};
+
+}  // namespace rdp::cnc

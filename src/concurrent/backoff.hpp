@@ -1,0 +1,44 @@
+// Exponential backoff for contended spin loops.
+//
+// Spins with a pause hint for a few rounds, then yields to the OS scheduler —
+// essential on oversubscribed machines (more workers than hardware threads),
+// which is exactly the regime of the single-box test environment.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace rdp::concurrent {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  // Portable fallback: compiler barrier only.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class backoff {
+public:
+  void pause() noexcept {
+    if (count_ < k_spin_limit) {
+      for (std::uint32_t i = 0; i < (1u << count_); ++i) cpu_relax();
+      ++count_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { count_ = 0; }
+
+private:
+  static constexpr std::uint32_t k_spin_limit = 6;  // up to 64 pauses
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace rdp::concurrent

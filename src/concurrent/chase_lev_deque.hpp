@@ -1,0 +1,144 @@
+// Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005; memory orderings
+// after Lê et al., PPoPP 2013 "Correct and Efficient Work-Stealing for Weak
+// Memory Models").
+//
+// The owner thread pushes/pops at the bottom; thieves steal from the top.
+// Used by the fork-join runtime (one deque per worker) and by the CnC
+// scheduler. The buffer grows geometrically and old buffers are retired on
+// deque destruction (safe: steals never dereference a retired buffer after a
+// grow because the owner publishes the new buffer with release semantics and
+// thieves re-check `top`).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/assertions.hpp"
+
+namespace rdp::concurrent {
+
+template <class T>
+class chase_lev_deque {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "chase_lev_deque requires trivially copyable elements "
+                "(store pointers or indices)");
+
+public:
+  explicit chase_lev_deque(std::size_t initial_capacity = 64) {
+    auto first = std::make_unique<ring>(round_up(initial_capacity));
+    buffer_.store(first.get(), std::memory_order_relaxed);
+    retired_.push_back(std::move(first));
+  }
+
+  chase_lev_deque(const chase_lev_deque&) = delete;
+  chase_lev_deque& operator=(const chase_lev_deque&) = delete;
+
+  ~chase_lev_deque() = default;
+
+  /// Owner only. Push one element at the bottom.
+  void push(T value) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    ring* r = buffer_.load(std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(r->capacity) - 1) {
+      r = grow(r, t, b);
+    }
+    r->put(b, value);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Pop from the bottom (LIFO). Empty -> nullopt.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    ring* r = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      T value = r->get(b);
+      if (t == b) {
+        // Last element: race with thieves via CAS on top.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          bottom_.store(b + 1, std::memory_order_relaxed);
+          return std::nullopt;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+      return value;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  /// Any thread. Steal from the top (FIFO). Empty or lost race -> nullopt.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    ring* r = buffer_.load(std::memory_order_consume);
+    T value = r->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    return value;
+  }
+
+  /// Approximate size; exact only when quiescent.
+  std::size_t size_estimate() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+private:
+  struct ring {
+    explicit ring(std::size_t cap) : capacity(cap), mask(cap - 1),
+                                     slots(new std::atomic<T>[cap]) {}
+    const std::size_t capacity;
+    const std::size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+
+    T get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & mask].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T v) {
+      slots[static_cast<std::size_t>(i) & mask].store(
+          v, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t c) {
+    std::size_t r = 16;
+    while (r < c) r <<= 1;
+    return r;
+  }
+
+  ring* grow(ring* old, std::int64_t t, std::int64_t b) {
+    auto bigger = std::make_unique<ring>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    ring* raw = bigger.get();
+    retired_.push_back(std::move(bigger));  // keep old buffers alive
+    buffer_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<ring*> buffer_;
+  // Owner-only list of all buffers ever allocated; freed with the deque.
+  // (Simple and safe hazard handling: grow() is rare and buffers are small.)
+  std::vector<std::unique_ptr<ring>> retired_;
+};
+
+}  // namespace rdp::concurrent

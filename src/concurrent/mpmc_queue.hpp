@@ -1,0 +1,104 @@
+// Bounded multi-producer/multi-consumer queue (Dmitry Vyukov's design).
+//
+// Used as the global overflow/injection queue of the schedulers: external
+// threads (the "environment" in CnC terms) inject work here, and workers fall
+// back to it when their own deque and steals come up empty.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::concurrent {
+
+template <class T>
+class mpmc_queue {
+public:
+  explicit mpmc_queue(std::size_t capacity) {
+    RDP_REQUIRE_MSG(capacity >= 2, "mpmc_queue capacity must be >= 2");
+    capacity_ = rdp::round_up_pow2(capacity);
+    mask_ = capacity_ - 1;
+    cells_ = std::make_unique<cell[]>(capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i)
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+  }
+
+  mpmc_queue(const mpmc_queue&) = delete;
+  mpmc_queue& operator=(const mpmc_queue&) = delete;
+
+  /// Non-blocking push; false when full.
+  bool try_push(T value) {
+    cell* c;
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      c = &cells_[pos & mask_];
+      const std::size_t seq = c->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    c->value = std::move(value);
+    c->sequence.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> try_pop() {
+    cell* c;
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      c = &cells_[pos & mask_];
+      const std::size_t seq = c->sequence.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed))
+          break;
+      } else if (diff < 0) {
+        return std::nullopt;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+    std::optional<T> out(std::move(c->value));
+    c->sequence.store(pos + mask_ + 1, std::memory_order_release);
+    return out;
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Approximate; exact only when quiescent.
+  std::size_t size_estimate() const noexcept {
+    const std::size_t e = enqueue_pos_.load(std::memory_order_relaxed);
+    const std::size_t d = dequeue_pos_.load(std::memory_order_relaxed);
+    return e > d ? e - d : 0;
+  }
+
+private:
+  struct cell {
+    std::atomic<std::size_t> sequence;
+    T value;
+  };
+
+  static constexpr std::size_t k_pad = 64;
+  std::unique_ptr<cell[]> cells_;
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  alignas(k_pad) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(k_pad) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace rdp::concurrent

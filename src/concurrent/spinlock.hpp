@@ -1,0 +1,36 @@
+// Test-and-test-and-set spinlock with backoff; satisfies Lockable so it can
+// be used with std::lock_guard / std::scoped_lock.
+#pragma once
+
+#include <atomic>
+
+#include "concurrent/backoff.hpp"
+
+namespace rdp::concurrent {
+
+class spinlock {
+public:
+  spinlock() = default;
+  spinlock(const spinlock&) = delete;
+  spinlock& operator=(const spinlock&) = delete;
+
+  void lock() noexcept {
+    backoff bo;
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) bo.pause();
+    }
+  }
+
+  bool try_lock() noexcept {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { flag_.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> flag_{false};
+};
+
+}  // namespace rdp::concurrent

@@ -1,0 +1,14 @@
+// Umbrella header: the three paper benchmarks in every execution model,
+// the parametric r-way generalisation, and the generic wavefront framework.
+#pragma once
+
+#include "dp/common.hpp"     // IWYU pragma: export
+#include "dp/fw.hpp"         // IWYU pragma: export
+#include "dp/fw_cnc.hpp"     // IWYU pragma: export
+#include "dp/ge.hpp"         // IWYU pragma: export
+#include "dp/ge_cnc.hpp"     // IWYU pragma: export
+#include "dp/rway.hpp"       // IWYU pragma: export
+#include "dp/sw.hpp"         // IWYU pragma: export
+#include "dp/sw_cnc.hpp"     // IWYU pragma: export
+#include "dp/tiled.hpp"      // IWYU pragma: export
+#include "dp/wavefront.hpp"  // IWYU pragma: export

@@ -1,0 +1,287 @@
+#include "dp/fw_cnc.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "cnc/cnc.hpp"
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::dp {
+
+namespace {
+
+/// Immutable b×b tile snapshot, shared between consumers without copying.
+using tile_data = std::shared_ptr<const std::vector<double>>;
+
+// ---- dense min-plus tile kernels (b×b, row-major, contiguous) ----------
+
+void tile_fw_a(std::vector<double>& x, std::size_t b) {
+  for (std::size_t k = 0; k < b; ++k)
+    for (std::size_t i = 0; i < b; ++i) {
+      const double via = x[i * b + k];
+      for (std::size_t j = 0; j < b; ++j)
+        x[i * b + j] = std::min(x[i * b + j], via + x[k * b + j]);
+    }
+}
+
+void tile_fw_b(std::vector<double>& x, const std::vector<double>& u,
+               std::size_t b) {
+  for (std::size_t k = 0; k < b; ++k)
+    for (std::size_t i = 0; i < b; ++i) {
+      const double via = u[i * b + k];
+      for (std::size_t j = 0; j < b; ++j)
+        x[i * b + j] = std::min(x[i * b + j], via + x[k * b + j]);
+    }
+}
+
+void tile_fw_c(std::vector<double>& x, const std::vector<double>& v,
+               std::size_t b) {
+  for (std::size_t k = 0; k < b; ++k)
+    for (std::size_t i = 0; i < b; ++i) {
+      const double via = x[i * b + k];
+      for (std::size_t j = 0; j < b; ++j)
+        x[i * b + j] = std::min(x[i * b + j], via + v[k * b + j]);
+    }
+}
+
+void tile_fw_d(std::vector<double>& x, const std::vector<double>& u,
+               const std::vector<double>& v, std::size_t b) {
+  for (std::size_t k = 0; k < b; ++k)
+    for (std::size_t i = 0; i < b; ++i) {
+      const double via = u[i * b + k];
+      for (std::size_t j = 0; j < b; ++j)
+        x[i * b + j] = std::min(x[i * b + j], via + v[k * b + j]);
+    }
+}
+
+struct fw_context;
+
+struct fw_tile_step {
+  int execute(const tile4& t, fw_context& ctx) const;
+  void depends(const tile4& t, fw_context& ctx,
+               cnc::dependency_collector& dc) const;
+};
+
+/// One step collection suffices: the task kind is derived from (I,J,K).
+/// Four tag collections mirror the paper's per-function control structure
+/// and drive the recursive expansion (8 children per non-base A/B/C tag).
+struct fw_context : cnc::context<fw_context> {
+  std::size_t base_sz;
+  std::size_t n_tiles;
+  bool nonblocking = false;
+  bool collect_items = false;  // get-count GC (single-execution tuners only)
+
+  /// Exact number of blocking gets that will consume item (I,J,K):
+  /// the write-write successor, the round-K readers determined by the
+  /// item's kind, and the environment gather for last-round tiles.
+  std::uint32_t get_count_for(const tile3& t) const {
+    if (!collect_items) return 0;  // 0 = keep forever
+    const auto last = static_cast<std::int32_t>(n_tiles) - 1;
+    if (t.k < 0) return 1;  // seed: consumed by (I,J,0) only
+    std::uint32_t gets = t.k < last ? 1u : 0u;  // ww successor
+    const auto readers = static_cast<std::uint32_t>(last);  // T-1
+    switch (classify(t.i, t.j, t.k)) {
+      case task_kind::A:
+        gets += 2 * readers;  // row band B's + column band C's
+        break;
+      case task_kind::B:
+      case task_kind::C:
+        gets += readers;  // D's of this round in the same column/row
+        break;
+      case task_kind::D:
+        break;
+    }
+    if (t.k == last) gets += 1;  // environment gather
+    return gets;
+  }
+
+  cnc::step_collection<fw_context, fw_tile_step, tile4> tile_steps;
+  cnc::tag_collection<tile4> tags{*this, "fw_tags", false};
+  cnc::item_collection<tile3, tile_data> tiles{*this, "fw_tiles"};
+
+  fw_context(std::size_t base, std::size_t tiles_per_side,
+             cnc::schedule_policy policy, unsigned workers)
+      : cnc::context<fw_context>(workers), base_sz(base),
+        n_tiles(tiles_per_side),
+        tile_steps(*this, "fw_step", fw_tile_step{}, policy) {
+    tags.prescribe(tile_steps);
+  }
+
+  bool is_base(const tile4& t) const {
+    return static_cast<std::size_t>(t.b) <= base_sz;
+  }
+};
+
+int fw_tile_step::execute(const tile4& t, fw_context& ctx) const {
+  if (!ctx.is_base(t)) {
+    const std::int32_t h = t.b / 2;
+    const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j, k2 = 2 * t.k;
+    switch (classify(t.i, t.j, t.k)) {
+      case task_kind::A:
+        // Forward sweep then backward sweep (see fw.cpp).
+        ctx.tags.put({i2, j2, k2, h});
+        ctx.tags.put({i2, j2 + 1, k2, h});
+        ctx.tags.put({i2 + 1, j2, k2, h});
+        ctx.tags.put({i2 + 1, j2 + 1, k2, h});
+        ctx.tags.put({i2 + 1, j2 + 1, k2 + 1, h});
+        ctx.tags.put({i2 + 1, j2, k2 + 1, h});
+        ctx.tags.put({i2, j2 + 1, k2 + 1, h});
+        ctx.tags.put({i2, j2, k2 + 1, h});
+        break;
+      case task_kind::B:
+        ctx.tags.put({i2, j2, k2, h});
+        ctx.tags.put({i2, j2 + 1, k2, h});
+        ctx.tags.put({i2 + 1, j2, k2, h});
+        ctx.tags.put({i2 + 1, j2 + 1, k2, h});
+        ctx.tags.put({i2 + 1, j2, k2 + 1, h});
+        ctx.tags.put({i2 + 1, j2 + 1, k2 + 1, h});
+        ctx.tags.put({i2, j2, k2 + 1, h});
+        ctx.tags.put({i2, j2 + 1, k2 + 1, h});
+        break;
+      case task_kind::C:
+        ctx.tags.put({i2, j2, k2, h});
+        ctx.tags.put({i2 + 1, j2, k2, h});
+        ctx.tags.put({i2, j2 + 1, k2, h});
+        ctx.tags.put({i2 + 1, j2 + 1, k2, h});
+        ctx.tags.put({i2, j2 + 1, k2 + 1, h});
+        ctx.tags.put({i2 + 1, j2 + 1, k2 + 1, h});
+        ctx.tags.put({i2, j2, k2 + 1, h});
+        ctx.tags.put({i2 + 1, j2, k2 + 1, h});
+        break;
+      case task_kind::D:
+        for (std::int32_t kk = 0; kk < 2; ++kk)
+          for (std::int32_t ii = 0; ii < 2; ++ii)
+            for (std::int32_t jj = 0; jj < 2; ++jj)
+              ctx.tags.put({i2 + ii, j2 + jj, k2 + kk, h});
+        break;
+    }
+    return 0;
+  }
+
+  // Base task: pure value-passing data-flow.
+  const std::size_t b = ctx.base_sz;
+  const task_kind kind = classify(t.i, t.j, t.k);
+  tile_data prev, u, v;
+  if (ctx.nonblocking) {
+    // Poll every input; requeue this tag when any is missing.
+    bool ready = ctx.tiles.try_get({t.i, t.j, t.k - 1}, prev);
+    if (ready && (kind == task_kind::B || kind == task_kind::C))
+      ready = ctx.tiles.try_get({t.k, t.k, t.k}, u);
+    if (ready && kind == task_kind::D)
+      ready = ctx.tiles.try_get({t.i, t.k, t.k}, u) &&
+              ctx.tiles.try_get({t.k, t.j, t.k}, v);
+    if (!ready) {
+      ctx.tile_steps.respawn(t);
+      return 0;
+    }
+  } else {
+    ctx.tiles.get({t.i, t.j, t.k - 1}, prev);  // K == 0 reads the seed
+    if (kind == task_kind::B || kind == task_kind::C)
+      ctx.tiles.get({t.k, t.k, t.k}, u);
+    if (kind == task_kind::D) {
+      ctx.tiles.get({t.i, t.k, t.k}, u);
+      ctx.tiles.get({t.k, t.j, t.k}, v);
+    }
+  }
+  auto out = std::make_shared<std::vector<double>>(*prev);
+  switch (kind) {
+    case task_kind::A:
+      tile_fw_a(*out, b);
+      break;
+    case task_kind::B:
+      tile_fw_b(*out, *u, b);
+      break;
+    case task_kind::C:
+      tile_fw_c(*out, *u, b);
+      break;
+    case task_kind::D:
+      tile_fw_d(*out, *u, *v, b);
+      break;
+  }
+  const tile3 produced{t.i, t.j, t.k};
+  ctx.tiles.put(produced, tile_data(std::move(out)),
+                ctx.get_count_for(produced));
+  return 0;
+}
+
+void fw_tile_step::depends(const tile4& t, fw_context& ctx,
+                           cnc::dependency_collector& dc) const {
+  if (!ctx.is_base(t)) return;
+  dc.require(ctx.tiles, {t.i, t.j, t.k - 1});
+  switch (classify(t.i, t.j, t.k)) {
+    case task_kind::A:
+      break;
+    case task_kind::B:
+    case task_kind::C:
+      dc.require(ctx.tiles, {t.k, t.k, t.k});
+      break;
+    case task_kind::D:
+      dc.require(ctx.tiles, {t.i, t.k, t.k});
+      dc.require(ctx.tiles, {t.k, t.j, t.k});
+      break;
+  }
+}
+
+}  // namespace
+
+cnc_run_info fw_cnc(matrix<double>& m, std::size_t base, cnc_variant variant,
+                    unsigned workers) {
+  RDP_REQUIRE(m.rows() == m.cols());
+  RDP_REQUIRE_MSG(is_pow2(m.rows()) && is_pow2(base) && base <= m.rows(),
+                  "2-way R-DP requires power-of-two table and base sizes");
+  const std::size_t n = m.rows();
+  const std::size_t t_count = n / base;
+  const cnc::schedule_policy policy =
+      (variant == cnc_variant::native || variant == cnc_variant::nonblocking)
+          ? cnc::schedule_policy::spawn_immediately
+          : cnc::schedule_policy::preschedule;
+  fw_context ctx(base, t_count, policy, workers);
+  ctx.nonblocking = variant == cnc_variant::nonblocking;
+  // Get-count GC requires every consumer to run its gets exactly once:
+  // true for the preschedule tuners, not for abort-and-re-execute (native)
+  // or poll-and-requeue (nonblocking) execution.
+  ctx.collect_items = variant == cnc_variant::tuner ||
+                      variant == cnc_variant::manual;
+
+  // Seed round "-1" tiles from the input matrix.
+  for (std::size_t ti = 0; ti < t_count; ++ti)
+    for (std::size_t tj = 0; tj < t_count; ++tj) {
+      auto buf = std::make_shared<std::vector<double>>(base * base);
+      for (std::size_t r = 0; r < base; ++r)
+        for (std::size_t col = 0; col < base; ++col)
+          (*buf)[r * base + col] = m(ti * base + r, tj * base + col);
+      const tile3 seed{static_cast<std::int32_t>(ti),
+                       static_cast<std::int32_t>(tj), -1};
+      ctx.tiles.put(seed, tile_data(std::move(buf)),
+                    ctx.get_count_for(seed));
+    }
+
+  if (variant == cnc_variant::manual) {
+    const auto b32 = static_cast<std::int32_t>(base);
+    for (std::int32_t k = 0; k < static_cast<std::int32_t>(t_count); ++k)
+      for (std::int32_t i = 0; i < static_cast<std::int32_t>(t_count); ++i)
+        for (std::int32_t j = 0; j < static_cast<std::int32_t>(t_count); ++j)
+          ctx.tags.put({i, j, k, b32});
+  } else {
+    ctx.tags.put({0, 0, 0, static_cast<std::int32_t>(n)});
+  }
+  ctx.wait();
+
+  // Gather the final round into the output matrix.
+  const auto last = static_cast<std::int32_t>(t_count) - 1;
+  for (std::size_t ti = 0; ti < t_count; ++ti)
+    for (std::size_t tj = 0; tj < t_count; ++tj) {
+      tile_data out;
+      ctx.tiles.get({static_cast<std::int32_t>(ti),
+                     static_cast<std::int32_t>(tj), last},
+                    out);
+      for (std::size_t r = 0; r < base; ++r)
+        for (std::size_t col = 0; col < base; ++col)
+          m(ti * base + r, tj * base + col) = (*out)[r * base + col];
+    }
+  return cnc_run_info{ctx.stats(), ctx.tiles.size()};
+}
+
+}  // namespace rdp::dp

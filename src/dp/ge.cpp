@@ -1,0 +1,153 @@
+#include "dp/ge.hpp"
+
+#include <algorithm>
+
+#include "forkjoin/task_group.hpp"
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::dp {
+
+// NOTE on the update guard: the paper's Listing 2 prints the guard as
+// (i > k && j >= k). Taken literally, the j == k iteration zeroes the
+// multiplier C[i][k] *before* the j > k iterations read it, which destroys
+// the elimination. We use the guard of the cache-oblivious GE paradigm the
+// paper builds on (Chowdhury & Ramachandran [12, 35]): i > k && j > k, which
+// preserves the multiplier column. The update itself is
+//     C[i][j] -= (C[i][k] / C[k][k]) * C[k][j]
+// with the quotient hoisted out of the innermost loop ("eliminating
+// branches in the innermost loop", §IV-A) — every variant uses this exact
+// expression so results are bit-identical across execution orders.
+
+void ge_base_kernel(double* c, std::size_t n, std::size_t i0, std::size_t j0,
+                    std::size_t k0, std::size_t b) {
+  RDP_ASSERT(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  const std::size_t k_end = std::min(k0 + b, n - 1);
+  for (std::size_t k = k0; k < k_end; ++k) {
+    const double pivot = c[k * n + k];
+    const double* row_k = c + k * n;
+    const std::size_t i_lo = std::max(i0, k + 1);
+    const std::size_t j_lo = std::max(j0, k + 1);
+    const std::size_t i_hi = i0 + b;
+    const std::size_t j_hi = j0 + b;
+    for (std::size_t i = i_lo; i < i_hi; ++i) {
+      double* row_i = c + i * n;
+      const double factor = row_i[k] / pivot;
+      for (std::size_t j = j_lo; j < j_hi; ++j)
+        row_i[j] -= factor * row_k[j];
+    }
+  }
+}
+
+void ge_loop_serial(matrix<double>& m) {
+  RDP_REQUIRE(m.rows() == m.cols());
+  // Identical to ge_base_kernel over the whole matrix — one code path keeps
+  // the floating-point evaluation order of all variants aligned.
+  ge_base_kernel(m.data(), m.rows(), 0, 0, 0, m.rows());
+}
+
+namespace {
+
+/// Recursive 2-way divide-&-conquer skeleton for GE (Fig. 2 / Listing 3).
+/// Regions are (row-origin xi, col-origin xj, pivot-range origin xk, size s)
+/// on the full n×n table. Invariants: A has xi==xj==xk; B has xi==xk;
+/// C has xj==xk; D none. `Spawner` abstracts serial vs fork-join execution
+/// of each parallel stage.
+struct ge_recursion {
+  double* c;
+  std::size_t n;
+  std::size_t base;
+  forkjoin::worker_pool* pool;  // nullptr => serial
+
+  /// Run a stage of independent calls: serially, or as forked tasks with a
+  /// join — the join is precisely the artificial barrier of §III-B.
+  template <class... Fns>
+  void stage(Fns&&... fns) {
+    if (pool == nullptr) {
+      (fns(), ...);
+    } else {
+      forkjoin::task_group g(*pool);
+      (g.spawn(std::forward<Fns>(fns)), ...);
+      g.wait();
+    }
+  }
+
+  void funcA(std::size_t d, std::size_t s) {
+    if (s <= base) {
+      ge_base_kernel(c, n, d, d, d, s);
+      return;
+    }
+    const std::size_t h = s / 2;
+    funcA(d, h);
+    stage([&] { funcB(d, d + h, d, h); }, [&] { funcC(d + h, d, d, h); });
+    funcD(d + h, d + h, d, h);
+    funcA(d + h, h);
+  }
+
+  void funcB(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
+    RDP_ASSERT(xi == xk);
+    if (s <= base) {
+      ge_base_kernel(c, n, xi, xj, xk, s);
+      return;
+    }
+    const std::size_t h = s / 2;
+    stage([&] { funcB(xi, xj, xk, h); }, [&] { funcB(xi, xj + h, xk, h); });
+    stage([&] { funcD(xi + h, xj, xk, h); },
+          [&] { funcD(xi + h, xj + h, xk, h); });
+    stage([&] { funcB(xi + h, xj, xk + h, h); },
+          [&] { funcB(xi + h, xj + h, xk + h, h); });
+  }
+
+  void funcC(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
+    RDP_ASSERT(xj == xk);
+    if (s <= base) {
+      ge_base_kernel(c, n, xi, xj, xk, s);
+      return;
+    }
+    const std::size_t h = s / 2;
+    stage([&] { funcC(xi, xj, xk, h); }, [&] { funcC(xi + h, xj, xk, h); });
+    stage([&] { funcD(xi, xj + h, xk, h); },
+          [&] { funcD(xi + h, xj + h, xk, h); });
+    stage([&] { funcC(xi, xj + h, xk + h, h); },
+          [&] { funcC(xi + h, xj + h, xk + h, h); });
+  }
+
+  void funcD(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
+    if (s <= base) {
+      ge_base_kernel(c, n, xi, xj, xk, s);
+      return;
+    }
+    const std::size_t h = s / 2;
+    stage([&] { funcD(xi, xj, xk, h); }, [&] { funcD(xi, xj + h, xk, h); },
+          [&] { funcD(xi + h, xj, xk, h); },
+          [&] { funcD(xi + h, xj + h, xk, h); });
+    stage([&] { funcD(xi, xj, xk + h, h); },
+          [&] { funcD(xi, xj + h, xk + h, h); },
+          [&] { funcD(xi + h, xj, xk + h, h); },
+          [&] { funcD(xi + h, xj + h, xk + h, h); });
+  }
+};
+
+void check_rdp_preconditions(const matrix<double>& m, std::size_t base) {
+  RDP_REQUIRE(m.rows() == m.cols());
+  RDP_REQUIRE_MSG(is_pow2(m.rows()) && is_pow2(base),
+                  "2-way R-DP requires power-of-two table and base sizes");
+  RDP_REQUIRE_MSG(base <= m.rows(), "base size exceeds table size");
+}
+
+}  // namespace
+
+void ge_rdp_serial(matrix<double>& m, std::size_t base) {
+  check_rdp_preconditions(m, base);
+  ge_recursion rec{m.data(), m.rows(), base, nullptr};
+  rec.funcA(0, m.rows());
+}
+
+void ge_rdp_forkjoin(matrix<double>& m, std::size_t base,
+                     forkjoin::worker_pool& pool) {
+  check_rdp_preconditions(m, base);
+  ge_recursion rec{m.data(), m.rows(), base, &pool};
+  pool.run([&] { rec.funcA(0, m.rows()); });
+}
+
+}  // namespace rdp::dp

@@ -1,0 +1,44 @@
+// Gaussian Elimination without pivoting (GE) — the paper's running example.
+//
+// Variants:
+//   * ge_loop_serial      — the triply-nested loop of Listing 2 (oracle).
+//   * ge_base_kernel      — base-case kernel over one (i0,j0,k0,b) region
+//                           with the global guards i>k, j>=k (Listing 3's
+//                           base part, branch-hoisted).
+//   * ge_rdp_serial       — 2-way recursive divide-&-conquer, serial.
+//   * ge_rdp_forkjoin     — 2-way R-DP with task_group spawn/wait exactly as
+//                           the OpenMP version of Listing 3 (same joins, so
+//                           the same artificial dependencies).
+//
+// All variants update the matrix in place and produce bit-identical results
+// (the recursion reorders only independent updates).
+#pragma once
+
+#include <cstddef>
+
+#include "forkjoin/worker_pool.hpp"
+#include "support/matrix.hpp"
+
+namespace rdp::dp {
+
+/// Listing 2: for k < N-1, for i > k, for j >= k:
+///   C[i][j] -= C[i][k] * C[k][j] / C[k][k].
+void ge_loop_serial(matrix<double>& c);
+
+/// The base-case kernel: apply the GE update for k in [k0, k0+b),
+/// i in [i0, i0+b), j in [j0, j0+b), subject to the global guards
+/// k < n-1, i > k, j >= k. Works for all of A/B/C/D: the guards prune
+/// exactly the right sub-triangles depending on the region's position.
+void ge_base_kernel(double* c, std::size_t n, std::size_t i0, std::size_t j0,
+                    std::size_t k0, std::size_t b);
+
+/// 2-way recursive divide-&-conquer, serial execution (function A of Fig. 2
+/// with plain calls instead of spawns). `base` is the recursion cutoff.
+void ge_rdp_serial(matrix<double>& c, std::size_t base);
+
+/// 2-way recursive divide-&-conquer on the fork-join runtime: function A of
+/// Listing 3 — B and C spawned in parallel, taskwait, then D, then A.
+void ge_rdp_forkjoin(matrix<double>& c, std::size_t base,
+                     forkjoin::worker_pool& pool);
+
+}  // namespace rdp::dp

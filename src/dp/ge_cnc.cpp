@@ -1,0 +1,343 @@
+#include "dp/ge_cnc.hpp"
+
+#include "cnc/cnc.hpp"
+#include "dp/ge.hpp"
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::dp {
+
+namespace {
+
+struct ge_context;
+
+// Dependencies of a base task (I,J,K) of each kind, exactly as in
+// Listing 5: write-write on its own previous update (I,J,K-1) — always a
+// D output for K > 0 — plus read dependencies on the pivot-block outputs.
+//
+//   A(K,K,K): ww D(K,K,K-1)
+//   B(K,J,K): ww D(K,J,K-1); read A(K,K,K)
+//   C(I,K,K): ww D(I,K,K-1); read A(K,K,K)
+//   D(I,J,K): ww D(I,J,K-1); read A(K,K,K), B(K,J,K), C(I,K,K)
+
+// All four steps share the compute_on hint: when tile pinning is enabled,
+// every update of tile (I,J) lands on one worker (owner-computes).
+int ge_compute_on(const tile4& t, const ge_context& ctx);
+
+struct func_a_step {
+  int execute(const tile4& t, ge_context& ctx) const;
+  void depends(const tile4& t, ge_context& ctx,
+               cnc::dependency_collector& dc) const;
+  int compute_on(const tile4& t, ge_context& ctx) const {
+    return ge_compute_on(t, ctx);
+  }
+};
+struct func_b_step {
+  int execute(const tile4& t, ge_context& ctx) const;
+  void depends(const tile4& t, ge_context& ctx,
+               cnc::dependency_collector& dc) const;
+  int compute_on(const tile4& t, ge_context& ctx) const {
+    return ge_compute_on(t, ctx);
+  }
+};
+struct func_c_step {
+  int execute(const tile4& t, ge_context& ctx) const;
+  void depends(const tile4& t, ge_context& ctx,
+               cnc::dependency_collector& dc) const;
+  int compute_on(const tile4& t, ge_context& ctx) const {
+    return ge_compute_on(t, ctx);
+  }
+};
+struct func_d_step {
+  int execute(const tile4& t, ge_context& ctx) const;
+  void depends(const tile4& t, ge_context& ctx,
+               cnc::dependency_collector& dc) const;
+  int compute_on(const tile4& t, ge_context& ctx) const {
+    return ge_compute_on(t, ctx);
+  }
+};
+
+/// The GE CnC graph (Listing 4): the DP table and problem parameters plus
+/// four step/tag/item collections and their prescription wiring.
+struct ge_context : cnc::context<ge_context> {
+  double* dp_table;
+  std::size_t input_sz;
+  std::size_t base_sz;
+
+  cnc::step_collection<ge_context, func_a_step, tile4> func_a_step_;
+  cnc::step_collection<ge_context, func_b_step, tile4> func_b_step_;
+  cnc::step_collection<ge_context, func_c_step, tile4> func_c_step_;
+  cnc::step_collection<ge_context, func_d_step, tile4> func_d_step_;
+
+  // Recursive expansion puts each tag exactly once -> memoisation off.
+  cnc::tag_collection<tile4> func_a_tags{*this, "funcA_tags", false};
+  cnc::tag_collection<tile4> func_b_tags{*this, "funcB_tags", false};
+  cnc::tag_collection<tile4> func_c_tags{*this, "funcC_tags", false};
+  cnc::tag_collection<tile4> func_d_tags{*this, "funcD_tags", false};
+
+  cnc::item_collection<tile3, bool> func_a_outputs{*this, "funcA_outputs"};
+  cnc::item_collection<tile3, bool> func_b_outputs{*this, "funcB_outputs"};
+  cnc::item_collection<tile3, bool> func_c_outputs{*this, "funcC_outputs"};
+  cnc::item_collection<tile3, bool> func_d_outputs{*this, "funcD_outputs"};
+
+  bool nonblocking = false;  // poll-and-requeue instead of blocking gets
+  bool collect_items = false;  // get-count GC (single-execution tuners only)
+  bool pin_tiles = false;      // compute_on owner-computes placement
+
+  /// Exact consumer count of each output item (get-count GC):
+  ///   A(K,K,K): (T-1-K) B readers + (T-1-K) C readers + (T-1-K)^2 D readers
+  ///   B(K,J,K): (T-1-K) D readers;  C(I,K,K): (T-1-K) D readers
+  ///   D(I,J,K): one write-write successor (always exists: K < min(I,J))
+  /// A count of zero (the final A) means "keep forever".
+  std::uint32_t get_count_for(const tile3& t) const {
+    if (!collect_items) return 0;
+    const auto rest = static_cast<std::uint32_t>(
+        input_sz / base_sz - 1 - static_cast<std::size_t>(t.k));
+    switch (classify(t.i, t.j, t.k)) {
+      case task_kind::A: return 2 * rest + rest * rest;
+      case task_kind::B:
+      case task_kind::C: return rest;
+      case task_kind::D: return 1;
+    }
+    return 0;
+  }
+
+  ge_context(double* table, std::size_t n, std::size_t base,
+             cnc::schedule_policy policy, unsigned workers)
+      : cnc::context<ge_context>(workers), dp_table(table), input_sz(n),
+        base_sz(base),
+        func_a_step_(*this, "funcA", func_a_step{}, policy),
+        func_b_step_(*this, "funcB", func_b_step{}, policy),
+        func_c_step_(*this, "funcC", func_c_step{}, policy),
+        func_d_step_(*this, "funcD", func_d_step{}, policy) {
+    func_a_tags.prescribe(func_a_step_);
+    func_b_tags.prescribe(func_b_step_);
+    func_c_tags.prescribe(func_c_step_);
+    func_d_tags.prescribe(func_d_step_);
+  }
+
+  bool is_base(const tile4& t) const {
+    return static_cast<std::size_t>(t.b) <= base_sz;
+  }
+
+  void run_base_kernel(const tile4& t) const {
+    const auto b = static_cast<std::size_t>(t.b);
+    ge_base_kernel(dp_table, input_sz, t.i * b, t.j * b, t.k * b, b);
+  }
+};
+
+int ge_compute_on(const tile4& t, const ge_context& ctx) {
+  if (!ctx.pin_tiles) return -1;  // no placement constraint
+  // Owner-computes: only base tasks are pinned (expansion steps are cheap
+  // and benefit from running wherever they were prescribed).
+  if (static_cast<std::size_t>(t.b) > ctx.base_sz) return -1;
+  return static_cast<int>(
+      dp::mix64((static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(t.i)) << 32) |
+                static_cast<std::uint32_t>(t.j)) &
+      0x7FFFFFFF);
+}
+
+// ---- function A --------------------------------------------------------
+
+int func_a_step::execute(const tile4& t, ge_context& ctx) const {
+  if (ctx.is_base(t)) {
+    bool v = false;
+    if (ctx.nonblocking) {
+      if (t.k > 0 && !ctx.func_d_outputs.try_get({t.i, t.j, t.k - 1}, v)) {
+        ctx.func_a_step_.respawn(t);
+        return 0;
+      }
+    } else if (t.k > 0) {
+      ctx.func_d_outputs.get({t.i, t.j, t.k - 1}, v);
+    }
+    ctx.run_base_kernel(t);
+    ctx.func_a_outputs.put({t.i, t.j, t.k}, true,
+                           ctx.get_count_for({t.i, t.j, t.k}));
+    return 0;
+  }
+  const std::int32_t h = t.b / 2;
+  const std::int32_t d = 2 * t.i;
+  ctx.func_a_tags.put({d, d, d, h});
+  ctx.func_b_tags.put({d, d + 1, d, h});
+  ctx.func_c_tags.put({d + 1, d, d, h});
+  ctx.func_d_tags.put({d + 1, d + 1, d, h});
+  ctx.func_a_tags.put({d + 1, d + 1, d + 1, h});
+  return 0;
+}
+
+void func_a_step::depends(const tile4& t, ge_context& ctx,
+                          cnc::dependency_collector& dc) const {
+  if (!ctx.is_base(t)) return;
+  if (t.k > 0) dc.require(ctx.func_d_outputs, {t.i, t.j, t.k - 1});
+}
+
+// ---- function B (xi == xk: X shares rows with the pivot range) ---------
+
+int func_b_step::execute(const tile4& t, ge_context& ctx) const {
+  if (ctx.is_base(t)) {
+    bool v = false;
+    if (ctx.nonblocking) {
+      const bool ready =
+          (t.k == 0 || ctx.func_d_outputs.try_get({t.i, t.j, t.k - 1}, v)) &&
+          ctx.func_a_outputs.try_get({t.k, t.k, t.k}, v);
+      if (!ready) {
+        ctx.func_b_step_.respawn(t);
+        return 0;
+      }
+    } else {
+      if (t.k > 0) ctx.func_d_outputs.get({t.i, t.j, t.k - 1}, v);
+      ctx.func_a_outputs.get({t.k, t.k, t.k}, v);
+    }
+    ctx.run_base_kernel(t);
+    ctx.func_b_outputs.put({t.i, t.j, t.k}, true,
+                           ctx.get_count_for({t.i, t.j, t.k}));
+    return 0;
+  }
+  const std::int32_t h = t.b / 2;
+  const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j, k2 = 2 * t.k;
+  ctx.func_b_tags.put({i2, j2, k2, h});
+  ctx.func_b_tags.put({i2, j2 + 1, k2, h});
+  ctx.func_d_tags.put({i2 + 1, j2, k2, h});
+  ctx.func_d_tags.put({i2 + 1, j2 + 1, k2, h});
+  ctx.func_b_tags.put({i2 + 1, j2, k2 + 1, h});
+  ctx.func_b_tags.put({i2 + 1, j2 + 1, k2 + 1, h});
+  return 0;
+}
+
+void func_b_step::depends(const tile4& t, ge_context& ctx,
+                          cnc::dependency_collector& dc) const {
+  if (!ctx.is_base(t)) return;
+  if (t.k > 0) dc.require(ctx.func_d_outputs, {t.i, t.j, t.k - 1});
+  dc.require(ctx.func_a_outputs, {t.k, t.k, t.k});
+}
+
+// ---- function C (xj == xk: X shares columns with the pivot range) ------
+
+int func_c_step::execute(const tile4& t, ge_context& ctx) const {
+  if (ctx.is_base(t)) {
+    bool v = false;
+    if (ctx.nonblocking) {
+      const bool ready =
+          (t.k == 0 || ctx.func_d_outputs.try_get({t.i, t.j, t.k - 1}, v)) &&
+          ctx.func_a_outputs.try_get({t.k, t.k, t.k}, v);
+      if (!ready) {
+        ctx.func_c_step_.respawn(t);
+        return 0;
+      }
+    } else {
+      if (t.k > 0) ctx.func_d_outputs.get({t.i, t.j, t.k - 1}, v);
+      ctx.func_a_outputs.get({t.k, t.k, t.k}, v);
+    }
+    ctx.run_base_kernel(t);
+    ctx.func_c_outputs.put({t.i, t.j, t.k}, true,
+                           ctx.get_count_for({t.i, t.j, t.k}));
+    return 0;
+  }
+  const std::int32_t h = t.b / 2;
+  const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j, k2 = 2 * t.k;
+  ctx.func_c_tags.put({i2, j2, k2, h});
+  ctx.func_c_tags.put({i2 + 1, j2, k2, h});
+  ctx.func_d_tags.put({i2, j2 + 1, k2, h});
+  ctx.func_d_tags.put({i2 + 1, j2 + 1, k2, h});
+  ctx.func_c_tags.put({i2, j2 + 1, k2 + 1, h});
+  ctx.func_c_tags.put({i2 + 1, j2 + 1, k2 + 1, h});
+  return 0;
+}
+
+void func_c_step::depends(const tile4& t, ge_context& ctx,
+                          cnc::dependency_collector& dc) const {
+  if (!ctx.is_base(t)) return;
+  if (t.k > 0) dc.require(ctx.func_d_outputs, {t.i, t.j, t.k - 1});
+  dc.require(ctx.func_a_outputs, {t.k, t.k, t.k});
+}
+
+// ---- function D (Listing 5) --------------------------------------------
+
+int func_d_step::execute(const tile4& t, ge_context& ctx) const {
+  if (ctx.is_base(t)) {
+    bool v = false;
+    if (ctx.nonblocking) {
+      const bool ready =
+          (t.k == 0 || ctx.func_d_outputs.try_get({t.i, t.j, t.k - 1}, v)) &&
+          ctx.func_a_outputs.try_get({t.k, t.k, t.k}, v) &&
+          ctx.func_b_outputs.try_get({t.k, t.j, t.k}, v) &&
+          ctx.func_c_outputs.try_get({t.i, t.k, t.k}, v);
+      if (!ready) {
+        ctx.func_d_step_.respawn(t);
+        return 0;
+      }
+    } else {
+      // Write-write dependency on the previous update of this tile.
+      if (t.k > 0) ctx.func_d_outputs.get({t.i, t.j, t.k - 1}, v);
+      // Read-write dependencies on the pivot row/column/block outputs.
+      ctx.func_a_outputs.get({t.k, t.k, t.k}, v);
+      ctx.func_b_outputs.get({t.k, t.j, t.k}, v);
+      ctx.func_c_outputs.get({t.i, t.k, t.k}, v);
+    }
+    ctx.run_base_kernel(t);
+    ctx.func_d_outputs.put({t.i, t.j, t.k}, true,
+                           ctx.get_count_for({t.i, t.j, t.k}));
+    return 0;
+  }
+  const std::int32_t h = t.b / 2;
+  for (std::int32_t kk = 0; kk < 2; ++kk)
+    for (std::int32_t ii = 0; ii < 2; ++ii)
+      for (std::int32_t jj = 0; jj < 2; ++jj)
+        ctx.func_d_tags.put(
+            {2 * t.i + ii, 2 * t.j + jj, 2 * t.k + kk, h});
+  return 0;
+}
+
+void func_d_step::depends(const tile4& t, ge_context& ctx,
+                          cnc::dependency_collector& dc) const {
+  if (!ctx.is_base(t)) return;
+  if (t.k > 0) dc.require(ctx.func_d_outputs, {t.i, t.j, t.k - 1});
+  dc.require(ctx.func_a_outputs, {t.k, t.k, t.k});
+  dc.require(ctx.func_b_outputs, {t.k, t.j, t.k});
+  dc.require(ctx.func_c_outputs, {t.i, t.k, t.k});
+}
+
+}  // namespace
+
+cnc_run_info ge_cnc(matrix<double>& m, std::size_t base, cnc_variant variant,
+                    unsigned workers, bool pin_tiles) {
+  RDP_REQUIRE(m.rows() == m.cols());
+  RDP_REQUIRE_MSG(is_pow2(m.rows()) && is_pow2(base) && base <= m.rows(),
+                  "2-way R-DP requires power-of-two table and base sizes");
+  const cnc::schedule_policy policy =
+      (variant == cnc_variant::native || variant == cnc_variant::nonblocking)
+          ? cnc::schedule_policy::spawn_immediately
+          : cnc::schedule_policy::preschedule;
+  ge_context ctx(m.data(), m.rows(), base, policy, workers);
+  ctx.nonblocking = variant == cnc_variant::nonblocking;
+  ctx.collect_items = variant == cnc_variant::tuner ||
+                      variant == cnc_variant::manual;
+  ctx.pin_tiles = pin_tiles;
+  const auto n_tiles = static_cast<std::int32_t>(m.rows() / base);
+
+  if (variant == cnc_variant::manual) {
+    // Manual pre-scheduling (§III-D): enumerate every base task up front;
+    // the tuner dispatches each one when its inputs exist.
+    const auto b = static_cast<std::int32_t>(base);
+    for (std::int32_t k = 0; k < n_tiles; ++k) {
+      ctx.func_a_tags.put({k, k, k, b});
+      for (std::int32_t j = k + 1; j < n_tiles; ++j)
+        ctx.func_b_tags.put({k, j, k, b});
+      for (std::int32_t i = k + 1; i < n_tiles; ++i)
+        ctx.func_c_tags.put({i, k, k, b});
+      for (std::int32_t i = k + 1; i < n_tiles; ++i)
+        for (std::int32_t j = k + 1; j < n_tiles; ++j)
+          ctx.func_d_tags.put({i, j, k, b});
+    }
+  } else {
+    ctx.func_a_tags.put({0, 0, 0, static_cast<std::int32_t>(m.rows())});
+  }
+  ctx.wait();
+  return cnc_run_info{ctx.stats(),
+                      ctx.func_a_outputs.size() + ctx.func_b_outputs.size() +
+                          ctx.func_c_outputs.size() +
+                          ctx.func_d_outputs.size()};
+}
+
+}  // namespace rdp::dp

@@ -1,0 +1,47 @@
+// Parametric r-way recursive divide-&-conquer GE and FW (§I-A of the
+// paper: "such important limitations led to the introduction ... of
+// parametric r-way recursive divide-&-conquer DP algorithms").
+//
+// The classic 2-way recursion is the r = 2 special case. Larger r yields a
+// shallower recursion with wider parallel stages and fewer joins per level
+// — the knob the paper's cited works [15-19] use for performance
+// portability. Requires the problem size to be base · r^L for an integer
+// recursion depth L.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "dp/sw.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "support/matrix.hpp"
+
+namespace rdp::dp {
+
+/// r-way recursive GE, serial. r >= 2. Results are bit-identical to
+/// ge_loop_serial (the per-cell update order over k is unchanged).
+void ge_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r);
+
+/// r-way recursive GE on the fork-join runtime (one taskwait per stage).
+void ge_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
+                          forkjoin::worker_pool& pool);
+
+/// r-way recursive FW-APSP, serial / fork-join.
+void fw_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r);
+void fw_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
+                          forkjoin::worker_pool& pool);
+
+/// r-way recursive Smith-Waterman: each level executes its r×r quadrants
+/// in 2r-1 anti-diagonal stages, so growing r recovers exactly the
+/// wavefront parallelism the 2-way joins destroy (at r = n/base the
+/// schedule degenerates to the tiled wavefront itself).
+void sw_rdp_rway_serial(matrix<std::int32_t>& s, std::string_view a,
+                        std::string_view b, const sw_params& p,
+                        std::size_t base, std::size_t r);
+void sw_rdp_rway_forkjoin(matrix<std::int32_t>& s, std::string_view a,
+                          std::string_view b, const sw_params& p,
+                          std::size_t base, std::size_t r,
+                          forkjoin::worker_pool& pool);
+
+}  // namespace rdp::dp

@@ -1,0 +1,134 @@
+#include "dp/sw.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "forkjoin/task_group.hpp"
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::dp {
+
+void sw_base_kernel(std::int32_t* s, std::size_t ld, std::string_view a,
+                    std::string_view b, const sw_params& p, std::size_t i0,
+                    std::size_t j0, std::size_t bsz) {
+  RDP_ASSERT(i0 + bsz <= a.size() && j0 + bsz <= b.size());
+  for (std::size_t i = i0 + 1; i <= i0 + bsz; ++i) {
+    const char ai = a[i - 1];
+    const std::int32_t* above = s + (i - 1) * ld;
+    std::int32_t* row = s + i * ld;
+    for (std::size_t j = j0 + 1; j <= j0 + bsz; ++j) {
+      const std::int32_t diag = above[j - 1] + p.sigma(ai, b[j - 1]);
+      const std::int32_t up = above[j] - p.gap;
+      const std::int32_t left = row[j - 1] - p.gap;
+      row[j] = std::max({0, diag, up, left});
+    }
+  }
+}
+
+void sw_loop_serial(matrix<std::int32_t>& s, std::string_view a,
+                    std::string_view b, const sw_params& p) {
+  RDP_REQUIRE(s.rows() == a.size() + 1 && s.cols() == b.size() + 1);
+  // Row-by-row fill; unlike the square tile kernel this handles
+  // rectangular tables (unequal-length sequences).
+  const std::size_t ld = s.cols();
+  std::int32_t* tbl = s.data();
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    const char ai = a[i - 1];
+    const std::int32_t* above = tbl + (i - 1) * ld;
+    std::int32_t* row = tbl + i * ld;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::int32_t diag = above[j - 1] + p.sigma(ai, b[j - 1]);
+      const std::int32_t up = above[j] - p.gap;
+      const std::int32_t left = row[j - 1] - p.gap;
+      row[j] = std::max({0, diag, up, left});
+    }
+  }
+}
+
+namespace {
+
+struct sw_recursion {
+  std::int32_t* s;
+  std::size_t ld;
+  std::string_view a;
+  std::string_view b;
+  const sw_params& p;
+  std::size_t base;
+  forkjoin::worker_pool* pool;  // nullptr => serial
+
+  void fill(std::size_t i0, std::size_t j0, std::size_t sz) {
+    if (sz <= base) {
+      sw_base_kernel(s, ld, a, b, p, i0, j0, sz);
+      return;
+    }
+    const std::size_t h = sz / 2;
+    fill(i0, j0, h);  // X00
+    if (pool == nullptr) {
+      fill(i0, j0 + h, h);  // X01
+      fill(i0 + h, j0, h);  // X10
+    } else {
+      // The joins here are the artificial dependencies: X11 of one quadrant
+      // cannot overlap with X00 of a sibling on the same anti-diagonal.
+      forkjoin::task_group g(*pool);
+      g.spawn([&] { fill(i0, j0 + h, h); });
+      g.spawn([&] { fill(i0 + h, j0, h); });
+      g.wait();
+    }
+    fill(i0 + h, j0 + h, h);  // X11
+  }
+};
+
+void check_sw_preconditions(const matrix<std::int32_t>& s, std::string_view a,
+                            std::string_view b, std::size_t base) {
+  RDP_REQUIRE(s.rows() == a.size() + 1 && s.cols() == b.size() + 1);
+  RDP_REQUIRE_MSG(a.size() == b.size(),
+                  "R-DP SW requires equal-length sequences");
+  RDP_REQUIRE_MSG(is_pow2(a.size()) && is_pow2(base) && base <= a.size(),
+                  "2-way R-DP requires power-of-two sizes");
+}
+
+}  // namespace
+
+void sw_rdp_serial(matrix<std::int32_t>& s, std::string_view a,
+                   std::string_view b, const sw_params& p, std::size_t base) {
+  check_sw_preconditions(s, a, b, base);
+  sw_recursion rec{s.data(), s.cols(), a, b, p, base, nullptr};
+  rec.fill(0, 0, a.size());
+}
+
+void sw_rdp_forkjoin(matrix<std::int32_t>& s, std::string_view a,
+                     std::string_view b, const sw_params& p, std::size_t base,
+                     forkjoin::worker_pool& pool) {
+  check_sw_preconditions(s, a, b, base);
+  sw_recursion rec{s.data(), s.cols(), a, b, p, base, &pool};
+  pool.run([&] { rec.fill(0, 0, a.size()); });
+}
+
+std::int32_t sw_linear_space_score(std::string_view a, std::string_view b,
+                                   const sw_params& p) {
+  std::vector<std::int32_t> prev(b.size() + 1, 0), cur(b.size() + 1, 0);
+  std::int32_t best = 0;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = 0;
+    const char ai = a[i - 1];
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::int32_t diag = prev[j - 1] + p.sigma(ai, b[j - 1]);
+      const std::int32_t up = prev[j] - p.gap;
+      const std::int32_t left = cur[j - 1] - p.gap;
+      cur[j] = std::max({0, diag, up, left});
+      best = std::max(best, cur[j]);
+    }
+    std::swap(prev, cur);
+  }
+  return best;
+}
+
+std::int32_t sw_best_score(const matrix<std::int32_t>& s) {
+  std::int32_t best = 0;
+  for (std::size_t i = 0; i < s.size(); ++i)
+    best = std::max(best, s.data()[i]);
+  return best;
+}
+
+}  // namespace rdp::dp

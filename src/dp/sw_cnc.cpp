@@ -1,0 +1,135 @@
+#include "dp/sw_cnc.hpp"
+
+#include "cnc/cnc.hpp"
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::dp {
+
+namespace {
+
+struct sw_context;
+
+struct sw_tile_step {
+  int execute(const tile4& t, sw_context& ctx) const;
+  void depends(const tile4& t, sw_context& ctx,
+               cnc::dependency_collector& dc) const;
+};
+
+struct sw_context : cnc::context<sw_context> {
+  std::int32_t* table;
+  std::size_t ld;
+  std::string_view a;
+  std::string_view b;
+  sw_params params;
+  std::size_t base_sz;
+
+  bool nonblocking = false;
+  bool collect_items = false;  // get-count GC (single-execution tuners only)
+  std::int32_t n_tiles = 0;
+
+  /// Consumers of tile (I,J): its east, south and south-east neighbours
+  /// (those inside the tiling). Zero (the bottom-right tile) keeps it.
+  std::uint32_t get_count_for(std::int32_t i, std::int32_t j) const {
+    if (!collect_items) return 0;
+    std::uint32_t gets = 0;
+    if (i + 1 < n_tiles) ++gets;
+    if (j + 1 < n_tiles) ++gets;
+    if (i + 1 < n_tiles && j + 1 < n_tiles) ++gets;
+    return gets;
+  }
+
+  cnc::step_collection<sw_context, sw_tile_step, tile4> tile_steps;
+  cnc::tag_collection<tile4> tags{*this, "sw_tags", false};
+  // Boolean item per finished tile (k component unused, kept 0).
+  cnc::item_collection<tile3, bool> done{*this, "sw_done"};
+
+  sw_context(std::int32_t* tbl, std::size_t ld_, std::string_view a_,
+             std::string_view b_, const sw_params& p, std::size_t base,
+             cnc::schedule_policy policy, unsigned workers)
+      : cnc::context<sw_context>(workers), table(tbl), ld(ld_), a(a_), b(b_),
+        params(p), base_sz(base),
+        tile_steps(*this, "sw_step", sw_tile_step{}, policy) {
+    tags.prescribe(tile_steps);
+  }
+
+  bool is_base(const tile4& t) const {
+    return static_cast<std::size_t>(t.b) <= base_sz;
+  }
+};
+
+int sw_tile_step::execute(const tile4& t, sw_context& ctx) const {
+  if (!ctx.is_base(t)) {
+    // R(X) -> quadrant tags; ordering is enforced by the item gets below,
+    // not by control flow — that is the whole point of the data-flow model.
+    const std::int32_t h = t.b / 2;
+    const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j;
+    ctx.tags.put({i2, j2, 0, h});
+    ctx.tags.put({i2, j2 + 1, 0, h});
+    ctx.tags.put({i2 + 1, j2, 0, h});
+    ctx.tags.put({i2 + 1, j2 + 1, 0, h});
+    return 0;
+  }
+  bool v = false;
+  if (ctx.nonblocking) {
+    const bool ready =
+        (t.i == 0 || t.j == 0 || ctx.done.try_get({t.i - 1, t.j - 1, 0}, v)) &&
+        (t.i == 0 || ctx.done.try_get({t.i - 1, t.j, 0}, v)) &&
+        (t.j == 0 || ctx.done.try_get({t.i, t.j - 1, 0}, v));
+    if (!ready) {
+      ctx.tile_steps.respawn(t);
+      return 0;
+    }
+  } else {
+    if (t.i > 0 && t.j > 0) ctx.done.get({t.i - 1, t.j - 1, 0}, v);
+    if (t.i > 0) ctx.done.get({t.i - 1, t.j, 0}, v);
+    if (t.j > 0) ctx.done.get({t.i, t.j - 1, 0}, v);
+  }
+  const std::size_t bsz = ctx.base_sz;
+  sw_base_kernel(ctx.table, ctx.ld, ctx.a, ctx.b, ctx.params, t.i * bsz,
+                 t.j * bsz, bsz);
+  ctx.done.put({t.i, t.j, 0}, true, ctx.get_count_for(t.i, t.j));
+  return 0;
+}
+
+void sw_tile_step::depends(const tile4& t, sw_context& ctx,
+                           cnc::dependency_collector& dc) const {
+  if (!ctx.is_base(t)) return;
+  if (t.i > 0 && t.j > 0) dc.require(ctx.done, {t.i - 1, t.j - 1, 0});
+  if (t.i > 0) dc.require(ctx.done, {t.i - 1, t.j, 0});
+  if (t.j > 0) dc.require(ctx.done, {t.i, t.j - 1, 0});
+}
+
+}  // namespace
+
+cnc_run_info sw_cnc(matrix<std::int32_t>& s, std::string_view a,
+                    std::string_view b, const sw_params& p, std::size_t base,
+                    cnc_variant variant, unsigned workers) {
+  RDP_REQUIRE(s.rows() == a.size() + 1 && s.cols() == b.size() + 1);
+  RDP_REQUIRE_MSG(a.size() == b.size(),
+                  "R-DP SW requires equal-length sequences");
+  RDP_REQUIRE_MSG(is_pow2(a.size()) && is_pow2(base) && base <= a.size(),
+                  "2-way R-DP requires power-of-two sizes");
+  const cnc::schedule_policy policy =
+      (variant == cnc_variant::native || variant == cnc_variant::nonblocking)
+          ? cnc::schedule_policy::spawn_immediately
+          : cnc::schedule_policy::preschedule;
+  sw_context ctx(s.data(), s.cols(), a, b, p, base, policy, workers);
+  ctx.nonblocking = variant == cnc_variant::nonblocking;
+  ctx.collect_items = variant == cnc_variant::tuner ||
+                      variant == cnc_variant::manual;
+  const auto t_count = static_cast<std::int32_t>(a.size() / base);
+  ctx.n_tiles = t_count;
+
+  if (variant == cnc_variant::manual) {
+    const auto b32 = static_cast<std::int32_t>(base);
+    for (std::int32_t i = 0; i < t_count; ++i)
+      for (std::int32_t j = 0; j < t_count; ++j) ctx.tags.put({i, j, 0, b32});
+  } else {
+    ctx.tags.put({0, 0, 0, static_cast<std::int32_t>(a.size())});
+  }
+  ctx.wait();
+  return cnc_run_info{ctx.stats(), ctx.done.size()};
+}
+
+}  // namespace rdp::dp

@@ -1,0 +1,33 @@
+// Data-flow (CnC) implementation of Smith-Waterman local alignment.
+//
+// The true dependency structure is the wavefront: tile (I,J) of the scoring
+// table needs only its west (I,J-1), north (I-1,J) and north-west (I-1,J-1)
+// neighbours. Each tile is written exactly once, so (unlike FW) a shared
+// table with boolean signalling items is race-free — the same scheme the
+// paper's Listing 4/5 uses for GE.
+//
+// Non-base tags recursively split into their four quadrant tags (the
+// control analogue of R(X): R00, R01, R10, R11); base tags block on their
+// up-to-three neighbour items, run the tile kernel and publish their item.
+// The data-flow version therefore executes tiles along anti-diagonals with
+// no barrier between wavefronts — the parallelism the fork-join joins
+// destroy (§IV-B).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "dp/common.hpp"
+#include "dp/ge_cnc.hpp"  // cnc_variant, cnc_run_info
+#include "dp/sw.hpp"
+#include "support/matrix.hpp"
+
+namespace rdp::dp {
+
+/// Fill the SW table `s` on the data-flow runtime. Same preconditions as
+/// sw_rdp_serial (power-of-two equal-length sequences, zeroed table).
+cnc_run_info sw_cnc(matrix<std::int32_t>& s, std::string_view a,
+                    std::string_view b, const sw_params& p, std::size_t base,
+                    cnc_variant variant, unsigned workers);
+
+}  // namespace rdp::dp

@@ -1,0 +1,40 @@
+// Classic tiled/blocked loop algorithms — the pre-R-DP state of the art
+// the paper's introduction contrasts with (refs [7-10]: blocked FW,
+// loop-tiling transformations).
+//
+// These are iterative round/wavefront schedules with barrier-level
+// synchronisation between phases: GE/FW run T pivot rounds of
+// {A; B∥C; D-sweep}; SW runs 2T-1 anti-diagonal waves. They sit between
+// the paper's two models: no recursion-induced artificial dependencies
+// (unlike 2-way fork-join R-DP) but coarse round barriers instead of
+// point-to-point dependencies (unlike data-flow). They are also exactly
+// the r = T degenerate case of the parametric r-way recursion — the DES
+// ablation (bench/ablation_rway) shows their span equals the data-flow
+// span for GE.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "dp/sw.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "support/matrix.hpp"
+
+namespace rdp::dp {
+
+/// Blocked GE: for each pivot block K: A(K,K); {B(K,J) ∥ C(I,K)} for all
+/// J,I > K; then all D(I,J) with I,J > K in parallel. Bit-identical to
+/// ge_loop_serial. base must divide n.
+void ge_tiled_forkjoin(matrix<double>& c, std::size_t base,
+                       forkjoin::worker_pool& pool);
+
+/// Blocked FW (Venkataraman et al.): same round structure over all tiles.
+void fw_tiled_forkjoin(matrix<double>& c, std::size_t base,
+                       forkjoin::worker_pool& pool);
+
+/// Tiled wavefront SW: one barrier per anti-diagonal of tiles.
+void sw_tiled_forkjoin(matrix<std::int32_t>& s, std::string_view a,
+                       std::string_view b, const sw_params& p,
+                       std::size_t base, forkjoin::worker_pool& pool);
+
+}  // namespace rdp::dp

@@ -1,0 +1,254 @@
+// Generic wavefront dynamic programming over all execution models.
+//
+// Many classic DPs (Smith-Waterman, LCS, edit distance, Needleman-Wunsch)
+// share one dependency structure: cell (i,j) needs its north-west, north
+// and west neighbours. This header turns that family into a reusable
+// component: supply a *cell functor*
+//
+//     T operator()(T nw, T north, T west, std::size_t i, std::size_t j);
+//
+// (i, j are 1-based table coordinates) and get every execution model the
+// paper studies for free:
+//
+//     wavefront_problem<std::int32_t, my_cell> p(n, m, cell);
+//     p.run_loop();                        // serial oracle
+//     p.run_rdp_serial(base);              // 2-way R-DP
+//     p.run_rdp_forkjoin(base, pool);      // fork-join (joins and all)
+//     p.run_cnc(base, variant, workers);   // data-flow tile wavefront
+//
+// Boundary row/column values are configurable (zero for local alignment,
+// i / j for edit distance, gap·i for global alignment).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cnc/cnc.hpp"
+#include "dp/common.hpp"
+#include "dp/ge_cnc.hpp"  // cnc_variant, cnc_run_info
+#include "forkjoin/task_group.hpp"
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+#include "support/matrix.hpp"
+
+namespace rdp::dp {
+
+template <class T, class Cell>
+class wavefront_problem {
+public:
+  using boundary_fn = std::function<T(std::size_t)>;
+
+  /// rows×cols interior cells; table is (rows+1)×(cols+1). The boundary
+  /// functions give row 0 / column 0 values (default: T{} everywhere).
+  wavefront_problem(std::size_t rows, std::size_t cols, Cell cell,
+                    boundary_fn top = nullptr, boundary_fn left = nullptr)
+      : rows_(rows), cols_(cols), cell_(std::move(cell)),
+        table_(rows + 1, cols + 1, T{}) {
+    for (std::size_t j = 0; j <= cols_; ++j)
+      table_(0, j) = top ? top(j) : T{};
+    for (std::size_t i = 0; i <= rows_; ++i)
+      table_(i, 0) = left ? left(i) : T{};
+  }
+
+  const matrix<T>& table() const { return table_; }
+  matrix<T>& table() { return table_; }
+
+  /// Reset the interior (keeps the boundary) so the problem can be re-run.
+  void reset() {
+    for (std::size_t i = 1; i <= rows_; ++i)
+      for (std::size_t j = 1; j <= cols_; ++j) table_(i, j) = T{};
+  }
+
+  /// Fill one tile: rows [i0+1, i0+1+bi), cols [j0+1, j0+1+bj).
+  void fill_tile(std::size_t i0, std::size_t j0, std::size_t bi,
+                 std::size_t bj) {
+    RDP_ASSERT(i0 + bi <= rows_ && j0 + bj <= cols_);
+    for (std::size_t i = i0 + 1; i <= i0 + bi; ++i)
+      for (std::size_t j = j0 + 1; j <= j0 + bj; ++j)
+        table_(i, j) = cell_(table_(i - 1, j - 1), table_(i - 1, j),
+                             table_(i, j - 1), i, j);
+  }
+
+  /// Row-by-row serial fill (the oracle). Works for rectangular problems.
+  void run_loop() { fill_tile(0, 0, rows_, cols_); }
+
+  /// 2-way R-DP: R(X00); {R(X01) ∥ R(X10)}; R(X11). Square power-of-two
+  /// problems only (like the paper's benchmarks).
+  void run_rdp_serial(std::size_t base) {
+    check_square_pow2(base);
+    rdp_fill(0, 0, rows_, base, nullptr);
+  }
+  void run_rdp_forkjoin(std::size_t base, forkjoin::worker_pool& pool) {
+    check_square_pow2(base);
+    pool.run([&] { rdp_fill(0, 0, rows_, base, &pool); });
+  }
+
+  /// Data-flow tile wavefront on the CnC runtime (all four variants).
+  cnc_run_info run_cnc(std::size_t base, cnc_variant variant,
+                       unsigned workers) {
+    check_square_pow2(base);
+    wf_context ctx(*this, base, variant, workers);
+    const auto t = static_cast<std::int32_t>(rows_ / base);
+    if (variant == cnc_variant::manual) {
+      const auto b32 = static_cast<std::int32_t>(base);
+      for (std::int32_t i = 0; i < t; ++i)
+        for (std::int32_t j = 0; j < t; ++j) ctx.tags.put({i, j, 0, b32});
+    } else {
+      ctx.tags.put({0, 0, 0, static_cast<std::int32_t>(rows_)});
+    }
+    ctx.wait();
+    return cnc_run_info{ctx.stats(), ctx.done.size()};
+  }
+
+private:
+  // ---- fork-join recursion -------------------------------------------
+  void rdp_fill(std::size_t i0, std::size_t j0, std::size_t sz,
+                std::size_t base, forkjoin::worker_pool* pool) {
+    if (sz <= base) {
+      fill_tile(i0, j0, sz, sz);
+      return;
+    }
+    const std::size_t h = sz / 2;
+    rdp_fill(i0, j0, h, base, pool);
+    if (pool == nullptr) {
+      rdp_fill(i0, j0 + h, h, base, pool);
+      rdp_fill(i0 + h, j0, h, base, pool);
+    } else {
+      forkjoin::task_group g(*pool);
+      g.spawn([=, this] { rdp_fill(i0, j0 + h, h, base, pool); });
+      g.spawn([=, this] { rdp_fill(i0 + h, j0, h, base, pool); });
+      g.wait();
+    }
+    rdp_fill(i0 + h, j0 + h, h, base, pool);
+  }
+
+  // ---- data-flow context ----------------------------------------------
+  struct wf_step;
+  struct wf_context : cnc::context<wf_context> {
+    wavefront_problem& problem;
+    std::size_t base;
+    std::int32_t n_tiles;
+    bool nonblocking;
+    bool collect;
+
+    cnc::step_collection<wf_context, wf_step, tile4> steps;
+    cnc::tag_collection<tile4> tags{*this, "wf_tags", false};
+    cnc::item_collection<tile3, bool> done{*this, "wf_done"};
+
+    wf_context(wavefront_problem& p, std::size_t base_, cnc_variant variant,
+               unsigned workers)
+        : cnc::context<wf_context>(workers), problem(p), base(base_),
+          n_tiles(static_cast<std::int32_t>(p.rows_ / base_)),
+          nonblocking(variant == cnc_variant::nonblocking),
+          collect(variant == cnc_variant::tuner ||
+                  variant == cnc_variant::manual),
+          steps(*this, "wf_step", wf_step{},
+                (variant == cnc_variant::native ||
+                 variant == cnc_variant::nonblocking)
+                    ? cnc::schedule_policy::spawn_immediately
+                    : cnc::schedule_policy::preschedule) {
+      tags.prescribe(steps);
+    }
+
+    std::uint32_t get_count_for(std::int32_t i, std::int32_t j) const {
+      if (!collect) return 0;
+      std::uint32_t gets = 0;
+      if (i + 1 < n_tiles) ++gets;
+      if (j + 1 < n_tiles) ++gets;
+      if (i + 1 < n_tiles && j + 1 < n_tiles) ++gets;
+      return gets;
+    }
+  };
+
+  struct wf_step {
+    int execute(const tile4& t, wf_context& ctx) const {
+      if (static_cast<std::size_t>(t.b) > ctx.base) {
+        const std::int32_t h = t.b / 2;
+        const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j;
+        ctx.tags.put({i2, j2, 0, h});
+        ctx.tags.put({i2, j2 + 1, 0, h});
+        ctx.tags.put({i2 + 1, j2, 0, h});
+        ctx.tags.put({i2 + 1, j2 + 1, 0, h});
+        return 0;
+      }
+      bool v = false;
+      if (ctx.nonblocking) {
+        const bool ready =
+            (t.i == 0 || t.j == 0 ||
+             ctx.done.try_get({t.i - 1, t.j - 1, 0}, v)) &&
+            (t.i == 0 || ctx.done.try_get({t.i - 1, t.j, 0}, v)) &&
+            (t.j == 0 || ctx.done.try_get({t.i, t.j - 1, 0}, v));
+        if (!ready) {
+          ctx.steps.respawn(t);
+          return 0;
+        }
+      } else {
+        if (t.i > 0 && t.j > 0) ctx.done.get({t.i - 1, t.j - 1, 0}, v);
+        if (t.i > 0) ctx.done.get({t.i - 1, t.j, 0}, v);
+        if (t.j > 0) ctx.done.get({t.i, t.j - 1, 0}, v);
+      }
+      ctx.problem.fill_tile(t.i * ctx.base, t.j * ctx.base, ctx.base,
+                            ctx.base);
+      ctx.done.put({t.i, t.j, 0}, true, ctx.get_count_for(t.i, t.j));
+      return 0;
+    }
+
+    void depends(const tile4& t, wf_context& ctx,
+                 cnc::dependency_collector& dc) const {
+      if (static_cast<std::size_t>(t.b) > ctx.base) return;
+      if (t.i > 0 && t.j > 0) dc.require(ctx.done, {t.i - 1, t.j - 1, 0});
+      if (t.i > 0) dc.require(ctx.done, {t.i - 1, t.j, 0});
+      if (t.j > 0) dc.require(ctx.done, {t.i, t.j - 1, 0});
+    }
+  };
+
+  void check_square_pow2(std::size_t base) const {
+    RDP_REQUIRE_MSG(rows_ == cols_,
+                    "tiled execution needs a square problem");
+    RDP_REQUIRE_MSG(is_pow2(rows_) && is_pow2(base) && base <= rows_,
+                    "2-way R-DP requires power-of-two sizes");
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  Cell cell_;
+  matrix<T> table_;
+};
+
+// ---- ready-made cell functors ---------------------------------------------
+
+/// Longest common subsequence length.
+struct lcs_cell {
+  std::string_view a, b;
+  std::int32_t operator()(std::int32_t nw, std::int32_t north,
+                          std::int32_t west, std::size_t i,
+                          std::size_t j) const {
+    return a[i - 1] == b[j - 1] ? nw + 1 : std::max(north, west);
+  }
+};
+
+/// Levenshtein edit distance (boundary must be initialised to i and j).
+struct edit_distance_cell {
+  std::string_view a, b;
+  std::int32_t operator()(std::int32_t nw, std::int32_t north,
+                          std::int32_t west, std::size_t i,
+                          std::size_t j) const {
+    const std::int32_t subst = nw + (a[i - 1] == b[j - 1] ? 0 : 1);
+    return std::min({subst, north + 1, west + 1});
+  }
+};
+
+/// Needleman-Wunsch global alignment (linear gap; boundary -gap·i / -gap·j).
+struct nw_cell {
+  std::string_view a, b;
+  std::int32_t match = 2, mismatch = -1, gap = 1;
+  std::int32_t operator()(std::int32_t nw, std::int32_t north,
+                          std::int32_t west, std::size_t i,
+                          std::size_t j) const {
+    const std::int32_t diag =
+        nw + (a[i - 1] == b[j - 1] ? match : mismatch);
+    return std::max({diag, north - gap, west - gap});
+  }
+};
+
+}  // namespace rdp::dp

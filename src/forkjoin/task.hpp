@@ -1,0 +1,57 @@
+// Type-erased heap task node used by the fork-join scheduler.
+//
+// A task is allocated on spawn, executed exactly once by some worker, and
+// destroyed immediately after execution. The node carries an optional
+// completion hook back to its task_group (pending counter + exception slot).
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+namespace rdp::forkjoin {
+
+class task_group;
+
+struct task_node {
+  // Runs the payload, reports completion, and destroys the node.
+  void (*execute_and_destroy)(task_node*) noexcept;
+  task_group* group;  // may be null for detached tasks
+};
+
+namespace detail {
+
+void report_completion(task_group* g, std::exception_ptr error) noexcept;
+
+template <class F>
+struct task_impl final : task_node {
+  F fn;
+
+  explicit task_impl(F&& f, task_group* g) : fn(std::move(f)) {
+    execute_and_destroy = &run;
+    group = g;
+  }
+
+  static void run(task_node* base) noexcept {
+    auto* self = static_cast<task_impl*>(base);
+    std::exception_ptr error;
+    try {
+      self->fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    task_group* g = self->group;
+    delete self;
+    if (g != nullptr) report_completion(g, std::move(error));
+  }
+};
+
+}  // namespace detail
+
+template <class F>
+task_node* make_task(F&& f, task_group* g) {
+  using Fn = std::decay_t<F>;
+  return new detail::task_impl<Fn>(Fn(std::forward<F>(f)), g);
+}
+
+}  // namespace rdp::forkjoin

@@ -1,0 +1,11 @@
+#include "forkjoin/task_group.hpp"
+
+namespace rdp::forkjoin::detail {
+
+// Out-of-line so every translation unit that instantiates task_impl<F>
+// (declared in task.hpp) links against a single definition.
+void report_completion(task_group* g, std::exception_ptr error) noexcept {
+  g->complete(std::move(error));
+}
+
+}  // namespace rdp::forkjoin::detail

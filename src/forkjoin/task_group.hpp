@@ -1,0 +1,121 @@
+// Fork-join task group: spawn() forks children, wait() is the join.
+//
+// This is the library's analogue of `#pragma omp task` + `#pragma omp
+// taskwait` (and of Cilk spawn/sync). wait() *helps*: while children are
+// pending, the waiting thread executes other ready tasks from the pool, so
+// nested joins never deadlock and never idle a core that has work available.
+//
+// The join semantics are exactly the structural property the paper studies:
+// a wait() blocks the continuation on ALL spawned children, including ones
+// the continuation does not actually depend on — the "artificial
+// dependencies" of §III-B.
+#pragma once
+
+#include <atomic>
+#include <exception>
+
+#include "concurrent/backoff.hpp"
+#include "concurrent/spinlock.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp::forkjoin {
+
+class task_group {
+public:
+  explicit task_group(worker_pool& pool) : pool_(pool) {}
+
+  ~task_group() {
+    // A group must be joined before destruction; enforce in debug builds.
+    RDP_ASSERT(pending_.load(std::memory_order_acquire) == 0);
+  }
+
+  task_group(const task_group&) = delete;
+  task_group& operator=(const task_group&) = delete;
+
+  /// Fork: schedule `f` to run in parallel with the continuation.
+  template <class F>
+  void spawn(F&& f) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    pool_.enqueue(make_task(std::forward<F>(f), this));
+  }
+
+  /// Run `f` inline as part of this group (counts towards wait()).
+  /// Useful for the "run one child yourself" fork-join idiom.
+  template <class F>
+  void run_inline(F&& f) {
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    std::exception_ptr error;
+    try {
+      f();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    complete(std::move(error));
+  }
+
+  /// Join: block until every spawned child completed. Helps the pool while
+  /// waiting. Rethrows the first exception raised by any child.
+  void wait() {
+    concurrent::backoff bo;
+    while (pending_.load(std::memory_order_acquire) != 0) {
+      if (pool_.try_run_one())
+        bo.reset();
+      else
+        bo.pause();
+    }
+    std::exception_ptr error;
+    {
+      std::scoped_lock lock(error_mutex_);
+      error = first_error_;
+      first_error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+  worker_pool& pool() noexcept { return pool_; }
+
+  /// Number of not-yet-completed children (approximate while running).
+  int pending() const noexcept {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+private:
+  friend void detail::report_completion(task_group*,
+                                        std::exception_ptr) noexcept;
+
+  void complete(std::exception_ptr error) noexcept {
+    if (error) {
+      std::scoped_lock lock(error_mutex_);
+      if (!first_error_) first_error_ = std::move(error);
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  worker_pool& pool_;
+  std::atomic<int> pending_{0};
+  concurrent::spinlock error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+/// Recursive binary-splitting parallel_for over [begin, end).
+/// `grain` is the largest chunk executed serially.
+template <class F>
+void parallel_for(worker_pool& pool, std::size_t begin, std::size_t end,
+                  std::size_t grain, F&& body) {
+  RDP_REQUIRE(grain > 0);
+  if (begin >= end) return;
+  if (end - begin <= grain) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  task_group g(pool);
+  g.spawn([&pool, mid, end, grain, &body] {
+    parallel_for(pool, mid, end, grain, body);
+  });
+  parallel_for(pool, begin, mid, grain, body);
+  g.wait();
+}
+
+}  // namespace rdp::forkjoin

@@ -1,0 +1,237 @@
+#include "forkjoin/worker_pool.hpp"
+
+#include "support/assertions.hpp"
+#include "support/rng.hpp"
+
+namespace rdp::forkjoin {
+
+namespace {
+thread_local worker_pool* tl_pool = nullptr;
+thread_local int tl_index = -1;
+}  // namespace
+
+struct worker_pool::worker {
+  concurrent::chase_lev_deque<task_node*> deque;
+  concurrent::mpmc_queue<task_node*> affinity{4096};  // pinned tasks (MPSC)
+  // Per-worker relaxed counters, folded into pool_stats on demand.
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> failed_rounds{0};
+  std::atomic<std::uint64_t> parks{0};
+  xoshiro256 rng;
+  std::thread thread;
+
+  explicit worker(unsigned index) : rng(0xC0FFEEULL + index) {}
+};
+
+worker_pool* worker_pool::current() noexcept { return tl_pool; }
+int worker_pool::current_worker_index() noexcept { return tl_index; }
+
+worker_pool::worker_pool(unsigned worker_count)
+    : injection_(1u << 16) {
+  RDP_REQUIRE_MSG(worker_count >= 1, "worker_pool needs at least one worker");
+  workers_.reserve(worker_count);
+  for (unsigned i = 0; i < worker_count; ++i)
+    workers_.push_back(std::make_unique<worker>(i));
+  for (unsigned i = 0; i < worker_count; ++i)
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+}
+
+worker_pool::~worker_pool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::scoped_lock lock(park_mutex_);
+    park_cv_.notify_all();
+  }
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
+  // Drain any tasks that were never executed so they do not leak.
+  while (auto t = injection_.try_pop()) delete *t;
+  for (auto& w : workers_) {
+    while (auto t = w->deque.pop()) delete *t;
+    while (auto t = w->affinity.try_pop()) delete *t;
+  }
+}
+
+void worker_pool::enqueue(task_node* t) {
+  RDP_ASSERT(t != nullptr);
+  spawned_hint();
+  if (tl_pool == this && tl_index >= 0) {
+    workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
+  } else {
+    // External thread (or worker of a different pool): inject. If the
+    // bounded queue is full, run the task inline — correct, just eager.
+    if (!injection_.try_push(t)) {
+      t->execute_and_destroy(t);
+      return;
+    }
+    injections_.fetch_add(1, std::memory_order_relaxed);
+  }
+  wake_one();
+}
+
+void worker_pool::enqueue_global(task_node* t) {
+  RDP_ASSERT(t != nullptr);
+  spawned_hint();
+  if (injection_.try_push(t)) {
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    wake_one();
+    return;
+  }
+  // Injection queue full: fall back to the normal path rather than running
+  // inline (a retry task executed inline could recurse unboundedly).
+  if (tl_pool == this && tl_index >= 0) {
+    workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
+    wake_one();
+  } else {
+    t->execute_and_destroy(t);
+  }
+}
+
+void worker_pool::enqueue_affine(unsigned target, task_node* t) {
+  RDP_ASSERT(t != nullptr);
+  RDP_REQUIRE_MSG(target < workers_.size(), "affinity worker out of range");
+  spawned_hint();
+  if (workers_[target]->affinity.try_push(t)) {
+    wake_one();
+    return;
+  }
+  // Queue full: correctness over placement — run it anywhere.
+  if (tl_pool == this && tl_index >= 0) {
+    workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
+    wake_one();
+  } else if (injection_.try_push(t)) {
+    injections_.fetch_add(1, std::memory_order_relaxed);
+    wake_one();
+  } else {
+    t->execute_and_destroy(t);
+  }
+}
+
+void worker_pool::wake_one() {
+  epoch_.fetch_add(1, std::memory_order_release);
+  if (parked_.load(std::memory_order_acquire) > 0) {
+    std::scoped_lock lock(park_mutex_);
+    park_cv_.notify_one();
+  }
+}
+
+task_node* worker_pool::find_task(int self_index) {
+  if (self_index >= 0) {
+    // 0. Tasks pinned to this worker (compute_on affinity).
+    if (auto t =
+            workers_[static_cast<std::size_t>(self_index)]->affinity.try_pop())
+      return *t;
+    // 1. Own deque (LIFO — depth-first execution preserves locality).
+    if (auto t = workers_[static_cast<std::size_t>(self_index)]->deque.pop())
+      return *t;
+  }
+  // 2. Injection queue (FIFO — external submissions).
+  if (auto t = injection_.try_pop()) return *t;
+  // 3. Steal from a random victim, one full sweep.
+  const std::size_t n = workers_.size();
+  if (n > 1 || self_index < 0) {
+    auto& rng = self_index >= 0
+                    ? workers_[static_cast<std::size_t>(self_index)]->rng
+                    : external_rng_;
+    const std::size_t start = static_cast<std::size_t>(rng.below(n));
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t victim = (start + k) % n;
+      if (static_cast<int>(victim) == self_index) continue;
+      if (auto t = workers_[victim]->deque.steal()) {
+        if (self_index >= 0)
+          workers_[static_cast<std::size_t>(self_index)]->steals.fetch_add(
+              1, std::memory_order_relaxed);
+        return *t;
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool worker_pool::try_run_one() {
+  const int self = (tl_pool == this) ? tl_index : -1;
+  task_node* t = find_task(self);
+  if (t == nullptr) {
+    if (self >= 0)
+      workers_[static_cast<std::size_t>(self)]->failed_rounds.fetch_add(
+          1, std::memory_order_relaxed);
+    return false;
+  }
+  t->execute_and_destroy(t);
+  if (self >= 0)
+    workers_[static_cast<std::size_t>(self)]->executed.fetch_add(
+        1, std::memory_order_relaxed);
+  else
+    external_executed_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void worker_pool::worker_loop(unsigned index) {
+  tl_pool = this;
+  tl_index = static_cast<int>(index);
+  worker& self = *workers_[index];
+  concurrent::backoff bo;
+  unsigned idle_rounds = 0;
+
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (try_run_one()) {
+      bo.reset();
+      idle_rounds = 0;
+      continue;
+    }
+    ++idle_rounds;
+    if (idle_rounds < k_spin_rounds) {
+      bo.pause();
+      continue;
+    }
+    // Park until new work arrives (epoch bump) or shutdown.
+    const std::uint64_t seen = epoch_.load(std::memory_order_acquire);
+    std::unique_lock lock(park_mutex_);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (epoch_.load(std::memory_order_acquire) != seen) {
+      idle_rounds = 0;
+      continue;
+    }
+    parked_.fetch_add(1, std::memory_order_acq_rel);
+    self.parks.fetch_add(1, std::memory_order_relaxed);
+    park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             epoch_.load(std::memory_order_acquire) != seen;
+    });
+    parked_.fetch_sub(1, std::memory_order_acq_rel);
+    idle_rounds = 0;
+    bo.reset();
+  }
+
+  tl_pool = nullptr;
+  tl_index = -1;
+}
+
+pool_stats worker_pool::stats() const {
+  pool_stats s;
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->executed.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.failed_steal_rounds += w->failed_rounds.load(std::memory_order_relaxed);
+    s.parks += w->parks.load(std::memory_order_relaxed);
+  }
+  s.tasks_executed += external_executed_.load(std::memory_order_relaxed);
+  s.tasks_spawned = spawned_.load(std::memory_order_relaxed);
+  s.injections = injections_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void worker_pool::reset_stats() {
+  for (auto& w : workers_) {
+    w->executed.store(0, std::memory_order_relaxed);
+    w->steals.store(0, std::memory_order_relaxed);
+    w->failed_rounds.store(0, std::memory_order_relaxed);
+    w->parks.store(0, std::memory_order_relaxed);
+  }
+  external_executed_.store(0, std::memory_order_relaxed);
+  spawned_.store(0, std::memory_order_relaxed);
+  injections_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace rdp::forkjoin

@@ -1,0 +1,133 @@
+// Work-stealing worker pool — the execution substrate for both the fork-join
+// runtime (task_group) and the data-flow runtime (rdp::cnc).
+//
+// Design: one Chase–Lev deque per worker (owner pushes/pops bottom, thieves
+// steal top) plus a bounded MPMC injection queue for external submissions.
+// Idle workers spin briefly with exponential backoff, then park on a
+// condition variable; any enqueue wakes one parked worker.
+//
+// The pool exposes `try_run_one()` so blocked joins (task_group::wait) and
+// blocked data-flow gets can *help* — execute other ready tasks instead of
+// idling — which is how fork-join runtimes avoid deadlock on nested waits.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "concurrent/backoff.hpp"
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/mpmc_queue.hpp"
+#include "forkjoin/task.hpp"
+#include "support/rng.hpp"
+
+namespace rdp::forkjoin {
+
+/// Aggregate scheduler counters (relaxed atomics; read when quiescent).
+struct pool_stats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t tasks_spawned = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t failed_steal_rounds = 0;
+  std::uint64_t injections = 0;
+  std::uint64_t parks = 0;
+};
+
+class worker_pool {
+public:
+  /// Spawns `worker_count` OS threads (>= 1).
+  explicit worker_pool(unsigned worker_count);
+  ~worker_pool();
+
+  worker_pool(const worker_pool&) = delete;
+  worker_pool& operator=(const worker_pool&) = delete;
+
+  unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Pool the calling thread belongs to, or nullptr for external threads.
+  static worker_pool* current() noexcept;
+  /// Worker index of the calling thread in its pool, or -1 if external.
+  static int current_worker_index() noexcept;
+
+  /// Schedule a task node. Called from worker threads (goes to the local
+  /// deque) or external threads (goes to the injection queue).
+  void enqueue(task_node* t);
+
+  /// Schedule with LOW priority: always via the FIFO injection queue, even
+  /// from a worker thread. Retry-style tasks (e.g. data-flow steps that
+  /// requeue themselves after a failed non-blocking get) must use this —
+  /// pushing a retry onto the worker's own LIFO deque would pop it straight
+  /// back and starve the producer it is waiting for.
+  void enqueue_global(task_node* t);
+
+  /// Pin a task to one worker: only that worker ever executes it (its
+  /// affinity queue is not stealable). This is the substrate for the CnC
+  /// `compute_on` tuner — placing steps that share data on one core to
+  /// avoid inter-core/inter-NUMA traffic (§V of the paper). Falls back to
+  /// enqueue() if the affinity queue is full.
+  void enqueue_affine(unsigned worker, task_node* t);
+
+  /// Execute one ready task if any is available. Returns whether a task ran.
+  /// Safe to call from worker threads and from external threads.
+  bool try_run_one();
+
+  /// Run `f` as a root task and block until it (not its spawns) completes.
+  /// Usually `f` creates a task_group and waits on it before returning.
+  template <class F>
+  void run(F&& f) {
+    std::atomic<bool> done{false};
+    auto* t = make_task(
+        [fn = std::forward<F>(f), &done]() mutable {
+          fn();
+          done.store(true, std::memory_order_release);
+        },
+        nullptr);
+    enqueue(t);
+    // Help while waiting so a single-thread pool can still make progress
+    // when run() is called from a worker (or the pool is saturated).
+    concurrent::backoff bo;
+    while (!done.load(std::memory_order_acquire)) {
+      if (try_run_one())
+        bo.reset();
+      else
+        bo.pause();
+    }
+  }
+
+  /// Snapshot of the counters (approximate while tasks are in flight).
+  pool_stats stats() const;
+  void reset_stats();
+
+private:
+  struct worker;
+
+  void worker_loop(unsigned index);
+  task_node* find_task(int self_index);
+  void wake_one();
+  void spawned_hint() {
+    spawned_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  static constexpr unsigned k_spin_rounds = 64;
+
+  std::vector<std::unique_ptr<worker>> workers_;
+  concurrent::mpmc_queue<task_node*> injection_;
+  std::atomic<bool> stop_{false};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::atomic<unsigned> parked_{0};
+  std::atomic<std::uint64_t> epoch_{0};  // bumped on enqueue to unblock parks
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> injections_{0};
+  std::atomic<std::uint64_t> external_executed_{0};
+  xoshiro256 external_rng_{0xDEADBEEFULL};
+};
+
+}  // namespace rdp::forkjoin

@@ -1,0 +1,99 @@
+#include "model/analytical.hpp"
+
+#include <algorithm>
+
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::model {
+
+std::uint64_t ge_base_task_count(std::uint64_t t) {
+  return (2 * t * t * t + 3 * t * t + t) / 6;
+}
+
+std::uint64_t fw_base_task_count(std::uint64_t t) { return t * t * t; }
+
+std::uint64_t sw_base_task_count(std::uint64_t t) { return t * t; }
+
+std::uint64_t ge_min_task_assignments(std::uint64_t m) {
+  // Σ_{k=0}^{m-1} (m-1-k)^2 = (m-1)m(2m-1)/6
+  return (m - 1) * m * (2 * m - 1) / 6;
+}
+
+std::uint64_t ge_max_task_assignments(std::uint64_t m) {
+  return (m + 1) * m * m;
+}
+
+std::uint64_t max_cache_misses(std::uint64_t m, std::uint64_t line_elems) {
+  RDP_REQUIRE(m > 0 && line_elems > 0);
+  // m * (1 + (m+1) * (1 + ceil((m-1)/L)))  — §IV-B.
+  return m * (1 + (m + 1) * (1 + ceil_div(m - 1, line_elems)));
+}
+
+std::uint64_t cold_cache_misses(std::uint64_t m, std::uint64_t line_elems) {
+  // Three m×m blocks (X, U, V) at row granularity, plus the pivot column.
+  return 3 * m * ceil_div(m, line_elems) + m;
+}
+
+std::uint64_t predicted_task_misses(std::uint64_t m, std::uint64_t line_elems,
+                                    std::uint64_t capacity_lines) {
+  // The paper's "three such blocks fit" threshold: cold misses while the
+  // task's three-block footprint is resident, the §IV-B bound once it
+  // streams.
+  const std::uint64_t footprint = cold_cache_misses(m, line_elems);
+  if (footprint <= capacity_lines) return footprint;
+  return max_cache_misses(m, line_elems);
+}
+
+namespace {
+
+double task_data_movement_cost(std::uint64_t m, const model_machine& mach) {
+  constexpr std::uint64_t kLineElems = 8;  // 64-byte lines of doubles
+  double cost = 0;
+  std::uint64_t misses_prev = 0;
+  for (std::size_t lvl = 0; lvl < mach.levels.size(); ++lvl) {
+    const std::uint64_t misses =
+        predicted_task_misses(m, kLineElems, mach.levels[lvl].capacity_lines);
+    cost += static_cast<double>(misses) * mach.levels[lvl].miss_penalty_s;
+    misses_prev = misses;
+  }
+  cost += static_cast<double>(misses_prev) * mach.memory_penalty_s;
+  return cost;
+}
+
+double estimate_time(std::uint64_t tasks, double avg_assignments,
+                     std::uint64_t m, const model_machine& mach) {
+  const double per_task =
+      avg_assignments * mach.flop_time_s + task_data_movement_cost(m, mach);
+  const auto rounds = static_cast<double>(
+      ceil_div<std::uint64_t>(tasks, std::max(1u, mach.cores)));
+  return rounds * per_task;
+}
+
+}  // namespace
+
+double estimate_ge_time(std::uint64_t n, std::uint64_t m,
+                        const model_machine& mach) {
+  RDP_REQUIRE(m > 0 && n % m == 0);
+  const std::uint64_t t = n / m;
+  const std::uint64_t tasks = ge_base_task_count(t);
+  // Total assignments are exactly those of the loop nest:
+  // Σ_{k<n} (n-1-k)^2 = (n-1)n(2n-1)/6; average per task follows.
+  const double total_assignments =
+      static_cast<double>(n - 1) * static_cast<double>(n) *
+      static_cast<double>(2 * n - 1) / 6.0;
+  return estimate_time(tasks, total_assignments / static_cast<double>(tasks),
+                       m, mach);
+}
+
+double estimate_fw_time(std::uint64_t n, std::uint64_t m,
+                        const model_machine& mach) {
+  RDP_REQUIRE(m > 0 && n % m == 0);
+  const std::uint64_t t = n / m;
+  const std::uint64_t tasks = fw_base_task_count(t);
+  const double total = static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(n);
+  return estimate_time(tasks, total / static_cast<double>(tasks), m, mach);
+}
+
+}  // namespace rdp::model

@@ -1,0 +1,77 @@
+// The paper's analytical model (§IV-B), implemented verbatim plus the
+// small extensions needed to draw the "Estimated" series of Figures 4-5.
+//
+// Ingredients:
+//  1. Base-task count of the R-DP GE recursion with base m on an n×n table
+//     (T = n/m):  N(T) = T³/3 + T²/2 + T/6.
+//  2. Assignment (update) counts per base task: between m³/3 + m²/2 + m/6
+//     (function A) and (m+1)·m² (function D).
+//  3. Upper bound on cache misses of one m-tile base task with line size L
+//     (in elements), assuming a cache that holds only ~3 lines:
+//         misses(m) ≤ m · (1 + (m+1) · (1 + ⌈(m−1)/L⌉)).
+//  4. Estimated execution time: fair distribution of tasks over P cores,
+//     each task charged flops · t_flop plus per-level data-movement cost,
+//     where a level is charged its miss-penalty for every miss the model
+//     predicts at that level (cold misses when the task's footprint is
+//     resident, the bound above when it is not).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/common.hpp"
+
+namespace rdp::model {
+
+/// N(T) = (2T³ + 3T² + T) / 6 — closed form of Σ_{k<T} (T-k)².
+std::uint64_t ge_base_task_count(std::uint64_t t);
+
+/// FW executes every (I,J,K) tile triple: T³.
+std::uint64_t fw_base_task_count(std::uint64_t t);
+
+/// SW has one task per tile: T².
+std::uint64_t sw_base_task_count(std::uint64_t t);
+
+/// Assignments of the least-work base task (function A): m³/3 + m²/2 + m/6
+/// ... computed exactly as Σ_{k<m} (m-1-k)².
+std::uint64_t ge_min_task_assignments(std::uint64_t m);
+
+/// Assignments of the most-work base task (function D): (m+1)·m² in the
+/// paper's counting; our D kernel performs exactly m³ updates plus m pivot
+/// reads — we keep the paper's upper form.
+std::uint64_t ge_max_task_assignments(std::uint64_t m);
+
+/// The §IV-B cache-miss upper bound for one m-tile task, line = L elements.
+std::uint64_t max_cache_misses(std::uint64_t m, std::uint64_t line_elems);
+
+/// Cold-miss floor: the task's distinct footprint in lines (three m×m
+/// blocks plus the pivot column).
+std::uint64_t cold_cache_misses(std::uint64_t m, std::uint64_t line_elems);
+
+/// One cache level as the model sees it.
+struct model_level {
+  std::uint64_t capacity_lines = 0;
+  double miss_penalty_s = 0;  // cost per miss AT this level (next level hit)
+};
+
+/// Machine abstraction for the estimate.
+struct model_machine {
+  std::vector<model_level> levels;  // L1, L2, L3
+  double memory_penalty_s = 0;      // per L3 miss
+  double flop_time_s = 0;           // per update (fused mul-sub + guard)
+  unsigned cores = 1;
+};
+
+/// Per-level predicted misses for one m-tile task: cold when 3 blocks
+/// (plus slack) fit in the level, the max bound otherwise.
+std::uint64_t predicted_task_misses(std::uint64_t m, std::uint64_t line_elems,
+                                    std::uint64_t capacity_lines);
+
+/// The "Estimated" series: predicted wall-clock seconds of the R-DP GE (or
+/// FW, which the paper treats with the same model) on `machine`.
+double estimate_ge_time(std::uint64_t n, std::uint64_t m,
+                        const model_machine& machine);
+double estimate_fw_time(std::uint64_t n, std::uint64_t m,
+                        const model_machine& machine);
+
+}  // namespace rdp::model

@@ -1,0 +1,45 @@
+// Experiment driver: benchmark × variant × (n, base) × machine -> seconds.
+//
+// This is the engine behind every figure bench (Figures 4-9): it builds the
+// appropriate task DAG (fork-join with joins, or data-flow with true
+// dependencies), prices each node with the machine's cost model plus the
+// variant's runtime overheads, and runs the greedy DES. The "Estimated"
+// series of Figures 4-5 instead comes from the closed-form analytical model
+// (rdp::model), exactly as in the paper.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/des.hpp"
+#include "sim/machine.hpp"
+
+namespace rdp::sim {
+
+enum class benchmark { ge, sw, fw };
+
+constexpr const char* to_string(benchmark b) {
+  switch (b) {
+    case benchmark::ge: return "GE";
+    case benchmark::sw: return "SW";
+    case benchmark::fw: return "FW-APSP";
+  }
+  return "?";
+}
+
+struct variant_result {
+  double seconds = 0;       // predicted wall-clock
+  double utilization = 0;   // busy / (cores * makespan)
+  std::uint64_t base_tasks = 0;
+};
+
+/// Simulate one benchmark variant. n and base must be powers of two.
+variant_result simulate_variant(benchmark bm, exec_variant variant,
+                                std::size_t n, std::size_t base,
+                                const machine_profile& machine);
+
+/// The analytical "Estimated" series (GE and FW only, as in the paper).
+double estimated_seconds(benchmark bm, std::size_t n, std::size_t base,
+                         const machine_profile& machine);
+
+}  // namespace rdp::sim

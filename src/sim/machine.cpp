@@ -1,0 +1,49 @@
+#include "sim/machine.hpp"
+
+namespace rdp::sim {
+
+namespace {
+
+// 64-byte lines of doubles.
+constexpr std::uint64_t lines(std::uint64_t bytes) { return bytes / 64; }
+
+}  // namespace
+
+machine_profile epyc64() {
+  machine_profile m;
+  m.name = "EPYC-64";
+  m.cores = 64;
+  m.model.levels = {
+      {lines(32ull * 1024), 3.0e-9},         // L1 miss -> L2 hit
+      {lines(512ull * 1024), 12.0e-9},       // L2 miss -> L3 hit
+      {lines(8ull * 1024 * 1024), 0.0},      // handled by memory_penalty
+  };
+  m.model.memory_penalty_s = 90.0e-9;
+  m.model.flop_time_s = 0.45e-9;  // per DP update, moderate vectorisation
+  m.model.cores = m.cores;
+  return m;
+}
+
+machine_profile skylake192() {
+  machine_profile m;
+  m.name = "SKYLAKE-192";
+  m.cores = 192;
+  m.model.levels = {
+      {lines(32ull * 1024), 3.5e-9},
+      {lines(1024ull * 1024), 14.0e-9},
+      {lines(32ull * 1024 * 1024), 0.0},
+  };
+  m.model.memory_penalty_s = 105.0e-9;  // 8-socket NUMA: higher average
+  m.model.flop_time_s = 0.40e-9;
+  m.model.cores = m.cores;
+  return m;
+}
+
+machine_profile with_cores(machine_profile base, unsigned cores) {
+  base.cores = cores;
+  base.model.cores = cores;
+  base.name += "@" + std::to_string(cores);
+  return base;
+}
+
+}  // namespace rdp::sim

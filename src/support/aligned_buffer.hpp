@@ -1,0 +1,75 @@
+// Cache-line aligned, RAII-owned storage for DP tables.
+//
+// DP kernels stream doubles through the cache hierarchy; 64-byte alignment
+// keeps rows cache-line aligned so the analytical miss model's ⌈m/L⌉ terms
+// match what real hardware (and our cache simulator) sees.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <type_traits>
+
+#include "support/assertions.hpp"
+
+namespace rdp {
+
+inline constexpr std::size_t k_cache_line_bytes = 64;
+
+/// Owning, aligned, fixed-size array of trivially-destructible T.
+/// Move-only; contents are NOT zero-initialised unless requested.
+template <class T>
+class aligned_buffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "aligned_buffer only supports trivially destructible types");
+
+public:
+  aligned_buffer() = default;
+
+  explicit aligned_buffer(std::size_t count, bool zero = false)
+      : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes =
+        ((count * sizeof(T) + k_cache_line_bytes - 1) / k_cache_line_bytes) *
+        k_cache_line_bytes;
+    void* p = std::aligned_alloc(k_cache_line_bytes, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    data_.reset(static_cast<T*>(p));
+    if (zero) std::memset(static_cast<void*>(data_.get()), 0, bytes);
+  }
+
+  aligned_buffer(aligned_buffer&&) noexcept = default;
+  aligned_buffer& operator=(aligned_buffer&&) noexcept = default;
+  aligned_buffer(const aligned_buffer&) = delete;
+  aligned_buffer& operator=(const aligned_buffer&) = delete;
+
+  T* data() noexcept { return data_.get(); }
+  const T* data() const noexcept { return data_.get(); }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) {
+    RDP_ASSERT(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    RDP_ASSERT(i < size_);
+    return data_[i];
+  }
+
+  T* begin() noexcept { return data_.get(); }
+  T* end() noexcept { return data_.get() + size_; }
+  const T* begin() const noexcept { return data_.get(); }
+  const T* end() const noexcept { return data_.get() + size_; }
+
+private:
+  struct free_deleter {
+    void operator()(T* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<T[], free_deleter> data_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rdp

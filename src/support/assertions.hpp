@@ -1,0 +1,62 @@
+// Lightweight contract-checking macros used across the library.
+//
+// RDP_REQUIRE  — precondition check, always on, throws rdp::contract_error.
+// RDP_ASSERT   — internal invariant check, compiled out in NDEBUG builds.
+//
+// Throwing (rather than aborting) keeps the checks testable: the test suite
+// asserts that API misuse is reported, per the C++ Core Guidelines (I.6) idea
+// of stating preconditions explicitly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rdp {
+
+/// Thrown when a precondition or invariant stated via RDP_REQUIRE/RDP_ASSERT
+/// is violated. Carries the failed expression and source location.
+class contract_error : public std::logic_error {
+public:
+  explicit contract_error(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw contract_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace rdp
+
+#define RDP_REQUIRE(expr)                                                  \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rdp::detail::contract_failure("precondition", #expr, __FILE__,     \
+                                      __LINE__, "");                       \
+  } while (false)
+
+#define RDP_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rdp::detail::contract_failure("precondition", #expr, __FILE__,     \
+                                      __LINE__, (msg));                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define RDP_ASSERT(expr) ((void)0)
+#else
+#define RDP_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::rdp::detail::contract_failure("assertion", #expr, __FILE__,        \
+                                      __LINE__, "");                       \
+  } while (false)
+#endif

@@ -1,0 +1,96 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rdp {
+
+cli_parser::cli_parser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void cli_parser::add_flag(const std::string& name, bool* target,
+                          const std::string& help) {
+  options_.push_back({name, help, true, [target](const std::string& v) {
+                        *target = (v != "false" && v != "0");
+                      }});
+}
+
+void cli_parser::add_int(const std::string& name, std::int64_t* target,
+                         const std::string& help) {
+  options_.push_back({name, help, false, [name, target](const std::string& v) {
+                        std::size_t pos = 0;
+                        *target = std::stoll(v, &pos);
+                        if (pos != v.size())
+                          throw std::runtime_error("bad integer for --" +
+                                                   name + ": " + v);
+                      }});
+}
+
+void cli_parser::add_double(const std::string& name, double* target,
+                            const std::string& help) {
+  options_.push_back({name, help, false, [name, target](const std::string& v) {
+                        std::size_t pos = 0;
+                        *target = std::stod(v, &pos);
+                        if (pos != v.size())
+                          throw std::runtime_error("bad number for --" + name +
+                                                   ": " + v);
+                      }});
+}
+
+void cli_parser::add_string(const std::string& name, std::string* target,
+                            const std::string& help) {
+  options_.push_back(
+      {name, help, false, [target](const std::string& v) { *target = v; }});
+}
+
+const cli_parser::option* cli_parser::find(const std::string& name) const {
+  for (const auto& o : options_)
+    if (o.name == name) return &o;
+  return nullptr;
+}
+
+bool cli_parser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw std::runtime_error("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      have_value = true;
+    }
+    const option* opt = find(arg);
+    if (opt == nullptr) throw std::runtime_error("unknown flag: --" + arg);
+    if (!have_value) {
+      if (opt->is_bool) {
+        value = "true";
+      } else {
+        if (i + 1 >= argc)
+          throw std::runtime_error("missing value for --" + arg);
+        value = argv[++i];
+      }
+    }
+    opt->apply(value);
+  }
+  return true;
+}
+
+std::string cli_parser::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nOptions:\n";
+  for (const auto& o : options_)
+    os << "  --" << o.name << (o.is_bool ? "" : "=<value>") << "\n      "
+       << o.help << "\n";
+  os << "  --help\n      Show this message.\n";
+  return os.str();
+}
+
+}  // namespace rdp

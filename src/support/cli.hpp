@@ -1,0 +1,46 @@
+// Tiny declarative command-line flag parser for the examples and benches.
+//
+// Flags are of the form --name=value or --name value; booleans accept a bare
+// --name. Unknown flags are an error so typos are caught.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rdp {
+
+class cli_parser {
+public:
+  explicit cli_parser(std::string program_description);
+
+  void add_flag(const std::string& name, bool* target,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t* target,
+               const std::string& help);
+  void add_double(const std::string& name, double* target,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* target,
+                  const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was given.
+  /// Throws std::runtime_error on malformed or unknown flags.
+  bool parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+private:
+  struct option {
+    std::string name;
+    std::string help;
+    bool is_bool;
+    std::function<void(const std::string&)> apply;
+  };
+  const option* find(const std::string& name) const;
+
+  std::string description_;
+  std::vector<option> options_;
+};
+
+}  // namespace rdp

@@ -1,0 +1,68 @@
+#include "support/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/assertions.hpp"
+
+namespace rdp {
+
+csv_writer::csv_writer(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RDP_REQUIRE(!header_.empty());
+}
+
+void csv_writer::add_row(const std::vector<std::string>& cells) {
+  RDP_REQUIRE_MSG(cells.size() == header_.size(),
+                  "CSV row arity does not match header");
+  rows_.push_back(cells);
+}
+
+void csv_writer::add_row_values(std::initializer_list<double> values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    cells.emplace_back(buf);
+  }
+  add_row(cells);
+}
+
+std::string csv_writer::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_writer::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < header_.size(); ++i) {
+    if (i) os << ',';
+    os << escape(header_[i]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << escape(row[i]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void csv_writer::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw std::runtime_error("cannot open CSV output: " + path);
+  f << to_string();
+  if (!f) throw std::runtime_error("write failed for CSV output: " + path);
+}
+
+}  // namespace rdp

@@ -1,0 +1,39 @@
+// Minimal CSV writer used by every bench to persist the series it prints,
+// so figures can be re-plotted without re-running the sweep.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace rdp {
+
+/// Appends rows to an in-memory CSV document and writes it atomically-ish
+/// (write to temp, rename) on save().
+class csv_writer {
+public:
+  explicit csv_writer(std::vector<std::string> header);
+
+  /// Add one row; must have the same arity as the header.
+  void add_row(const std::vector<std::string>& cells);
+
+  /// Convenience: accepts numeric cells.
+  void add_row_values(std::initializer_list<double> values);
+
+  std::size_t row_count() const { return rows_.size(); }
+  std::size_t column_count() const { return header_.size(); }
+
+  /// Serialise to a string (header + rows, RFC-4180-style quoting).
+  std::string to_string() const;
+
+  /// Write to `path`; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+private:
+  static std::string escape(const std::string& cell);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdp

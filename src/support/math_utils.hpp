@@ -1,0 +1,57 @@
+// Small integer-math helpers shared by the tiling, cache and model code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "support/assertions.hpp"
+
+namespace rdp {
+
+/// ceil(a / b) for non-negative integers; b must be positive.
+template <class T>
+constexpr T ceil_div(T a, T b) {
+  RDP_ASSERT(b > 0);
+  return static_cast<T>((a + b - 1) / b);
+}
+
+/// True when v is a power of two (and nonzero).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// floor(log2(v)); v must be nonzero.
+constexpr unsigned ilog2(std::uint64_t v) {
+  RDP_ASSERT(v != 0);
+  unsigned r = 0;
+  while (v >>= 1) ++r;
+  return r;
+}
+
+/// Smallest power of two >= v (v must be nonzero and representable).
+constexpr std::uint64_t round_up_pow2(std::uint64_t v) {
+  RDP_ASSERT(v != 0);
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+/// a*b with overflow detection; throws contract_error on overflow.
+inline std::uint64_t checked_mul(std::uint64_t a, std::uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<std::uint64_t>::max() / a)
+    RDP_REQUIRE_MSG(false, "unsigned multiply overflow");
+  return a * b;
+}
+
+/// Round x up to the next multiple of m (m > 0).
+template <class T>
+constexpr T round_up(T x, T m) {
+  RDP_ASSERT(m > 0);
+  return ceil_div(x, m) * m;
+}
+
+}  // namespace rdp

@@ -1,0 +1,135 @@
+// Row-major owning matrix and non-owning tile views.
+//
+// All DP benchmarks (GE, FW-APSP, SW) operate on square row-major tables of
+// doubles (or ints); the R-DP code addresses quadrants through tile_view so
+// the recursive functions never copy data.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "support/aligned_buffer.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp {
+
+/// Non-owning view of a rows×cols block inside a larger row-major array
+/// with leading dimension `ld` (elements per stored row).
+template <class T>
+class tile_view {
+public:
+  tile_view() = default;
+  tile_view(T* origin, std::size_t rows, std::size_t cols, std::size_t ld)
+      : origin_(origin), rows_(rows), cols_(cols), ld_(ld) {
+    RDP_ASSERT(cols <= ld);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t ld() const noexcept { return ld_; }
+  T* data() const noexcept { return origin_; }
+
+  T& operator()(std::size_t r, std::size_t c) const {
+    RDP_ASSERT(r < rows_ && c < cols_);
+    return origin_[r * ld_ + c];
+  }
+
+  /// Sub-block starting at (r0, c0) of shape rows×cols.
+  tile_view block(std::size_t r0, std::size_t c0, std::size_t rows,
+                  std::size_t cols) const {
+    RDP_ASSERT(r0 + rows <= rows_ && c0 + cols <= cols_);
+    return tile_view(origin_ + r0 * ld_ + c0, rows, cols, ld_);
+  }
+
+  /// Quadrant (qi, qj) of an even-dimension square tile, each of size n/2.
+  tile_view quadrant(int qi, int qj) const {
+    RDP_ASSERT(rows_ == cols_ && rows_ % 2 == 0);
+    const std::size_t h = rows_ / 2;
+    return block(static_cast<std::size_t>(qi) * h,
+                 static_cast<std::size_t>(qj) * h, h, h);
+  }
+
+private:
+  T* origin_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t ld_ = 0;
+};
+
+/// Owning row-major matrix backed by cache-line-aligned storage.
+template <class T>
+class matrix {
+public:
+  matrix() = default;
+  matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), buf_(rows * cols) {
+    std::fill(buf_.begin(), buf_.end(), fill);
+  }
+
+  matrix(const matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), buf_(other.size()) {
+    std::copy(other.buf_.begin(), other.buf_.end(), buf_.begin());
+  }
+  matrix& operator=(const matrix& other) {
+    if (this != &other) {
+      matrix copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  matrix(matrix&&) noexcept = default;
+  matrix& operator=(matrix&&) noexcept = default;
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return rows_ * cols_; }
+  T* data() noexcept { return buf_.data(); }
+  const T* data() const noexcept { return buf_.data(); }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    RDP_ASSERT(r < rows_ && c < cols_);
+    return buf_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    RDP_ASSERT(r < rows_ && c < cols_);
+    return buf_[r * cols_ + c];
+  }
+
+  tile_view<T> view() {
+    return tile_view<T>(buf_.data(), rows_, cols_, cols_);
+  }
+  tile_view<const T> view() const {
+    return tile_view<const T>(buf_.data(), rows_, cols_, cols_);
+  }
+
+  /// Tile of size b×b whose top-left element is (I*b, J*b).
+  tile_view<T> tile(std::size_t I, std::size_t J, std::size_t b) {
+    return view().block(I * b, J * b, b, b);
+  }
+
+  friend bool operator==(const matrix& a, const matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ &&
+           std::equal(a.buf_.begin(), a.buf_.end(), b.buf_.begin());
+  }
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  aligned_buffer<T> buf_;
+};
+
+/// Largest absolute elementwise difference between two same-shape matrices.
+template <class T>
+T max_abs_diff(const matrix<T>& a, const matrix<T>& b) {
+  RDP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols());
+  T m{};
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const T d = a.data()[i] > b.data()[i] ? a.data()[i] - b.data()[i]
+                                          : b.data()[i] - a.data()[i];
+    m = std::max(m, d);
+  }
+  return m;
+}
+
+}  // namespace rdp

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random generation for workloads.
+//
+// xoshiro256** — fast, high-quality, and (unlike std::mt19937) identical
+// across standard libraries, so workloads and tests are reproducible
+// everywhere. Includes helpers to synthesise DP inputs: diagonally dominant
+// matrices for GE, random digraphs for FW-APSP, DNA sequences for SW.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/assertions.hpp"
+#include "support/matrix.hpp"
+
+namespace rdp {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+class xoshiro256 {
+public:
+  explicit xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    std::uint64_t x = seed;
+    for (auto& si : s_) {
+      // splitmix64 step
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      si = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n); n must be positive.
+  std::uint64_t below(std::uint64_t n) {
+    RDP_ASSERT(n > 0);
+    // Lemire-style rejection-free bound is overkill here; modulo bias is
+    // negligible for workload generation (n << 2^64).
+    return next() % n;
+  }
+
+private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4]{};
+};
+
+/// n×n diagonally dominant matrix: safe input for GE without pivoting
+/// (no zero pivots can arise during elimination).
+inline matrix<double> make_diag_dominant(std::size_t n, std::uint64_t seed) {
+  matrix<double> m(n, n);
+  xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double v = rng.uniform(0.1, 1.0);
+      m(i, j) = v;
+      row_sum += v;
+    }
+    m(i, i) = row_sum + 1.0;  // strict diagonal dominance
+  }
+  return m;
+}
+
+/// n×n edge-weight matrix of a random digraph for FW-APSP. Missing edges get
+/// `inf`; the diagonal is zero. `density` in (0,1] is the edge probability.
+inline matrix<double> make_digraph(std::size_t n, double density,
+                                   std::uint64_t seed,
+                                   double inf = 1.0e18) {
+  RDP_REQUIRE(density > 0.0 && density <= 1.0);
+  matrix<double> w(n, n, inf);
+  xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    w(i, i) = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && rng.uniform() < density) w(i, j) = rng.uniform(1.0, 100.0);
+    }
+  }
+  return w;
+}
+
+/// Random DNA sequence of length n over {A,C,G,T}.
+inline std::string make_dna(std::size_t n, std::uint64_t seed) {
+  static constexpr char kBases[4] = {'A', 'C', 'G', 'T'};
+  std::string s(n, 'A');
+  xoshiro256 rng(seed);
+  for (auto& c : s) c = kBases[rng.below(4)];
+  return s;
+}
+
+}  // namespace rdp

@@ -1,0 +1,52 @@
+#include "support/table_printer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "support/assertions.hpp"
+
+namespace rdp {
+
+table_printer::table_printer(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  RDP_REQUIRE(!header_.empty());
+}
+
+void table_printer::add_row(std::vector<std::string> cells) {
+  RDP_REQUIRE_MSG(cells.size() == header_.size(),
+                  "table row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string table_printer::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+void table_printer::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) width[i] = header_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size())
+        os << std::string(width[i] - row[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < width.size(); ++i)
+    total += width[i] + (i + 1 < width.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace rdp

@@ -1,0 +1,29 @@
+// Aligned plain-text table output — every bench prints the rows the paper's
+// figures/tables plot, in a shape a human can compare against the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdp {
+
+class table_printer {
+public:
+  explicit table_printer(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double compactly (trailing-zero trimmed, 4 significant digits
+  /// by default).
+  static std::string num(double v, int precision = 4);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdp

@@ -1,0 +1,446 @@
+#include "trace/builders.hpp"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/assertions.hpp"
+
+namespace rdp::trace {
+
+using dp::task_kind;
+using dp::tile3;
+
+std::uint64_t ge_task_work(task_kind kind, std::uint64_t b) {
+  switch (kind) {
+    case task_kind::A:
+      // sum_{k=0}^{b-1} (b-1-k)^2
+      return (b - 1) * b * (2 * b - 1) / 6;
+    case task_kind::B:
+    case task_kind::C:
+      // sum_{k=0}^{b-1} (b-1-k) * b
+      return b * b * (b - 1) / 2;
+    case task_kind::D:
+      return b * b * b;
+  }
+  return 0;
+}
+
+std::uint64_t fw_task_work(task_kind, std::uint64_t b) {
+  return b * b * b;  // every FW tile task relaxes the full cube slice
+}
+
+std::uint64_t sw_task_work(std::uint64_t b) { return b * b; }
+
+// ------------------------------------------------------------ data-flow ----
+
+namespace {
+
+/// Dense (I,J,K) -> node id index for GE's triangular task set.
+class ge_index {
+public:
+  explicit ge_index(std::size_t t) : t_(t), ids_(t * t * t, k_no_node) {}
+  node_id& at(std::int32_t i, std::int32_t j, std::int32_t k) {
+    return ids_[(static_cast<std::size_t>(k) * t_ +
+                 static_cast<std::size_t>(i)) *
+                    t_ +
+                static_cast<std::size_t>(j)];
+  }
+
+private:
+  std::size_t t_;
+  std::vector<node_id> ids_;
+};
+
+}  // namespace
+
+task_graph build_ge_dataflow(std::size_t tiles, std::size_t base) {
+  RDP_REQUIRE(tiles >= 1);
+  task_graph g;
+  ge_index idx(tiles);
+  const auto t = static_cast<std::int32_t>(tiles);
+
+  for (std::int32_t k = 0; k < t; ++k)
+    for (std::int32_t i = k; i < t; ++i)
+      for (std::int32_t j = k; j < t; ++j) {
+        const task_kind kind = dp::classify(i, j, k);
+        idx.at(i, j, k) = g.add_node(node_type::base_task, kind,
+                                     tile3{i, j, k}, ge_task_work(kind, base));
+      }
+
+  for (std::int32_t k = 0; k < t; ++k)
+    for (std::int32_t i = k; i < t; ++i)
+      for (std::int32_t j = k; j < t; ++j) {
+        const node_id v = idx.at(i, j, k);
+        if (k > 0) g.add_edge(idx.at(i, j, k - 1), v);  // write-write
+        const task_kind kind = dp::classify(i, j, k);
+        if (kind == task_kind::A) continue;
+        g.add_edge(idx.at(k, k, k), v);  // read pivot block (A output)
+        if (kind == task_kind::D) {
+          g.add_edge(idx.at(k, j, k), v);  // read pivot row (B output)
+          g.add_edge(idx.at(i, k, k), v);  // read pivot column (C output)
+        }
+      }
+  return g;
+}
+
+task_graph build_fw_dataflow(std::size_t tiles, std::size_t base) {
+  RDP_REQUIRE(tiles >= 1);
+  task_graph g;
+  const auto t = static_cast<std::int32_t>(tiles);
+  auto id = [t](std::int32_t i, std::int32_t j, std::int32_t k) {
+    return static_cast<node_id>((static_cast<std::size_t>(k) * t + i) * t + j);
+  };
+
+  for (std::int32_t k = 0; k < t; ++k)
+    for (std::int32_t i = 0; i < t; ++i)
+      for (std::int32_t j = 0; j < t; ++j) {
+        const task_kind kind = dp::classify(i, j, k);
+        [[maybe_unused]] const node_id v = g.add_node(
+            node_type::base_task, kind, tile3{i, j, k},
+            fw_task_work(kind, base));
+        RDP_ASSERT(v == id(i, j, k));
+      }
+
+  for (std::int32_t k = 0; k < t; ++k)
+    for (std::int32_t i = 0; i < t; ++i)
+      for (std::int32_t j = 0; j < t; ++j) {
+        const node_id v = id(i, j, k);
+        if (k > 0) g.add_edge(id(i, j, k - 1), v);  // write-write
+        switch (dp::classify(i, j, k)) {
+          case task_kind::A:
+            break;
+          case task_kind::B:
+          case task_kind::C:
+            g.add_edge(id(k, k, k), v);
+            break;
+          case task_kind::D:
+            g.add_edge(id(i, k, k), v);
+            g.add_edge(id(k, j, k), v);
+            break;
+        }
+      }
+  return g;
+}
+
+task_graph build_sw_dataflow(std::size_t tiles, std::size_t base) {
+  RDP_REQUIRE(tiles >= 1);
+  task_graph g;
+  const auto t = static_cast<std::int32_t>(tiles);
+  auto id = [t](std::int32_t i, std::int32_t j) {
+    return static_cast<node_id>(static_cast<std::size_t>(i) * t + j);
+  };
+  for (std::int32_t i = 0; i < t; ++i)
+    for (std::int32_t j = 0; j < t; ++j)
+      g.add_node(node_type::base_task, task_kind::D, tile3{i, j, 0},
+                 sw_task_work(base));
+  for (std::int32_t i = 0; i < t; ++i)
+    for (std::int32_t j = 0; j < t; ++j) {
+      if (i > 0 && j > 0) g.add_edge(id(i - 1, j - 1), id(i, j));
+      if (i > 0) g.add_edge(id(i - 1, j), id(i, j));
+      if (j > 0) g.add_edge(id(i, j - 1), id(i, j));
+    }
+  return g;
+}
+
+// ------------------------------------------------------------ fork-join ----
+
+namespace {
+
+/// Series-parallel fragment: entry and exit node of a sub-DAG.
+struct fragment {
+  node_id entry;
+  node_id exit;
+};
+
+/// Shared machinery for the symbolic fork-join recursions. Sizes are in
+/// tile units (the recursion bottoms out at 1 tile == one base task).
+struct fj_builder {
+  task_graph g;
+  std::uint64_t base;
+
+  fragment leaf(std::int32_t ti, std::int32_t tj, std::int32_t tk,
+                std::uint64_t work, task_kind kind) {
+    const node_id v =
+        g.add_node(node_type::base_task, kind, tile3{ti, tj, tk}, work);
+    return {v, v};
+  }
+
+  /// Sequential composition: b starts only after a (taskwait in between
+  /// or plain program order).
+  fragment seq(fragment a, fragment b) {
+    g.add_edge(a.exit, b.entry);
+    return {a.entry, b.exit};
+  }
+
+  /// Parallel composition with a spawn fork and a taskwait join.
+  fragment fork_join(const std::vector<fragment>& parts) {
+    RDP_ASSERT(!parts.empty());
+    if (parts.size() == 1) return parts[0];
+    const node_id f = g.add_node(node_type::fork);
+    const node_id j = g.add_node(node_type::join);
+    for (const fragment& p : parts) {
+      g.add_edge(f, p.entry);
+      g.add_edge(p.exit, j);
+    }
+    return {f, j};
+  }
+};
+
+/// GE fork-join recursion (ge.cpp's ge_recursion, symbolically).
+struct ge_fj : fj_builder {
+  // s = region size in tiles; coordinates in tiles.
+  fragment A(std::int32_t d, std::int32_t s) {
+    if (s == 1) return leaf(d, d, d, ge_task_work(task_kind::A, base),
+                            task_kind::A);
+    const std::int32_t h = s / 2;
+    fragment f = A(d, h);
+    f = seq(f, fork_join({B(d, d + h, d, h), C(d + h, d, d, h)}));
+    f = seq(f, D(d + h, d + h, d, h));
+    return seq(f, A(d + h, h));
+  }
+  fragment B(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, ge_task_work(task_kind::B, base),
+                            task_kind::B);
+    const std::int32_t h = s / 2;
+    fragment f = fork_join({B(xi, xj, xk, h), B(xi, xj + h, xk, h)});
+    f = seq(f, fork_join({D(xi + h, xj, xk, h), D(xi + h, xj + h, xk, h)}));
+    return seq(f, fork_join({B(xi + h, xj, xk + h, h),
+                             B(xi + h, xj + h, xk + h, h)}));
+  }
+  fragment C(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, ge_task_work(task_kind::C, base),
+                            task_kind::C);
+    const std::int32_t h = s / 2;
+    fragment f = fork_join({C(xi, xj, xk, h), C(xi + h, xj, xk, h)});
+    f = seq(f, fork_join({D(xi, xj + h, xk, h), D(xi + h, xj + h, xk, h)}));
+    return seq(f, fork_join({C(xi, xj + h, xk + h, h),
+                             C(xi + h, xj + h, xk + h, h)}));
+  }
+  fragment D(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, ge_task_work(task_kind::D, base),
+                            task_kind::D);
+    const std::int32_t h = s / 2;
+    fragment f = fork_join({D(xi, xj, xk, h), D(xi, xj + h, xk, h),
+                            D(xi + h, xj, xk, h), D(xi + h, xj + h, xk, h)});
+    return seq(f, fork_join({D(xi, xj, xk + h, h), D(xi, xj + h, xk + h, h),
+                             D(xi + h, xj, xk + h, h),
+                             D(xi + h, xj + h, xk + h, h)}));
+  }
+};
+
+/// FW fork-join recursion (fw.cpp's fw_recursion, symbolically).
+struct fw_fj : fj_builder {
+  fragment A(std::int32_t d, std::int32_t s) {
+    if (s == 1) return leaf(d, d, d, fw_task_work(task_kind::A, base),
+                            task_kind::A);
+    const std::int32_t h = s / 2;
+    fragment f = A(d, h);
+    f = seq(f, fork_join({B(d, d + h, d, h), C(d + h, d, d, h)}));
+    f = seq(f, D(d + h, d + h, d, h));
+    f = seq(f, A(d + h, h));
+    f = seq(f, fork_join({B(d + h, d, d + h, h), C(d, d + h, d + h, h)}));
+    return seq(f, D(d, d, d + h, h));
+  }
+  fragment B(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, fw_task_work(task_kind::B, base),
+                            task_kind::B);
+    const std::int32_t h = s / 2;
+    fragment f = fork_join({B(xi, xj, xk, h), B(xi, xj + h, xk, h)});
+    f = seq(f, fork_join({D(xi + h, xj, xk, h), D(xi + h, xj + h, xk, h)}));
+    f = seq(f, fork_join({B(xi + h, xj, xk + h, h),
+                          B(xi + h, xj + h, xk + h, h)}));
+    return seq(f, fork_join({D(xi, xj, xk + h, h), D(xi, xj + h, xk + h, h)}));
+  }
+  fragment C(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, fw_task_work(task_kind::C, base),
+                            task_kind::C);
+    const std::int32_t h = s / 2;
+    fragment f = fork_join({C(xi, xj, xk, h), C(xi + h, xj, xk, h)});
+    f = seq(f, fork_join({D(xi, xj + h, xk, h), D(xi + h, xj + h, xk, h)}));
+    f = seq(f, fork_join({C(xi, xj + h, xk + h, h),
+                          C(xi + h, xj + h, xk + h, h)}));
+    return seq(f, fork_join({D(xi, xj, xk + h, h), D(xi + h, xj, xk + h, h)}));
+  }
+  fragment D(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, fw_task_work(task_kind::D, base),
+                            task_kind::D);
+    const std::int32_t h = s / 2;
+    fragment f = fork_join({D(xi, xj, xk, h), D(xi, xj + h, xk, h),
+                            D(xi + h, xj, xk, h), D(xi + h, xj + h, xk, h)});
+    return seq(f, fork_join({D(xi, xj, xk + h, h), D(xi, xj + h, xk + h, h),
+                             D(xi + h, xj, xk + h, h),
+                             D(xi + h, xj + h, xk + h, h)}));
+  }
+};
+
+/// SW fork-join recursion (sw.cpp's sw_recursion, symbolically).
+struct sw_fj : fj_builder {
+  fragment R(std::int32_t ti, std::int32_t tj, std::int32_t s) {
+    if (s == 1)
+      return leaf(ti, tj, 0, sw_task_work(base), task_kind::D);
+    const std::int32_t h = s / 2;
+    fragment f = R(ti, tj, h);
+    f = seq(f, fork_join({R(ti, tj + h, h), R(ti + h, tj, h)}));
+    return seq(f, R(ti + h, tj + h, h));
+  }
+};
+
+/// r-way GE fork-join recursion (mirrors dp/rway.cpp's rway_recursion with
+/// triangular guards), symbolically.
+struct ge_rway_fj : fj_builder {
+  std::size_t r;
+
+  fragment seq_stage(fragment acc, std::vector<fragment>&& parts) {
+    if (parts.empty()) return acc;
+    return seq(acc, fork_join(parts));
+  }
+
+  fragment A(std::int32_t d, std::int32_t s) {
+    if (s == 1) return leaf(d, d, d, ge_task_work(task_kind::A, base),
+                            task_kind::A);
+    const auto h = static_cast<std::int32_t>(s / r);
+    const auto ri = static_cast<std::int32_t>(r);
+    fragment acc{k_no_node, k_no_node};
+    bool first = true;
+    auto append = [&](fragment f) {
+      acc = first ? f : seq(acc, f);
+      first = false;
+    };
+    for (std::int32_t kk = 0; kk < ri; ++kk) {
+      const std::int32_t dk = d + kk * h;
+      append(A(dk, h));
+      std::vector<fragment> bc;
+      for (std::int32_t jj = kk + 1; jj < ri; ++jj)
+        bc.push_back(B(dk, d + jj * h, dk, h));
+      for (std::int32_t ii = kk + 1; ii < ri; ++ii)
+        bc.push_back(C(d + ii * h, dk, dk, h));
+      acc = seq_stage(acc, std::move(bc));
+      std::vector<fragment> ds;
+      for (std::int32_t ii = kk + 1; ii < ri; ++ii)
+        for (std::int32_t jj = kk + 1; jj < ri; ++jj)
+          ds.push_back(D(d + ii * h, d + jj * h, dk, h));
+      acc = seq_stage(acc, std::move(ds));
+    }
+    return acc;
+  }
+
+  fragment B(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, ge_task_work(task_kind::B, base),
+                            task_kind::B);
+    const auto h = static_cast<std::int32_t>(s / r);
+    const auto ri = static_cast<std::int32_t>(r);
+    fragment acc{k_no_node, k_no_node};
+    bool first = true;
+    for (std::int32_t kk = 0; kk < ri; ++kk) {
+      const std::int32_t k0 = xk + kk * h;
+      std::vector<fragment> bs;
+      for (std::int32_t jj = 0; jj < ri; ++jj)
+        bs.push_back(B(k0, xj + jj * h, k0, h));
+      const fragment bstage = fork_join(bs);
+      acc = first ? bstage : seq(acc, bstage);
+      first = false;
+      std::vector<fragment> ds;
+      for (std::int32_t ii = kk + 1; ii < ri; ++ii)
+        for (std::int32_t jj = 0; jj < ri; ++jj)
+          ds.push_back(D(xi + ii * h, xj + jj * h, k0, h));
+      acc = seq_stage(acc, std::move(ds));
+    }
+    return acc;
+  }
+
+  fragment C(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, ge_task_work(task_kind::C, base),
+                            task_kind::C);
+    const auto h = static_cast<std::int32_t>(s / r);
+    const auto ri = static_cast<std::int32_t>(r);
+    fragment acc{k_no_node, k_no_node};
+    bool first = true;
+    for (std::int32_t kk = 0; kk < ri; ++kk) {
+      const std::int32_t k0 = xk + kk * h;
+      std::vector<fragment> cs;
+      for (std::int32_t ii = 0; ii < ri; ++ii)
+        cs.push_back(C(xi + ii * h, k0, k0, h));
+      const fragment cstage = fork_join(cs);
+      acc = first ? cstage : seq(acc, cstage);
+      first = false;
+      std::vector<fragment> ds;
+      for (std::int32_t jj = kk + 1; jj < ri; ++jj)
+        for (std::int32_t ii = 0; ii < ri; ++ii)
+          ds.push_back(D(xi + ii * h, xj + jj * h, k0, h));
+      acc = seq_stage(acc, std::move(ds));
+    }
+    return acc;
+  }
+
+  fragment D(std::int32_t xi, std::int32_t xj, std::int32_t xk,
+             std::int32_t s) {
+    if (s == 1) return leaf(xi, xj, xk, ge_task_work(task_kind::D, base),
+                            task_kind::D);
+    const auto h = static_cast<std::int32_t>(s / r);
+    const auto ri = static_cast<std::int32_t>(r);
+    fragment acc{k_no_node, k_no_node};
+    bool first = true;
+    for (std::int32_t kk = 0; kk < ri; ++kk) {
+      std::vector<fragment> ds;
+      for (std::int32_t ii = 0; ii < ri; ++ii)
+        for (std::int32_t jj = 0; jj < ri; ++jj)
+          ds.push_back(D(xi + ii * h, xj + jj * h, xk + kk * h, h));
+      const fragment dstage = fork_join(ds);
+      acc = first ? dstage : seq(acc, dstage);
+      first = false;
+    }
+    return acc;
+  }
+};
+
+}  // namespace
+
+task_graph build_ge_forkjoin_rway(std::size_t tiles, std::size_t base,
+                                  std::size_t r) {
+  RDP_REQUIRE_MSG(r >= 2, "r-way recursion needs r >= 2");
+  std::size_t s = tiles;
+  while (s > 1) {
+    RDP_REQUIRE_MSG(s % r == 0, "tiles must be r^L");
+    s /= r;
+  }
+  ge_rway_fj b;
+  b.base = base;
+  b.r = r;
+  b.A(0, static_cast<std::int32_t>(tiles));
+  return std::move(b.g);
+}
+
+task_graph build_ge_forkjoin(std::size_t tiles, std::size_t base) {
+  RDP_REQUIRE(tiles >= 1 && rdp::is_pow2(tiles));
+  ge_fj b;
+  b.base = base;
+  b.A(0, static_cast<std::int32_t>(tiles));
+  return std::move(b.g);
+}
+
+task_graph build_fw_forkjoin(std::size_t tiles, std::size_t base) {
+  RDP_REQUIRE(tiles >= 1 && rdp::is_pow2(tiles));
+  fw_fj b;
+  b.base = base;
+  b.A(0, static_cast<std::int32_t>(tiles));
+  return std::move(b.g);
+}
+
+task_graph build_sw_forkjoin(std::size_t tiles, std::size_t base) {
+  RDP_REQUIRE(tiles >= 1 && rdp::is_pow2(tiles));
+  sw_fj b;
+  b.base = base;
+  b.R(0, 0, static_cast<std::int32_t>(tiles));
+  return std::move(b.g);
+}
+
+}  // namespace rdp::trace

@@ -1,0 +1,268 @@
+// Tests for the cache simulator: LRU/set-associativity semantics, hierarchy
+// behaviour, page randomisation, prefetcher, and kernel-trace replays.
+#include <gtest/gtest.h>
+
+#include "cache/cache_sim.hpp"
+#include "cache/kernel_traces.hpp"
+#include "cache/profiles.hpp"
+
+namespace {
+
+using namespace rdp::cache;
+
+cache_config tiny(std::uint32_t assoc = 2, std::uint64_t size = 512) {
+  return cache_config{"T", size, 64, assoc};  // size/64/assoc sets
+}
+
+TEST(CacheSim, ColdMissThenHit) {
+  cache_sim c(tiny());
+  EXPECT_FALSE(c.access_line(10));
+  EXPECT_TRUE(c.access_line(10));
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 1u);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  // 2-way, 4 sets: lines 0, 4, 8 all map to set 0.
+  cache_sim c(tiny(2, 512));
+  EXPECT_EQ(c.config().sets(), 4u);
+  c.access_line(0);
+  c.access_line(4);
+  c.access_line(0);                // refresh 0 -> LRU victim is 4
+  c.access_line(8);                // evicts 4
+  EXPECT_TRUE(c.access_line(8));   // still resident
+  EXPECT_TRUE(c.access_line(0));   // still resident
+  EXPECT_FALSE(c.access_line(4));  // was evicted
+}
+
+TEST(CacheSim, DifferentSetsDoNotConflict) {
+  cache_sim c(tiny(1, 256));  // direct-mapped, 4 sets
+  c.access_line(0);
+  c.access_line(1);
+  c.access_line(2);
+  c.access_line(3);
+  EXPECT_TRUE(c.access_line(0));
+  EXPECT_TRUE(c.access_line(3));
+  EXPECT_EQ(c.misses(), 4u);
+}
+
+TEST(CacheSim, FullAssociativityIsPureLru) {
+  cache_config cfg{"FA", 4 * 64, 64, 4};  // one set, 4 ways
+  cache_sim c(cfg);
+  for (std::uint64_t l = 0; l < 4; ++l) c.access_line(l);
+  c.access_line(9);                  // evicts line 0 (LRU)
+  EXPECT_FALSE(c.access_line(0));
+  EXPECT_TRUE(c.access_line(9));
+}
+
+TEST(CacheSim, FlushInvalidatesEverything) {
+  cache_sim c(tiny());
+  c.access_line(1);
+  c.flush();
+  EXPECT_FALSE(c.access_line(1));
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  EXPECT_THROW(cache_sim(cache_config{"bad", 100, 64, 3}),
+               rdp::contract_error);
+}
+
+TEST(HierarchySim, MissesPropagateDownLevels) {
+  hierarchy_config cfg;
+  cfg.levels = {cache_config{"L1", 1024, 64, 2},
+                cache_config{"L2", 8192, 64, 4}};
+  cfg.page_randomization = false;
+  hierarchy_sim h(cfg);
+  h.access(0, 8);
+  auto c = h.counters();
+  EXPECT_EQ(c.misses[0], 1u);
+  EXPECT_EQ(c.misses[1], 1u);
+  h.access(0, 8);  // L1 hit: L2 not even probed
+  c = h.counters();
+  EXPECT_EQ(c.misses[0], 1u);
+  EXPECT_EQ(c.accesses[1], 1u);
+}
+
+TEST(HierarchySim, CapacityRegimesMatchWorkingSet) {
+  // Working set of 32 lines: fits L2 (128 lines) but not L1 (16 lines).
+  hierarchy_config cfg;
+  cfg.levels = {cache_config{"L1", 16 * 64, 64, 4},
+                cache_config{"L2", 128 * 64, 64, 8}};
+  cfg.page_randomization = false;
+  hierarchy_sim h(cfg);
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::uint64_t l = 0; l < 32; ++l) h.access(l * 64, 8);
+  const auto c = h.counters();
+  EXPECT_EQ(c.misses[1], 32u);            // L2: compulsory only
+  EXPECT_EQ(c.misses[0], 4u * 32u);       // L1: thrashes every pass
+}
+
+TEST(HierarchySim, StraddlingAccessTouchesTwoLines) {
+  hierarchy_config cfg;
+  cfg.levels = {cache_config{"L1", 1024, 64, 2}};
+  cfg.page_randomization = false;
+  hierarchy_sim h(cfg);
+  h.access(60, 8);  // crosses the line boundary at 64
+  EXPECT_EQ(h.counters().misses[0], 2u);
+}
+
+TEST(HierarchySim, PageRandomizationBreaksLargeStrideConflicts) {
+  // Note this only matters for caches whose index span exceeds the page
+  // size (L2/L3); an L1 whose span equals the page (32K/8-way) is indexed
+  // entirely by page-offset bits and randomisation is a no-op — exactly as
+  // on real hardware.
+  auto run = [](bool randomize) {
+    hierarchy_config cfg;
+    cfg.levels = {cache_config{"L2", 1024 * 1024, 64, 16}};
+    cfg.page_randomization = randomize;
+    hierarchy_sim h(cfg);
+    // Pathological stride: 64 KiB apart -> one set without randomisation
+    // (index span of this cache is 64 KiB).
+    for (int pass = 0; pass < 3; ++pass)
+      for (std::uint64_t r = 0; r < 64; ++r) h.access(r * 65536, 8);
+    return h.counters().misses[0];
+  };
+  // Virtually indexed: 64 conflicting lines thrash 16 ways every pass.
+  const auto virt = run(false);
+  // Page-randomised (physical) indexing spreads them across sets.
+  const auto phys = run(true);
+  EXPECT_GT(virt, phys);
+  EXPECT_EQ(phys, 64u);        // compulsory only
+  EXPECT_EQ(run(true), phys);  // deterministic hash
+}
+
+TEST(HierarchySim, NextLinePrefetchReducesStreamMisses) {
+  auto run = [](bool prefetch) {
+    hierarchy_config cfg;
+    cfg.levels = {cache_config{"L1", 1024, 64, 2},
+                  cache_config{"L2", 64 * 1024, 64, 8}};
+    cfg.page_randomization = false;
+    cfg.next_line_prefetch = prefetch;
+    hierarchy_sim h(cfg);
+    for (std::uint64_t b = 0; b < 32768; b += 8) h.access(b, 8);
+    return h.counters().misses[1];
+  };
+  EXPECT_LT(run(true), run(false) / 2 + 1);
+}
+
+// ------------------------------ kernel replays -----------------------------
+
+TEST(KernelTraces, GeTaskFitsInLargeCache) {
+  // One 32x32 D-task footprint = 3 blocks + pivot col: all compulsory in a
+  // large cache, so misses == distinct lines touched.
+  hierarchy_config cfg;
+  cfg.levels = {cache_config{"L", 8ull << 20, 64, 16}};
+  cfg.page_randomization = false;
+  hierarchy_sim h(cfg);
+  replay_ge_task(h, /*n=*/256, /*b=*/32, /*ti=*/4, /*tj=*/5, /*tk=*/2);
+  const auto misses = h.counters().misses[0];
+  // X, U, V blocks: 32 rows x ceil(32/8)=4 lines = 128 lines each; the
+  // pivot column adds <= 32 and the diagonal <= 32 more.
+  EXPECT_GE(misses, 3u * 128u);
+  EXPECT_LE(misses, 3u * 128u + 64u);
+}
+
+TEST(KernelTraces, GeSmallCacheThrashesTowardsBound) {
+  hierarchy_config cfg;
+  cfg.levels = {cache_config{"L", 4096, 64, 4}};  // 64 lines only
+  cfg.page_randomization = false;
+  hierarchy_sim h1(cfg), h2(cfg);
+  replay_ge_task(h1, 256, 32, 4, 5, 2);
+  replay_ge_task(h2, 256, 32, 4, 5, 2);  // identical replay: deterministic
+  EXPECT_EQ(h1.counters().misses[0], h2.counters().misses[0]);
+  // Far more misses than the compulsory floor.
+  EXPECT_GT(h1.counters().misses[0], 3u * 128u * 4u);
+}
+
+TEST(KernelTraces, ATaskTouchesFewerLinesThanDTask) {
+  hierarchy_config cfg;
+  cfg.levels = {cache_config{"L", 8ull << 20, 64, 16}};
+  cfg.page_randomization = false;
+  hierarchy_sim ha(cfg), hd(cfg);
+  replay_ge_task(ha, 256, 32, 2, 2, 2);  // A-kind: triangular
+  replay_ge_task(hd, 256, 32, 4, 5, 2);  // D-kind: full
+  EXPECT_LT(ha.counters().misses[0], hd.counters().misses[0]);
+}
+
+TEST(KernelTraces, FwAndSwReplaysRun) {
+  hierarchy_sim h(skylake_hierarchy());
+  replay_fw_task(h, 128, 16, 1, 2, 3);
+  replay_sw_task(h, 128, 16, 3, 2);
+  const auto c = h.counters();
+  EXPECT_GT(c.accesses[0], 0u);
+  EXPECT_GT(c.misses[0], 0u);
+}
+
+// The sampled-replay estimator must agree with full replays on tiles it
+// can cross-check (the header's "validated against full replays" promise).
+TEST(KernelTraces, SampledEstimateTracksExactReplay) {
+  hierarchy_sim h(skylake_hierarchy());
+  for (std::size_t b : {64ull, 128ull, 256ull}) {
+    const std::size_t n = 4 * b;
+    const auto exact = estimate_ge_task_misses(h, n, b, 3, 2, 1,
+                                               /*exact_threshold=*/4096);
+    const auto sampled = estimate_ge_task_misses(h, n, b, 3, 2, 1,
+                                                 /*exact_threshold=*/1);
+    ASSERT_FALSE(exact.sampled);
+    ASSERT_TRUE(sampled.sampled);
+    for (std::size_t lvl = 0; lvl < exact.misses.size(); ++lvl) {
+      const double e = static_cast<double>(exact.misses[lvl]);
+      const double s = static_cast<double>(sampled.misses[lvl]);
+      // Within 35% at every level is plenty for the order-of-magnitude
+      // ratios of Table I (the cliffs span 1-2 decades).
+      EXPECT_NEAR(s, e, 0.35 * e + 8.0) << "b=" << b << " level=" << lvl;
+    }
+  }
+}
+
+TEST(KernelTraces, EstimateIsDeterministic) {
+  hierarchy_sim h(skylake_hierarchy());
+  const auto a = estimate_ge_task_misses(h, 2048, 512, 1, 2, 0);
+  const auto b = estimate_ge_task_misses(h, 2048, 512, 1, 2, 0);
+  EXPECT_EQ(a.misses, b.misses);
+}
+
+// Parameterised LRU property sweep: for any geometry, a working set that
+// fits sees only compulsory misses on re-traversal; one that exceeds the
+// capacity with a cyclic access pattern misses every time (LRU's
+// worst case).
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t /*assoc*/,
+                                                 std::uint64_t /*lines*/>> {};
+
+TEST_P(CacheGeometry, FittingWorkingSetHasCompulsoryMissesOnly) {
+  const auto [assoc, lines] = GetParam();
+  cache_sim c(cache_config{"t", lines * 64, 64, assoc});
+  const std::uint64_t sets = c.config().sets();
+  // One line per set, half the ways: always fits.
+  const std::uint64_t ws = sets * (assoc / 2 + (assoc == 1 ? 1 : 0));
+  for (int pass = 0; pass < 4; ++pass)
+    for (std::uint64_t l = 0; l < ws; ++l) c.access_line(l);
+  EXPECT_EQ(c.misses(), ws);
+}
+
+TEST_P(CacheGeometry, CyclicOverCapacityThrashes) {
+  const auto [assoc, lines] = GetParam();
+  cache_sim c(cache_config{"t", lines * 64, 64, assoc});
+  const std::uint64_t ws = lines * 2;  // 2x capacity, cyclic
+  c.reset_counters();
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t l = 0; l < ws; ++l) c.access_line(l);
+  EXPECT_EQ(c.misses(), 3 * ws);  // LRU + cyclic = zero reuse
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Combine(::testing::Values<std::uint32_t>(1, 2, 4, 8, 16),
+                       ::testing::Values<std::uint64_t>(16, 64, 512)));
+
+TEST(Profiles, GeometriesAreValid) {
+  hierarchy_sim sky(skylake_hierarchy());
+  hierarchy_sim epyc(epyc_hierarchy());
+  EXPECT_EQ(sky.level_count(), 3u);
+  EXPECT_EQ(epyc.level_count(), 3u);
+  EXPECT_EQ(sky.level(1).config().size_bytes, 1024u * 1024);
+  EXPECT_EQ(epyc.level(1).config().size_bytes, 512u * 1024);
+}
+
+}  // namespace

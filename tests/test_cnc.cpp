@@ -1,0 +1,634 @@
+// Tests for the data-flow (CnC) runtime: graph wiring, blocking gets with
+// abort-and-re-execute, dynamic single assignment, deadlock detection, the
+// pre-scheduling tuner, tag memoisation, and environment interaction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "cnc/cnc.hpp"
+
+namespace {
+
+using namespace rdp::cnc;
+
+// ---------------------------------------------------------------- hello ----
+
+struct hello_ctx;
+struct hello_step {
+  int execute(int tag, hello_ctx& ctx) const;
+};
+struct hello_ctx : context<hello_ctx> {
+  step_collection<hello_ctx, hello_step, int> steps{*this, "hello"};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, double> data{*this, "data"};
+  hello_ctx() : context(2) { tags.prescribe(steps); }
+};
+int hello_step::execute(int tag, hello_ctx& ctx) const {
+  ctx.data.put(tag, tag * 2.5);
+  return 0;
+}
+
+TEST(Cnc, HelloGraphProducesItem) {
+  hello_ctx ctx;
+  ctx.tags.put(4);
+  ctx.wait();
+  double v = 0;
+  ctx.data.get(4, v);
+  EXPECT_DOUBLE_EQ(v, 10.0);
+  EXPECT_EQ(ctx.stats().steps_executed, 1u);
+}
+
+TEST(Cnc, EnvironmentBlockingGetHelpsUntilAvailable) {
+  hello_ctx ctx;
+  ctx.tags.put(7);
+  // No wait(): the environment get itself must drive execution to completion.
+  double v = 0;
+  ctx.data.get(7, v);
+  EXPECT_DOUBLE_EQ(v, 17.5);
+  ctx.wait();
+}
+
+TEST(Cnc, TryGetDoesNotBlock) {
+  hello_ctx ctx;
+  double v = 0;
+  EXPECT_FALSE(ctx.data.try_get(1, v));
+  ctx.tags.put(1);
+  ctx.wait();
+  EXPECT_TRUE(ctx.data.try_get(1, v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+// ---------------------------------------------------------------- chain ----
+// Step k (k > 0) consumes item k-1 and produces item k; step 0 seeds.
+// Putting tags in REVERSE order forces every step except the seed to abort
+// on an unmet get at least once under the Native (spawn-immediately) policy.
+
+struct chain_ctx;
+struct chain_step {
+  int execute(int tag, chain_ctx& ctx) const;
+  void depends(int tag, chain_ctx& ctx, dependency_collector& dc) const;
+};
+struct chain_ctx : context<chain_ctx> {
+  step_collection<chain_ctx, chain_step, int> steps;
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, std::uint64_t> values{*this, "values"};
+  explicit chain_ctx(schedule_policy policy)
+      : context(2), steps(*this, "chain", chain_step{}, policy) {
+    tags.prescribe(steps);
+  }
+};
+int chain_step::execute(int tag, chain_ctx& ctx) const {
+  if (tag == 0) {
+    ctx.values.put(0, 1);
+    return 0;
+  }
+  std::uint64_t prev = 0;
+  ctx.values.get(tag - 1, prev);  // blocking data dependency
+  ctx.values.put(tag, prev + static_cast<std::uint64_t>(tag));
+  return 0;
+}
+void chain_step::depends(int tag, chain_ctx& ctx,
+                         dependency_collector& dc) const {
+  if (tag > 0) dc.require(ctx.values, tag - 1);
+}
+
+TEST(Cnc, ChainWithRetriesComputesPrefixSums) {
+  chain_ctx ctx(schedule_policy::spawn_immediately);
+  constexpr int kN = 64;
+  for (int i = kN - 1; i >= 0; --i) ctx.tags.put(i);  // worst-case order
+  ctx.wait();
+  std::uint64_t v = 0;
+  ctx.values.get(kN - 1, v);
+  // value(k) = 1 + sum_{i=1..k} i
+  EXPECT_EQ(v, 1u + static_cast<std::uint64_t>(kN - 1) * kN / 2);
+  const auto s = ctx.stats();
+  EXPECT_EQ(s.steps_executed, static_cast<std::uint64_t>(kN));
+  EXPECT_GT(s.gets_failed, 0u);   // reverse order must cause aborts
+  EXPECT_EQ(s.steps_aborted, s.gets_failed);
+}
+
+TEST(Cnc, PrescheduleTunerAvoidsAllReexecutions) {
+  chain_ctx ctx(schedule_policy::preschedule);
+  constexpr int kN = 64;
+  for (int i = kN - 1; i >= 0; --i) ctx.tags.put(i);
+  ctx.wait();
+  std::uint64_t v = 0;
+  ctx.values.get(kN - 1, v);
+  EXPECT_EQ(v, 1u + static_cast<std::uint64_t>(kN - 1) * kN / 2);
+  const auto s = ctx.stats();
+  EXPECT_EQ(s.steps_executed, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.gets_failed, 0u);   // the whole point of the tuner
+  EXPECT_EQ(s.steps_aborted, 0u);
+  EXPECT_GT(s.preschedule_deferrals, 0u);
+}
+
+// ---------------------------------------------------------- single assign ----
+
+TEST(Cnc, DuplicatePutFromEnvironmentThrows) {
+  hello_ctx ctx;
+  ctx.data.put(100, 1.0);
+  EXPECT_THROW(ctx.data.put(100, 2.0), dsa_violation);
+  double v = 0;
+  ctx.data.get(100, v);
+  EXPECT_DOUBLE_EQ(v, 1.0);  // original value preserved
+}
+
+struct dup_ctx;
+struct dup_step {
+  int execute(int tag, dup_ctx& ctx) const;
+};
+struct dup_ctx : context<dup_ctx> {
+  step_collection<dup_ctx, dup_step, int> steps{*this, "dup"};
+  tag_collection<int> tags{*this, "ctrl", /*memoize=*/false};
+  item_collection<int, int> data{*this, "data"};
+  dup_ctx() : context(2) { tags.prescribe(steps); }
+};
+int dup_step::execute(int, dup_ctx& ctx) const {
+  ctx.data.put(0, 1);  // every instance writes the same key
+  return 0;
+}
+
+TEST(Cnc, DuplicatePutFromStepSurfacesAtWait) {
+  dup_ctx ctx;
+  ctx.tags.put(1);
+  ctx.tags.put(2);  // second instance violates single assignment
+  EXPECT_THROW(ctx.wait(), dsa_violation);
+}
+
+// -------------------------------------------------------------- deadlock ----
+
+struct stuck_ctx;
+struct stuck_step {
+  int execute(int tag, stuck_ctx& ctx) const;
+};
+struct stuck_ctx : context<stuck_ctx> {
+  step_collection<stuck_ctx, stuck_step, int> steps{*this, "stuck"};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, int> data{*this, "data"};
+  stuck_ctx() : context(2) { tags.prescribe(steps); }
+};
+int stuck_step::execute(int, stuck_ctx& ctx) const {
+  int v = 0;
+  ctx.data.get(12345, v);  // nobody ever produces this item
+  return 0;
+}
+
+TEST(Cnc, QuiescedGraphWithParkedStepsReportsDeadlock) {
+  stuck_ctx ctx;
+  ctx.tags.put(0);
+  EXPECT_THROW(ctx.wait(), unsatisfied_dependency);
+  // The suspended instance is reclaimed by the context destructor (checked
+  // implicitly by ASAN-less leak hygiene; here we just ensure no crash).
+}
+
+TEST(Cnc, DeadlockReportCountsParkedInstances) {
+  stuck_ctx ctx;
+  ctx.tags.put(0);
+  ctx.tags.put(1);
+  ctx.tags.put(2);
+  try {
+    ctx.wait();
+    FAIL() << "expected unsatisfied_dependency";
+  } catch (const unsatisfied_dependency& e) {
+    EXPECT_NE(std::string(e.what()).find("3"), std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------ memoisation ----
+
+struct count_ctx;
+struct count_step {
+  int execute(int tag, count_ctx& ctx) const;
+};
+struct count_ctx : context<count_ctx> {
+  std::atomic<int> executions{0};
+  step_collection<count_ctx, count_step, int> steps{*this, "count"};
+  tag_collection<int> tags{*this, "ctrl"};  // memoising (default)
+  count_ctx() : context(2) { tags.prescribe(steps); }
+};
+int count_step::execute(int, count_ctx& ctx) const {
+  ctx.executions.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+TEST(Cnc, TagCollectionMemoisesDuplicateTags) {
+  count_ctx ctx;
+  for (int rep = 0; rep < 5; ++rep) ctx.tags.put(3);
+  ctx.tags.put(4);
+  ctx.wait();
+  EXPECT_EQ(ctx.executions.load(), 2);  // tags 3 and 4, once each
+  EXPECT_EQ(ctx.stats().tags_put, 6u);
+  EXPECT_EQ(ctx.stats().steps_prescribed, 2u);
+}
+
+// ------------------------------------------------- multiple prescriptions ----
+
+struct multi_ctx;
+struct step_a {
+  int execute(int tag, multi_ctx& ctx) const;
+};
+struct step_b {
+  int execute(int tag, multi_ctx& ctx) const;
+};
+struct multi_ctx : context<multi_ctx> {
+  step_collection<multi_ctx, step_a, int> a{*this, "A"};
+  step_collection<multi_ctx, step_b, int> b{*this, "B"};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<std::string, int> out{*this, "out"};
+  multi_ctx() : context(2) {
+    tags.prescribe(a);
+    tags.prescribe(b);
+  }
+};
+int step_a::execute(int tag, multi_ctx& ctx) const {
+  ctx.out.put("a" + std::to_string(tag), tag);
+  return 0;
+}
+int step_b::execute(int tag, multi_ctx& ctx) const {
+  ctx.out.put("b" + std::to_string(tag), -tag);
+  return 0;
+}
+
+TEST(Cnc, OneTagCollectionPrescribesTwoStepCollections) {
+  multi_ctx ctx;
+  ctx.tags.put(9);
+  ctx.wait();
+  int va = 0, vb = 0;
+  ctx.out.get("a9", va);
+  ctx.out.get("b9", vb);
+  EXPECT_EQ(va, 9);
+  EXPECT_EQ(vb, -9);
+  EXPECT_EQ(ctx.tags.prescription_count(), 2u);
+}
+
+// ------------------------------------------------------------ user errors ----
+
+struct throwing_ctx;
+struct throwing_step {
+  int execute(int tag, throwing_ctx& ctx) const;
+};
+struct throwing_ctx : context<throwing_ctx> {
+  step_collection<throwing_ctx, throwing_step, int> steps{*this, "boom"};
+  tag_collection<int> tags{*this, "ctrl"};
+  throwing_ctx() : context(2) { tags.prescribe(steps); }
+};
+int throwing_step::execute(int tag, throwing_ctx&) const {
+  if (tag == 13) throw std::runtime_error("unlucky tag");
+  return 0;
+}
+
+TEST(Cnc, StepExceptionRethrownByWait) {
+  throwing_ctx ctx;
+  for (int i = 0; i < 20; ++i) ctx.tags.put(i);
+  try {
+    ctx.wait();
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "unlucky tag");
+  }
+}
+
+// -------------------------------------------------------- diamond / fan-in ----
+// d consumes the outputs of b and c, which both consume a's output: the
+// canonical diamond. Under preschedule, d must defer until both are ready.
+
+struct diamond_ctx;
+struct diamond_step {
+  int execute(char tag, diamond_ctx& ctx) const;
+  void depends(char tag, diamond_ctx& ctx, dependency_collector& dc) const;
+};
+struct diamond_ctx : context<diamond_ctx> {
+  step_collection<diamond_ctx, diamond_step, char> steps;
+  tag_collection<char> tags{*this, "ctrl"};
+  item_collection<char, int> data{*this, "data"};
+  explicit diamond_ctx(schedule_policy p)
+      : context(2), steps(*this, "diamond", diamond_step{}, p) {
+    tags.prescribe(steps);
+  }
+};
+int diamond_step::execute(char tag, diamond_ctx& ctx) const {
+  int x = 0, y = 0;
+  switch (tag) {
+    case 'a':
+      ctx.data.put('a', 1);
+      break;
+    case 'b':
+      ctx.data.get('a', x);
+      ctx.data.put('b', x + 10);
+      break;
+    case 'c':
+      ctx.data.get('a', x);
+      ctx.data.put('c', x + 100);
+      break;
+    case 'd':
+      ctx.data.get('b', x);
+      ctx.data.get('c', y);
+      ctx.data.put('d', x + y);
+      break;
+    default:
+      break;
+  }
+  return 0;
+}
+void diamond_step::depends(char tag, diamond_ctx& ctx,
+                           dependency_collector& dc) const {
+  switch (tag) {
+    case 'b':
+    case 'c':
+      dc.require(ctx.data, 'a');
+      break;
+    case 'd':
+      dc.require(ctx.data, 'b');
+      dc.require(ctx.data, 'c');
+      break;
+    default:
+      break;
+  }
+}
+
+class CncDiamond : public ::testing::TestWithParam<schedule_policy> {};
+
+TEST_P(CncDiamond, ComputesFanInUnderBothPolicies) {
+  diamond_ctx ctx(GetParam());
+  // Put sink first to maximise out-of-order pressure.
+  ctx.tags.put('d');
+  ctx.tags.put('c');
+  ctx.tags.put('b');
+  ctx.tags.put('a');
+  ctx.wait();
+  int v = 0;
+  ctx.data.get('d', v);
+  EXPECT_EQ(v, (1 + 10) + (1 + 100));
+  if (GetParam() == schedule_policy::preschedule)
+    EXPECT_EQ(ctx.stats().gets_failed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CncDiamond,
+                         ::testing::Values(schedule_policy::spawn_immediately,
+                                           schedule_policy::preschedule));
+
+// ------------------------------------------------------------- stress mix ----
+// Many chains executed concurrently with interleaved tag order; validates
+// waiter lists under contention.
+
+struct grid_ctx;
+struct grid_step {
+  int execute(std::uint64_t tag, grid_ctx& ctx) const;
+};
+struct grid_ctx : context<grid_ctx> {
+  static constexpr std::uint64_t kChains = 16, kLen = 32;
+  step_collection<grid_ctx, grid_step, std::uint64_t> steps{*this, "grid"};
+  tag_collection<std::uint64_t> tags{*this, "ctrl"};
+  item_collection<std::uint64_t, std::uint64_t> cells{*this, "cells"};
+  grid_ctx() : context(4) { tags.prescribe(steps); }
+};
+int grid_step::execute(std::uint64_t tag, grid_ctx& ctx) const {
+  const std::uint64_t chain = tag / grid_ctx::kLen;
+  const std::uint64_t pos = tag % grid_ctx::kLen;
+  std::uint64_t prev = chain;  // seed value for pos == 0
+  if (pos > 0) ctx.cells.get(tag - 1, prev);
+  ctx.cells.put(tag, prev + 1);
+  return 0;
+}
+
+TEST(Cnc, ManyConcurrentChainsUnderContention) {
+  grid_ctx ctx;
+  // Interleave chains, positions descending: maximal suspension pressure.
+  for (std::uint64_t pos = grid_ctx::kLen; pos-- > 0;)
+    for (std::uint64_t c = 0; c < grid_ctx::kChains; ++c)
+      ctx.tags.put(c * grid_ctx::kLen + pos);
+  ctx.wait();
+  for (std::uint64_t c = 0; c < grid_ctx::kChains; ++c) {
+    std::uint64_t v = 0;
+    ctx.cells.get(c * grid_ctx::kLen + grid_ctx::kLen - 1, v);
+    EXPECT_EQ(v, c + grid_ctx::kLen);
+  }
+  EXPECT_EQ(ctx.stats().steps_executed, grid_ctx::kChains * grid_ctx::kLen);
+}
+
+// ------------------------------------------------ get-count collection ----
+// Items put with a get_count are erased after exactly that many successful
+// blocking gets (Intel CnC's item garbage collection).
+
+struct gc_ctx;
+struct gc_step {
+  int execute(int tag, gc_ctx& ctx) const;
+  void depends(int tag, gc_ctx& ctx, dependency_collector& dc) const;
+};
+struct gc_ctx : context<gc_ctx> {
+  step_collection<gc_ctx, gc_step, int> steps;
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, int> data{*this, "data"};
+  item_collection<int, int> out{*this, "out"};
+  gc_ctx()
+      : context(2),
+        steps(*this, "gc", gc_step{}, schedule_policy::preschedule) {
+    tags.prescribe(steps);
+  }
+};
+int gc_step::execute(int tag, gc_ctx& ctx) const {
+  int v = 0;
+  ctx.data.get(0, v);  // shared input, consumed by every step
+  ctx.out.put(tag, v + tag);
+  return 0;
+}
+void gc_step::depends(int tag, gc_ctx& ctx, dependency_collector& dc) const {
+  (void)tag;
+  dc.require(ctx.data, 0);
+}
+
+TEST(Cnc, GetCountCollectsItemAfterLastConsumer) {
+  gc_ctx ctx;
+  constexpr int kConsumers = 8;
+  ctx.data.put(0, 100, /*get_count=*/kConsumers);
+  for (int t = 1; t <= kConsumers; ++t) ctx.tags.put(t);
+  ctx.wait();
+  // All consumers saw the value...
+  int v = 0;
+  ctx.out.get(kConsumers, v);
+  EXPECT_EQ(v, 100 + kConsumers);
+  // ...and the input item was reclaimed after the last get.
+  EXPECT_FALSE(ctx.data.contains(0));
+  EXPECT_EQ(ctx.data.size(), 0u);
+}
+
+TEST(Cnc, GetCountZeroMeansKeepForever) {
+  gc_ctx ctx;
+  ctx.data.put(0, 5);  // default: no collection
+  for (int t = 1; t <= 4; ++t) ctx.tags.put(t);
+  ctx.wait();
+  EXPECT_TRUE(ctx.data.contains(0));
+}
+
+TEST(Cnc, EnvironmentGetsCountTowardsCollection) {
+  gc_ctx ctx;
+  ctx.data.put(0, 7, /*get_count=*/2);
+  int v = 0;
+  ctx.data.get(0, v);  // env consumption #1
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(ctx.data.contains(0));
+  ctx.data.get(0, v);  // env consumption #2: last one
+  EXPECT_FALSE(ctx.data.contains(0));
+  ctx.wait();
+}
+
+// --------------------------------------------------- compute_on affinity ----
+// Steps that define compute_on(tag, ctx) are pinned to the returned worker;
+// affinity queues are not stealable, so the placement is exact.
+
+struct affine_ctx;
+struct affine_step {
+  int execute(int tag, affine_ctx& ctx) const;
+  int compute_on(int tag, affine_ctx& ctx) const;
+};
+struct affine_ctx : context<affine_ctx> {
+  static constexpr unsigned kWorkers = 3;
+  std::atomic<int> misplaced{0};
+  std::atomic<int> executed{0};
+  step_collection<affine_ctx, affine_step, int> steps{*this, "affine"};
+  tag_collection<int> tags{*this, "ctrl"};
+  affine_ctx() : context(kWorkers) { tags.prescribe(steps); }
+};
+int affine_step::compute_on(int tag, affine_ctx&) const {
+  return tag % static_cast<int>(affine_ctx::kWorkers);
+}
+int affine_step::execute(int tag, affine_ctx& ctx) const {
+  const int expected = tag % static_cast<int>(affine_ctx::kWorkers);
+  if (rdp::forkjoin::worker_pool::current_worker_index() != expected)
+    ctx.misplaced.fetch_add(1, std::memory_order_relaxed);
+  ctx.executed.fetch_add(1, std::memory_order_relaxed);
+  return 0;
+}
+
+TEST(Cnc, ComputeOnTunerPinsStepsToWorkers) {
+  affine_ctx ctx;
+  for (int t = 0; t < 120; ++t) ctx.tags.put(t);
+  ctx.wait();
+  EXPECT_EQ(ctx.executed.load(), 120);
+  EXPECT_EQ(ctx.misplaced.load(), 0);
+}
+
+// ------------------------------------------------- non-blocking requeues ----
+// A polling step that requeues itself until the environment publishes the
+// item it needs — the §IV-B "non-blocking get" protocol in isolation.
+
+struct poll_ctx;
+struct poll_step {
+  int execute(int tag, poll_ctx& ctx) const;
+};
+struct poll_ctx : context<poll_ctx> {
+  step_collection<poll_ctx, poll_step, int> steps{*this, "poll"};
+  tag_collection<int> tags{*this, "ctrl", /*memoize=*/false};
+  item_collection<int, int> input{*this, "input"};
+  item_collection<int, int> output{*this, "output"};
+  poll_ctx() : context(2) { tags.prescribe(steps); }
+};
+int poll_step::execute(int tag, poll_ctx& ctx) const {
+  int v = 0;
+  if (!ctx.input.try_get(0, v)) {
+    ctx.steps.respawn(tag);  // poll again later (FIFO path)
+    return 0;
+  }
+  ctx.output.put(tag, v + 1);
+  return 0;
+}
+
+TEST(Cnc, NonblockingRespawnPollsUntilItemAppears) {
+  poll_ctx ctx;
+  ctx.tags.put(7);
+  // The step must spin through at least one requeue before the item
+  // exists; wait for proof, then publish the item.
+  while (ctx.stats().steps_requeued == 0) std::this_thread::yield();
+  ctx.input.put(0, 41);
+  ctx.wait();
+  int v = 0;
+  ctx.output.get(7, v);
+  EXPECT_EQ(v, 42);
+  const auto s = ctx.stats();
+  EXPECT_GE(s.steps_requeued, 1u);
+  EXPECT_EQ(s.steps_aborted, 0u);  // polling never parks
+}
+
+// ------------------------------------------------------ waiter stress ----
+// Many producers and consumers hammering a handful of shared items from
+// random tag orders: waiter lists and resume paths under real contention.
+
+struct fanout_ctx;
+struct fanout_step {
+  int execute(int tag, fanout_ctx& ctx) const;
+};
+struct fanout_ctx : context<fanout_ctx> {
+  static constexpr int kHubs = 4, kConsumersPerHub = 64;
+  step_collection<fanout_ctx, fanout_step, int> steps{*this, "fan"};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, int> hubs{*this, "hubs"};
+  item_collection<int, int> results{*this, "results"};
+  fanout_ctx() : context(4) { tags.prescribe(steps); }
+};
+int fanout_step::execute(int tag, fanout_ctx& ctx) const {
+  if (tag < fanout_ctx::kHubs) {  // producer steps
+    ctx.hubs.put(tag, tag * 1000);
+    return 0;
+  }
+  const int hub = tag % fanout_ctx::kHubs;  // consumer steps
+  int v = 0;
+  ctx.hubs.get(hub, v);
+  ctx.results.put(tag, v + tag);
+  return 0;
+}
+
+TEST(Cnc, ManyConsumersParkOnFewItems) {
+  fanout_ctx ctx;
+  const int total = fanout_ctx::kHubs * (fanout_ctx::kConsumersPerHub + 1);
+  // Consumers first (they all park), producers last.
+  for (int t = total - 1; t >= 0; --t) ctx.tags.put(t);
+  ctx.wait();
+  int v = 0;
+  ctx.results.get(total - 1, v);
+  const int hub = (total - 1) % fanout_ctx::kHubs;
+  EXPECT_EQ(v, hub * 1000 + total - 1);
+  EXPECT_EQ(ctx.stats().steps_executed, static_cast<std::uint64_t>(total));
+  EXPECT_EQ(ctx.results.size(),
+            static_cast<std::size_t>(total - fanout_ctx::kHubs));
+}
+
+TEST(Cnc, ResetStatsClearsCounters) {
+  hello_ctx ctx;
+  ctx.tags.put(1);
+  ctx.wait();
+  EXPECT_GT(ctx.stats().steps_executed, 0u);
+  ctx.reset_stats();
+  const auto s = ctx.stats();
+  EXPECT_EQ(s.steps_executed, 0u);
+  EXPECT_EQ(s.items_put, 0u);
+  EXPECT_EQ(s.tags_put, 0u);
+}
+
+// Items put by the environment before any tag: steps find them immediately.
+TEST(Cnc, EnvironmentSeedsItemsBeforeExecution) {
+  chain_ctx ctx(schedule_policy::spawn_immediately);
+  ctx.values.put(9, 1000);  // pretend step 9 already ran? No: key 9 is the
+                            // dependency of step 10 only.
+  ctx.tags.put(10);
+  ctx.wait();
+  std::uint64_t v = 0;
+  ctx.values.get(10, v);
+  EXPECT_EQ(v, 1010u);
+  EXPECT_EQ(ctx.stats().gets_failed, 0u);
+}
+
+TEST(Cnc, ItemCollectionSizeCountsPublishedItems) {
+  hello_ctx ctx;
+  EXPECT_EQ(ctx.data.size(), 0u);
+  ctx.tags.put(1);
+  ctx.tags.put(2);
+  ctx.wait();
+  EXPECT_EQ(ctx.data.size(), 2u);
+  EXPECT_TRUE(ctx.data.contains(1));
+  EXPECT_FALSE(ctx.data.contains(3));
+}
+
+}  // namespace

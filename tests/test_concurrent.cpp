@@ -1,0 +1,284 @@
+// Unit + stress tests for the concurrency primitives: Chase-Lev deque,
+// Vyukov MPMC queue, striped hash map, spinlock, backoff.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "concurrent/backoff.hpp"
+#include "concurrent/chase_lev_deque.hpp"
+#include "concurrent/mpmc_queue.hpp"
+#include "concurrent/spinlock.hpp"
+#include "concurrent/striped_hash_map.hpp"
+
+namespace {
+
+using namespace rdp::concurrent;
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  spinlock lock;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::scoped_lock guard(lock);
+        ++counter;
+      }
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+TEST(Spinlock, TryLockReportsState) {
+  spinlock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(ChaseLevDeque, LifoOwnerOrder) {
+  chase_lev_deque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  for (int i = 9; i >= 0; --i) {
+    auto v = d.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(d.pop().has_value());
+}
+
+TEST(ChaseLevDeque, FifoStealOrder) {
+  chase_lev_deque<int> d;
+  for (int i = 0; i < 10; ++i) d.push(i);
+  for (int i = 0; i < 10; ++i) {
+    auto v = d.steal();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(d.steal().has_value());
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  chase_lev_deque<int> d(4);
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) d.push(i);
+  EXPECT_EQ(d.size_estimate(), static_cast<std::size_t>(kN));
+  long sum = 0;
+  while (auto v = d.pop()) sum += *v;
+  EXPECT_EQ(sum, static_cast<long>(kN) * (kN - 1) / 2);
+}
+
+// Stress: one owner pushing/popping, several thieves stealing; every pushed
+// value must be consumed exactly once.
+TEST(ChaseLevDeque, OwnerVsThievesExactlyOnce) {
+  constexpr int kN = 50000;
+  constexpr int kThieves = 3;
+  chase_lev_deque<int> d;
+  std::atomic<long> consumed_sum{0};
+  std::atomic<long> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t)
+    thieves.emplace_back([&] {
+      backoff bo;
+      while (!done.load(std::memory_order_acquire) || !d.empty_estimate()) {
+        if (auto v = d.steal()) {
+          consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+          bo.reset();
+        } else {
+          bo.pause();
+        }
+      }
+    });
+
+  long owner_sum = 0;
+  long owner_count = 0;
+  for (int i = 1; i <= kN; ++i) {
+    d.push(i);
+    if (i % 3 == 0) {
+      if (auto v = d.pop()) {
+        owner_sum += *v;
+        ++owner_count;
+      }
+    }
+  }
+  while (auto v = d.pop()) {
+    owner_sum += *v;
+    ++owner_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+  // Late steals after the owner's final pop() returned empty are possible
+  // only before `done` was set; drain anything left.
+  while (auto v = d.steal()) {
+    consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+    consumed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  EXPECT_EQ(owner_count + consumed_count.load(), kN);
+  EXPECT_EQ(owner_sum + consumed_sum.load(),
+            static_cast<long>(kN) * (kN + 1) / 2);
+}
+
+TEST(MpmcQueue, FifoSingleThread) {
+  mpmc_queue<int> q(8);
+  for (int i = 0; i < 8; ++i) EXPECT_TRUE(q.try_push(i));
+  EXPECT_FALSE(q.try_push(99));  // full
+  for (int i = 0; i < 8; ++i) {
+    auto v = q.try_pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(MpmcQueue, CapacityRoundsUpToPow2) {
+  mpmc_queue<int> q(100);
+  EXPECT_EQ(q.capacity(), 128u);
+}
+
+TEST(MpmcQueue, RejectsTinyCapacity) {
+  EXPECT_THROW(mpmc_queue<int>(1), rdp::contract_error);
+}
+
+TEST(MpmcQueue, ManyProducersManyConsumers) {
+  constexpr int kProducers = 3, kConsumers = 3, kPerProducer = 20000;
+  mpmc_queue<std::uint64_t> q(1024);
+  std::atomic<std::uint64_t> popped_sum{0};
+  std::atomic<long> popped_count{0};
+  std::atomic<bool> producing{true};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&] {
+      backoff bo;
+      for (;;) {
+        if (auto v = q.try_pop()) {
+          popped_sum.fetch_add(*v, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+          bo.reset();
+        } else if (!producing.load(std::memory_order_acquire)) {
+          if (auto w = q.try_pop()) {  // final drain race
+            popped_sum.fetch_add(*w, std::memory_order_relaxed);
+            popped_count.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          break;
+        } else {
+          bo.pause();
+        }
+      }
+    });
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      backoff bo;
+      for (int i = 0; i < kPerProducer; ++i) {
+        const std::uint64_t v =
+            static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+        while (!q.try_push(v)) bo.pause();
+        bo.reset();
+      }
+    });
+
+  for (auto& t : producers) t.join();
+  producing.store(false, std::memory_order_release);
+  for (auto& t : consumers) t.join();
+
+  std::uint64_t expected_sum = 0;
+  for (int p = 0; p < kProducers; ++p)
+    for (int i = 0; i < kPerProducer; ++i)
+      expected_sum += static_cast<std::uint64_t>(p) * kPerProducer + i + 1;
+  EXPECT_EQ(popped_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(popped_sum.load(), expected_sum);
+}
+
+TEST(StripedHashMap, InsertFindErase) {
+  striped_hash_map<int, std::string> m;
+  EXPECT_TRUE(m.insert(1, "one"));
+  EXPECT_FALSE(m.insert(1, "uno"));  // already present
+  auto v = m.find(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");  // first value kept
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_FALSE(m.contains(2));
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_FALSE(m.erase(1));
+  EXPECT_FALSE(m.find(1).has_value());
+}
+
+TEST(StripedHashMap, MutateCreatesDefaultEntry) {
+  striped_hash_map<int, int> m;
+  const int result = m.mutate(5, [](int& v) {
+    v += 7;
+    return v;
+  });
+  EXPECT_EQ(result, 7);
+  EXPECT_EQ(*m.find(5), 7);
+}
+
+TEST(StripedHashMap, SizeAndClearAndForEach) {
+  striped_hash_map<int, int> m(4);
+  for (int i = 0; i < 100; ++i) m.insert(i, i * i);
+  EXPECT_EQ(m.size(), 100u);
+  long sum = 0;
+  m.for_each([&](int k, int v) {
+    EXPECT_EQ(v, k * k);
+    sum += v;
+  });
+  long expected = 0;
+  for (int i = 0; i < 100; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(StripedHashMap, ConcurrentInsertDisjointKeys) {
+  striped_hash_map<int, int> m;
+  constexpr int kThreads = 4, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&m, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        EXPECT_TRUE(m.insert(t * kPerThread + i, i));
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+TEST(StripedHashMap, ConcurrentInsertSameKeysExactlyOneWinner) {
+  striped_hash_map<int, int> m;
+  constexpr int kThreads = 4, kKeys = 5000;
+  std::atomic<long> wins{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&m, &wins, t] {
+      for (int i = 0; i < kKeys; ++i)
+        if (m.insert(i, t)) wins.fetch_add(1, std::memory_order_relaxed);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(wins.load(), kKeys);  // each key inserted exactly once
+  EXPECT_EQ(m.size(), static_cast<std::size_t>(kKeys));
+}
+
+TEST(Backoff, PauseAndResetDoNotCrash) {
+  backoff bo;
+  for (int i = 0; i < 100; ++i) bo.pause();
+  bo.reset();
+  bo.pause();
+  SUCCEED();
+}
+
+}  // namespace

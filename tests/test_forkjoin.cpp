@@ -1,0 +1,275 @@
+// Tests for the fork-join runtime: worker pool scheduling, task_group
+// fork/join semantics, nested recursion, exception propagation, helping
+// joins, and parallel_for.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "forkjoin/task_group.hpp"
+#include "forkjoin/worker_pool.hpp"
+
+namespace {
+
+using namespace rdp::forkjoin;
+
+TEST(WorkerPool, RunExecutesRootTask) {
+  worker_pool pool(2);
+  std::atomic<int> x{0};
+  pool.run([&] { x.store(42); });
+  EXPECT_EQ(x.load(), 42);
+}
+
+TEST(WorkerPool, SingleWorkerStillCompletes) {
+  worker_pool pool(1);
+  std::atomic<int> sum{0};
+  pool.run([&] {
+    task_group g(pool);
+    for (int i = 1; i <= 100; ++i)
+      g.spawn([&sum, i] { sum.fetch_add(i, std::memory_order_relaxed); });
+    g.wait();
+  });
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(WorkerPool, CurrentIsNullOnExternalThread) {
+  worker_pool pool(2);
+  EXPECT_EQ(worker_pool::current(), nullptr);
+  EXPECT_EQ(worker_pool::current_worker_index(), -1);
+  // Tasks may run on pool workers (current()==&pool, index in range) or on
+  // the external thread helping inside run()/wait() (current()==nullptr).
+  std::atomic<bool> bad{false};
+  pool.run([&] {
+    task_group g(pool);
+    for (int i = 0; i < 64; ++i)
+      g.spawn([&] {
+        worker_pool* p = worker_pool::current();
+        const int idx = worker_pool::current_worker_index();
+        const bool on_worker = p == &pool && idx >= 0 &&
+                               idx < static_cast<int>(pool.worker_count());
+        const bool on_helper = p == nullptr && idx == -1;
+        if (!on_worker && !on_helper) bad.store(true);
+      });
+    g.wait();
+  });
+  EXPECT_FALSE(bad.load());
+}
+
+TEST(WorkerPool, StatsCountExecutedTasks) {
+  worker_pool pool(2);
+  pool.reset_stats();
+  pool.run([&] {
+    task_group g(pool);
+    for (int i = 0; i < 50; ++i) g.spawn([] {});
+    g.wait();
+  });
+  const pool_stats s = pool.stats();
+  // 50 spawned tasks + 1 root task.
+  EXPECT_GE(s.tasks_spawned, 51u);
+  EXPECT_GE(s.tasks_executed, 51u);
+}
+
+TEST(TaskGroup, WaitBlocksUntilAllChildrenFinish) {
+  worker_pool pool(4);
+  std::atomic<int> done{0};
+  pool.run([&] {
+    task_group g(pool);
+    for (int i = 0; i < 200; ++i)
+      g.spawn([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    g.wait();
+    EXPECT_EQ(done.load(), 200);  // join semantics: all forks completed
+  });
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(TaskGroup, RunInlineCountsTowardsWait) {
+  worker_pool pool(2);
+  int value = 0;
+  pool.run([&] {
+    task_group g(pool);
+    g.run_inline([&] { value = 7; });
+    g.wait();
+  });
+  EXPECT_EQ(value, 7);
+}
+
+// Classic nested fork-join: naive parallel Fibonacci. Exercises deep
+// recursion, nested groups, and helping joins (the waiting worker must
+// execute other tasks or a 2-worker pool would deadlock).
+long fib_serial(int n) { return n < 2 ? n : fib_serial(n - 1) + fib_serial(n - 2); }
+
+long fib_parallel(worker_pool& pool, int n) {
+  if (n < 2) return n;
+  if (n < 12) return fib_serial(n);
+  long a = 0, b = 0;
+  task_group g(pool);
+  g.spawn([&pool, &a, n] { a = fib_parallel(pool, n - 1); });
+  b = fib_parallel(pool, n - 2);
+  g.wait();
+  return a + b;
+}
+
+TEST(TaskGroup, NestedForkJoinFibonacci) {
+  worker_pool pool(4);
+  long result = 0;
+  pool.run([&] { result = fib_parallel(pool, 24); });
+  EXPECT_EQ(result, fib_serial(24));
+}
+
+TEST(TaskGroup, ExceptionFromChildPropagatesToWait) {
+  worker_pool pool(2);
+  bool caught = false;
+  pool.run([&] {
+    task_group g(pool);
+    g.spawn([] { throw std::runtime_error("child failed"); });
+    for (int i = 0; i < 10; ++i) g.spawn([] {});
+    try {
+      g.wait();
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "child failed";
+    }
+  });
+  EXPECT_TRUE(caught);
+}
+
+TEST(TaskGroup, AllSiblingsStillRunWhenOneThrows) {
+  worker_pool pool(2);
+  std::atomic<int> ran{0};
+  pool.run([&] {
+    task_group g(pool);
+    for (int i = 0; i < 20; ++i)
+      g.spawn([&ran, i] {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == 3) throw std::runtime_error("boom");
+      });
+    try {
+      g.wait();
+    } catch (const std::runtime_error&) {
+    }
+  });
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  worker_pool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.run([&] {
+    parallel_for(pool, 0, kN, 64,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+  });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelFor, EmptyAndTinyRanges) {
+  worker_pool pool(2);
+  std::atomic<int> count{0};
+  pool.run([&] {
+    parallel_for(pool, 5, 5, 4, [&](std::size_t) { count.fetch_add(1); });
+    parallel_for(pool, 0, 3, 64, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, RejectsZeroGrain) {
+  worker_pool pool(1);
+  bool threw = false;
+  pool.run([&] {
+    try {
+      parallel_for(pool, 0, 10, 0, [](std::size_t) {});
+    } catch (const rdp::contract_error&) {
+      threw = true;
+    }
+  });
+  EXPECT_TRUE(threw);
+}
+
+// Spawning from an external (non-worker) thread goes through the injection
+// queue and must still be executed.
+TEST(WorkerPool, ExternalEnqueueViaGroup) {
+  worker_pool pool(2);
+  std::atomic<int> x{0};
+  task_group g(pool);  // group used from the main (external) thread
+  for (int i = 0; i < 32; ++i) g.spawn([&x] { x.fetch_add(1); });
+  g.wait();  // external wait helps via steal/injection paths
+  EXPECT_EQ(x.load(), 32);
+}
+
+// Oversubscription: more workers than hardware threads must not deadlock.
+TEST(WorkerPool, OversubscribedPoolCompletes) {
+  worker_pool pool(8);
+  std::atomic<long> sum{0};
+  pool.run([&] {
+    task_group g(pool);
+    for (int i = 0; i < 1000; ++i)
+      g.spawn([&sum] { sum.fetch_add(1, std::memory_order_relaxed); });
+    g.wait();
+  });
+  EXPECT_EQ(sum.load(), 1000);
+}
+
+TEST(WorkerPool, EnqueueGlobalRunsTasks) {
+  worker_pool pool(2);
+  std::atomic<int> sum{0};
+  for (int i = 0; i < 64; ++i)
+    pool.enqueue_global(make_task(
+        [&sum] { sum.fetch_add(1, std::memory_order_relaxed); }, nullptr));
+  // Drain by helping from the external thread.
+  while (sum.load(std::memory_order_acquire) < 64)
+    if (!pool.try_run_one()) std::this_thread::yield();
+  EXPECT_EQ(sum.load(), 64);
+}
+
+TEST(WorkerPool, AffinityTasksRunOnTheirWorker) {
+  worker_pool pool(3);
+  std::atomic<int> misplaced{0};
+  std::atomic<int> done{0};
+  constexpr int kN = 90;
+  for (int i = 0; i < kN; ++i) {
+    const unsigned target = static_cast<unsigned>(i) % 3;
+    pool.enqueue_affine(target, make_task(
+        [&misplaced, &done, target] {
+          if (worker_pool::current_worker_index() !=
+              static_cast<int>(target))
+            misplaced.fetch_add(1, std::memory_order_relaxed);
+          done.fetch_add(1, std::memory_order_relaxed);
+        },
+        nullptr));
+  }
+  while (done.load(std::memory_order_acquire) < kN) std::this_thread::yield();
+  EXPECT_EQ(misplaced.load(), 0);
+}
+
+TEST(WorkerPool, AffinityIndexOutOfRangeThrows) {
+  worker_pool pool(2);
+  auto* t = make_task([] {}, nullptr);
+  EXPECT_THROW(pool.enqueue_affine(7, t), rdp::contract_error);
+  t->execute_and_destroy(t);  // avoid the leak after the rejected enqueue
+}
+
+// The "artificial dependency" microcosm (paper §III-B): with a join between
+// two stages, no stage-2 task may start before every stage-1 task finished.
+TEST(TaskGroup, JoinOrdersStagesGlobally) {
+  worker_pool pool(4);
+  std::atomic<int> stage1_done{0};
+  std::atomic<bool> violated{false};
+  pool.run([&] {
+    task_group g1(pool);
+    for (int i = 0; i < 50; ++i)
+      g1.spawn([&] { stage1_done.fetch_add(1, std::memory_order_acq_rel); });
+    g1.wait();  // the join — an artificial barrier for unrelated tasks
+    task_group g2(pool);
+    for (int i = 0; i < 50; ++i)
+      g2.spawn([&] {
+        if (stage1_done.load(std::memory_order_acquire) != 50)
+          violated.store(true);
+      });
+    g2.wait();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+}  // namespace

@@ -1,0 +1,273 @@
+// Unit tests for the support library: math helpers, aligned storage,
+// matrices/tiles, RNG and workload generators, CSV/table output, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <sstream>
+
+#include "support/aligned_buffer.hpp"
+#include "support/assertions.hpp"
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/math_utils.hpp"
+#include "support/matrix.hpp"
+#include "support/rng.hpp"
+#include "support/stopwatch.hpp"
+#include "support/table_printer.hpp"
+
+namespace {
+
+using namespace rdp;
+
+TEST(MathUtils, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0);
+  EXPECT_EQ(ceil_div(1, 4), 1);
+  EXPECT_EQ(ceil_div(4, 4), 1);
+  EXPECT_EQ(ceil_div(5, 4), 2);
+  EXPECT_EQ(ceil_div(8, 4), 2);
+  EXPECT_EQ(ceil_div<std::uint64_t>(1'000'000'007ULL, 64), 15'625'001ULL);
+}
+
+TEST(MathUtils, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 63));
+  EXPECT_FALSE(is_pow2((1ULL << 63) + 1));
+}
+
+TEST(MathUtils, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(1ULL << 40), 40u);
+}
+
+TEST(MathUtils, RoundUpPow2) {
+  EXPECT_EQ(round_up_pow2(1), 1u);
+  EXPECT_EQ(round_up_pow2(2), 2u);
+  EXPECT_EQ(round_up_pow2(3), 4u);
+  EXPECT_EQ(round_up_pow2(1000), 1024u);
+}
+
+TEST(MathUtils, CheckedMulOverflowThrows) {
+  EXPECT_EQ(checked_mul(1ULL << 30, 1ULL << 30), 1ULL << 60);
+  EXPECT_THROW(checked_mul(1ULL << 40, 1ULL << 40), contract_error);
+}
+
+TEST(MathUtils, RoundUp) {
+  EXPECT_EQ(round_up(0, 8), 0);
+  EXPECT_EQ(round_up(1, 8), 8);
+  EXPECT_EQ(round_up(8, 8), 8);
+  EXPECT_EQ(round_up(9, 8), 16);
+}
+
+TEST(Assertions, RequireThrowsWithMessage) {
+  try {
+    RDP_REQUIRE_MSG(1 == 2, "broken arithmetic");
+    FAIL() << "expected contract_error";
+  } catch (const contract_error& e) {
+    EXPECT_NE(std::string(e.what()).find("broken arithmetic"),
+              std::string::npos);
+  }
+}
+
+TEST(AlignedBuffer, AlignmentAndSize) {
+  aligned_buffer<double> buf(1000);
+  EXPECT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                k_cache_line_bytes,
+            0u);
+}
+
+TEST(AlignedBuffer, ZeroFill) {
+  aligned_buffer<int> buf(257, /*zero=*/true);
+  for (std::size_t i = 0; i < buf.size(); ++i) EXPECT_EQ(buf[i], 0);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  aligned_buffer<int> a(16);
+  a[0] = 42;
+  int* p = a.data();
+  aligned_buffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), p);
+  EXPECT_EQ(b[0], 42);
+}
+
+TEST(Matrix, IndexingIsRowMajor) {
+  matrix<double> m(3, 4);
+  m(1, 2) = 7.5;
+  EXPECT_DOUBLE_EQ(m.data()[1 * 4 + 2], 7.5);
+}
+
+TEST(Matrix, TileViewAddressesQuadrants) {
+  matrix<int> m(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) m(i, j) = static_cast<int>(10 * i + j);
+  auto v = m.view();
+  auto q11 = v.quadrant(1, 1);
+  EXPECT_EQ(q11.rows(), 2u);
+  EXPECT_EQ(q11(0, 0), 22);
+  EXPECT_EQ(q11(1, 1), 33);
+  // Writing through the view writes the underlying matrix.
+  q11(0, 1) = -1;
+  EXPECT_EQ(m(2, 3), -1);
+}
+
+TEST(Matrix, TileAddressing) {
+  matrix<int> m(8, 8);
+  m(6, 2) = 99;
+  auto t = m.tile(3, 1, 2);  // rows 6..7, cols 2..3
+  EXPECT_EQ(t(0, 0), 99);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  matrix<double> a(2, 2), b(2, 2);
+  a(0, 0) = 1.0;
+  b(0, 0) = 1.5;
+  a(1, 1) = -3.0;
+  b(1, 1) = -1.0;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, UniformInRange) {
+  xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Workloads, DiagDominantIsStrictlyDominant) {
+  auto m = make_diag_dominant(32, 42);
+  for (std::size_t i = 0; i < 32; ++i) {
+    double off = 0;
+    for (std::size_t j = 0; j < 32; ++j)
+      if (i != j) off += std::abs(m(i, j));
+    EXPECT_GT(std::abs(m(i, i)), off);
+  }
+}
+
+TEST(Workloads, DigraphHasZeroDiagonalAndRequestedDensity) {
+  const double inf = 1e18;
+  auto w = make_digraph(64, 0.5, 9, inf);
+  std::size_t edges = 0;
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(w(i, i), 0.0);
+    for (std::size_t j = 0; j < 64; ++j)
+      if (i != j && w(i, j) < inf) ++edges;
+  }
+  const double density = static_cast<double>(edges) / (64.0 * 63.0);
+  EXPECT_NEAR(density, 0.5, 0.08);
+}
+
+TEST(Workloads, DnaUsesOnlyFourBases) {
+  auto s = make_dna(4096, 3);
+  EXPECT_EQ(s.size(), 4096u);
+  for (char c : s)
+    EXPECT_TRUE(c == 'A' || c == 'C' || c == 'G' || c == 'T') << c;
+}
+
+TEST(Csv, RoundTripWithQuoting) {
+  csv_writer w({"name", "value"});
+  w.add_row({"plain", "1"});
+  w.add_row({"has,comma", "2"});
+  w.add_row({"has\"quote", "3"});
+  const std::string s = w.to_string();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_EQ(w.row_count(), 3u);
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  csv_writer w({"a", "b"});
+  EXPECT_THROW(w.add_row({"only-one"}), contract_error);
+}
+
+TEST(Csv, NumericRows) {
+  csv_writer w({"x", "y"});
+  w.add_row_values({1.5, 2.25});
+  EXPECT_NE(w.to_string().find("1.5,2.25"), std::string::npos);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  table_printer t({"col", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(table_printer::num(1.0), "1");
+  EXPECT_EQ(table_printer::num(0.125), "0.125");
+  EXPECT_EQ(table_printer::num(123456.0, 4), "1.235e+05");
+}
+
+TEST(Cli, ParsesAllTypes) {
+  cli_parser p("test");
+  std::int64_t n = 0;
+  double x = 0;
+  std::string s;
+  bool b = false;
+  p.add_int("n", &n, "an int");
+  p.add_double("x", &x, "a double");
+  p.add_string("s", &s, "a string");
+  p.add_flag("b", &b, "a flag");
+  const char* argv[] = {"prog", "--n=42", "--x", "2.5", "--s=hello", "--b"};
+  EXPECT_TRUE(p.parse(6, argv));
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(x, 2.5);
+  EXPECT_EQ(s, "hello");
+  EXPECT_TRUE(b);
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  cli_parser p("test");
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_THROW(p.parse(2, argv), std::runtime_error);
+}
+
+TEST(Cli, MalformedIntThrows) {
+  cli_parser p("test");
+  std::int64_t n = 0;
+  p.add_int("n", &n, "an int");
+  const char* argv[] = {"prog", "--n=4x"};
+  EXPECT_THROW(p.parse(2, argv), std::runtime_error);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  cli_parser p("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  stopwatch sw;
+  // Just sanity: time is monotone non-negative and reset works.
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,239 @@
+// Tests for the task-DAG builders and the work/span analysis — including
+// the paper's central structural claim: fork-join joins inflate the span
+// (artificial dependencies), data-flow DAGs do not.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "trace/builders.hpp"
+#include "trace/task_graph.hpp"
+
+namespace {
+
+using namespace rdp;
+using namespace rdp::trace;
+
+std::uint64_t ge_task_count(std::uint64_t t) {
+  return (2 * t * t * t + 3 * t * t + t) / 6;
+}
+
+TEST(TaskGraph, TopologicalOrderAndValidation) {
+  task_graph g;
+  const auto a = g.add_node(node_type::base_task, dp::task_kind::A, {}, 5);
+  const auto b = g.add_node(node_type::base_task, dp::task_kind::B, {}, 3);
+  const auto c = g.add_node(node_type::base_task, dp::task_kind::C, {}, 3);
+  const auto d = g.add_node(node_type::base_task, dp::task_kind::D, {}, 7);
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.validate();
+  const auto order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), a);
+  EXPECT_EQ(order.back(), d);
+  const auto ws = analyze_work_span(g);
+  EXPECT_DOUBLE_EQ(ws.total_work, 18.0);
+  EXPECT_DOUBLE_EQ(ws.span, 15.0);  // a -> b/c -> d = 5+3+7
+}
+
+TEST(TaskGraph, CycleDetection) {
+  task_graph g;
+  const auto a = g.add_node(node_type::base_task);
+  const auto b = g.add_node(node_type::base_task);
+  g.add_edge(a, b);
+  g.add_edge(b, a);
+  EXPECT_THROW(g.topological_order(), contract_error);
+}
+
+TEST(TaskWork, GeWorkSumsToLoopNestSize) {
+  // Σ over all base tasks of their update counts must equal the loop nest:
+  // Σ_{k<n} (n-1-k)^2 = (n-1)n(2n-1)/6 — independent of the base size.
+  const std::uint64_t n = 256;
+  const std::uint64_t loop_total = (n - 1) * n * (2 * n - 1) / 6;
+  for (std::uint64_t base : {8ull, 16ull, 32ull, 64ull, 256ull}) {
+    const auto g = build_ge_dataflow(n / base, base);
+    std::uint64_t total = 0;
+    for (const auto& node : g.nodes()) total += node.work;
+    EXPECT_EQ(total, loop_total) << "base=" << base;
+  }
+}
+
+TEST(TaskWork, FwWorkSumsToCube) {
+  const std::uint64_t n = 128;
+  for (std::uint64_t base : {8ull, 32ull}) {
+    const auto g = build_fw_dataflow(n / base, base);
+    std::uint64_t total = 0;
+    for (const auto& node : g.nodes()) total += node.work;
+    EXPECT_EQ(total, n * n * n) << "base=" << base;
+  }
+}
+
+class BuilderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BuilderSweep, GeDataflowShape) {
+  const std::size_t t = GetParam();
+  const auto g = build_ge_dataflow(t, 16);
+  g.validate();
+  EXPECT_EQ(g.node_count(), ge_task_count(t));
+  EXPECT_EQ(g.base_task_count(), ge_task_count(t));
+}
+
+TEST_P(BuilderSweep, GeForkjoinCoversSameBaseTasks) {
+  const std::size_t t = GetParam();
+  const auto g = build_ge_forkjoin(t, 16);
+  g.validate();
+  EXPECT_EQ(g.base_task_count(), ge_task_count(t));
+  // Fork-join DAG carries the same total work as the data-flow DAG.
+  const auto df = build_ge_dataflow(t, 16);
+  EXPECT_DOUBLE_EQ(analyze_work_span(g).total_work,
+                   analyze_work_span(df).total_work);
+}
+
+TEST_P(BuilderSweep, FwShapes) {
+  const std::size_t t = GetParam();
+  const auto df = build_fw_dataflow(t, 8);
+  const auto fj = build_fw_forkjoin(t, 8);
+  df.validate();
+  fj.validate();
+  EXPECT_EQ(df.base_task_count(), t * t * t);
+  EXPECT_EQ(fj.base_task_count(), t * t * t);
+}
+
+TEST_P(BuilderSweep, SwShapes) {
+  const std::size_t t = GetParam();
+  const auto df = build_sw_dataflow(t, 8);
+  const auto fj = build_sw_forkjoin(t, 8);
+  df.validate();
+  fj.validate();
+  EXPECT_EQ(df.base_task_count(), t * t);
+  EXPECT_EQ(fj.base_task_count(), t * t);
+}
+
+INSTANTIATE_TEST_SUITE_P(TileCounts, BuilderSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+// ------------------- the paper's span claims (§III-B) ---------------------
+
+TEST(SpanClaims, SwDataflowSpanIsWavefront) {
+  // Data-flow SW: critical path = 2T-1 tiles of b^2 work each.
+  for (std::size_t t : {4ull, 16ull, 64ull}) {
+    const auto g = build_sw_dataflow(t, 8);
+    const auto ws = analyze_work_span(g);
+    EXPECT_DOUBLE_EQ(ws.span, static_cast<double>((2 * t - 1) * 64));
+  }
+}
+
+TEST(SpanClaims, SwForkjoinSpanIsPowerLog3) {
+  // Fork-join SW: R(X) = R00; {R01 ∥ R10}; R11 gives span(T) = 3·span(T/2)
+  // => exactly 3^log2(T) base tasks on the critical path.
+  for (std::size_t t : {4ull, 16ull, 64ull}) {
+    const auto g = build_sw_forkjoin(t, 8);
+    const auto ws = analyze_work_span(g);
+    const double expected =
+        std::pow(3.0, std::log2(static_cast<double>(t))) * 64.0;
+    EXPECT_DOUBLE_EQ(ws.span, expected) << "t=" << t;
+  }
+}
+
+TEST(SpanClaims, ForkJoinSpanStrictlyWorseThanDataflow) {
+  // The artificial dependencies must show up as a strictly longer critical
+  // path for every benchmark once there are enough tiles.
+  for (std::size_t t : {8ull, 16ull, 32ull}) {
+    const auto sw_gap = analyze_work_span(build_sw_forkjoin(t, 8)).span /
+                        analyze_work_span(build_sw_dataflow(t, 8)).span;
+    EXPECT_GT(sw_gap, 1.0) << "t=" << t;
+    const auto ge_gap = analyze_work_span(build_ge_forkjoin(t, 8)).span /
+                        analyze_work_span(build_ge_dataflow(t, 8)).span;
+    EXPECT_GT(ge_gap, 1.0) << "t=" << t;
+    const auto fw_gap = analyze_work_span(build_fw_forkjoin(t, 8)).span /
+                        analyze_work_span(build_fw_dataflow(t, 8)).span;
+    EXPECT_GT(fw_gap, 1.0) << "t=" << t;
+  }
+}
+
+TEST(SpanClaims, SwForkjoinGapGrowsWithProblemSize) {
+  // span ratio ~ T^(log2 3 - 1): increasing — the asymptotic separation.
+  double prev = 0;
+  for (std::size_t t : {4ull, 8ull, 16ull, 32ull, 64ull}) {
+    const double gap = analyze_work_span(build_sw_forkjoin(t, 8)).span /
+                       analyze_work_span(build_sw_dataflow(t, 8)).span;
+    EXPECT_GT(gap, prev);
+    prev = gap;
+  }
+}
+
+TEST(SpanClaims, GeDataflowParallelismGrowsQuadratically) {
+  // GE data-flow average parallelism is Θ(T²)·work-weighted; just assert
+  // substantial growth between T=8 and T=32.
+  const auto p8 = analyze_work_span(build_ge_dataflow(8, 8)).parallelism();
+  const auto p32 = analyze_work_span(build_ge_dataflow(32, 8)).parallelism();
+  EXPECT_GT(p32, 4 * p8);
+}
+
+TEST(DotExport, RendersSmallGraph) {
+  const auto g = build_sw_dataflow(2, 4);
+  std::ostringstream os;
+  g.write_dot(os, "sw2");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+TEST(DotExport, RefusesHugeGraph) {
+  const auto g = build_fw_dataflow(32, 8);  // 32768 nodes
+  std::ostringstream os;
+  EXPECT_THROW(g.write_dot(os, "big"), contract_error);
+}
+
+// ----------------------- r-way fork-join builder ---------------------------
+
+TEST(RwayBuilder, CoversTheSameBaseTasksAsTwoWay) {
+  for (std::size_t t : {4ull, 16ull, 64ull}) {
+    const auto g = build_ge_forkjoin_rway(t, 16, 4);
+    g.validate();
+    EXPECT_EQ(g.base_task_count(), ge_task_count(t)) << "t=" << t;
+    // Work conservation across branching factors.
+    EXPECT_DOUBLE_EQ(analyze_work_span(g).total_work,
+                     analyze_work_span(build_ge_dataflow(t, 16)).total_work);
+  }
+}
+
+TEST(RwayBuilder, TwoWayMatchesDedicatedBuilderSpan) {
+  for (std::size_t t : {8ull, 32ull}) {
+    const auto rway = analyze_work_span(build_ge_forkjoin_rway(t, 32, 2));
+    const auto classic = analyze_work_span(build_ge_forkjoin(t, 32));
+    EXPECT_DOUBLE_EQ(rway.span, classic.span) << "t=" << t;
+    EXPECT_DOUBLE_EQ(rway.total_work, classic.total_work);
+  }
+}
+
+TEST(RwayBuilder, SpanDecreasesMonotonicallyInR) {
+  const std::size_t t = 64;
+  double prev = 1e300;
+  for (std::size_t r : {2ull, 4ull, 8ull, 64ull}) {
+    const auto ws = analyze_work_span(build_ge_forkjoin_rway(t, 16, r));
+    EXPECT_LT(ws.span, prev) << "r=" << r;
+    prev = ws.span;
+  }
+  // Full-width recursion (r == tiles) reaches the data-flow span exactly.
+  EXPECT_DOUBLE_EQ(prev, analyze_work_span(build_ge_dataflow(t, 16)).span);
+}
+
+TEST(RwayBuilder, RejectsNonConformingTileCounts) {
+  EXPECT_THROW(build_ge_forkjoin_rway(24, 16, 4), contract_error);
+  EXPECT_THROW(build_ge_forkjoin_rway(16, 16, 1), contract_error);
+}
+
+// Single-tile edge cases: every builder must produce exactly one task.
+TEST(Builders, SingleTileGraphs) {
+  EXPECT_EQ(build_ge_dataflow(1, 8).node_count(), 1u);
+  EXPECT_EQ(build_ge_forkjoin(1, 8).node_count(), 1u);
+  EXPECT_EQ(build_fw_dataflow(1, 8).node_count(), 1u);
+  EXPECT_EQ(build_fw_forkjoin(1, 8).node_count(), 1u);
+  EXPECT_EQ(build_sw_dataflow(1, 8).node_count(), 1u);
+  EXPECT_EQ(build_sw_forkjoin(1, 8).node_count(), 1u);
+}
+
+}  // namespace
