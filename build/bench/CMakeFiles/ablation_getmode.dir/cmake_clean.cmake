@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_getmode.dir/ablation_getmode.cpp.o"
+  "CMakeFiles/ablation_getmode.dir/ablation_getmode.cpp.o.d"
+  "ablation_getmode"
+  "ablation_getmode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_getmode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

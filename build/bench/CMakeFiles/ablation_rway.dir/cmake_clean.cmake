@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rway.dir/ablation_rway.cpp.o"
+  "CMakeFiles/ablation_rway.dir/ablation_rway.cpp.o.d"
+  "ablation_rway"
+  "ablation_rway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig4_ge_epyc64.cpp" "bench/CMakeFiles/fig4_ge_epyc64.dir/fig4_ge_epyc64.cpp.o" "gcc" "bench/CMakeFiles/fig4_ge_epyc64.dir/fig4_ge_epyc64.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/rdp_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/rdp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rdp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

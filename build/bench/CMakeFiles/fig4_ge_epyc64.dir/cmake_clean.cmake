@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_ge_epyc64.dir/fig4_ge_epyc64.cpp.o"
+  "CMakeFiles/fig4_ge_epyc64.dir/fig4_ge_epyc64.cpp.o.d"
+  "fig4_ge_epyc64"
+  "fig4_ge_epyc64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_ge_epyc64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

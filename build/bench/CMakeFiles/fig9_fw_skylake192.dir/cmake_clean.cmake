@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_fw_skylake192.dir/fig9_fw_skylake192.cpp.o"
+  "CMakeFiles/fig9_fw_skylake192.dir/fig9_fw_skylake192.cpp.o.d"
+  "fig9_fw_skylake192"
+  "fig9_fw_skylake192.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_fw_skylake192.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

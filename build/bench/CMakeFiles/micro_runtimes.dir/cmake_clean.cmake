@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_runtimes.dir/micro_runtimes.cpp.o"
+  "CMakeFiles/micro_runtimes.dir/micro_runtimes.cpp.o.d"
+  "micro_runtimes"
+  "micro_runtimes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_runtimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_bench_common.dir/figure_common.cpp.o"
+  "CMakeFiles/rdp_bench_common.dir/figure_common.cpp.o.d"
+  "librdp_bench_common.a"
+  "librdp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

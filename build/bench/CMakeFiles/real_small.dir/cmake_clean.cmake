@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_small.dir/real_small.cpp.o"
+  "CMakeFiles/real_small.dir/real_small.cpp.o.d"
+  "real_small"
+  "real_small.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_small.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

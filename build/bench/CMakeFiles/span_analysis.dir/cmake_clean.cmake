@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/span_analysis.dir/span_analysis.cpp.o"
+  "CMakeFiles/span_analysis.dir/span_analysis.cpp.o.d"
+  "span_analysis"
+  "span_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/span_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cache_ratio.dir/table1_cache_ratio.cpp.o"
+  "CMakeFiles/table1_cache_ratio.dir/table1_cache_ratio.cpp.o.d"
+  "table1_cache_ratio"
+  "table1_cache_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cache_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xover_cores.dir/xover_cores.cpp.o"
+  "CMakeFiles/xover_cores.dir/xover_cores.cpp.o.d"
+  "xover_cores"
+  "xover_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xover_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apsp_roads.dir/apsp_roads.cpp.o"
+  "CMakeFiles/apsp_roads.dir/apsp_roads.cpp.o.d"
+  "apsp_roads"
+  "apsp_roads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apsp_roads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

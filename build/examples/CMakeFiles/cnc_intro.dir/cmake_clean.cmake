@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnc_intro.dir/cnc_intro.cpp.o"
+  "CMakeFiles/cnc_intro.dir/cnc_intro.cpp.o.d"
+  "cnc_intro"
+  "cnc_intro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnc_intro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dag_export.dir/dag_export.cpp.o"
+  "CMakeFiles/dag_export.dir/dag_export.cpp.o.d"
+  "dag_export"
+  "dag_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dag_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

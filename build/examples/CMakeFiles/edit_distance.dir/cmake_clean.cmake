@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edit_distance.dir/edit_distance.cpp.o"
+  "CMakeFiles/edit_distance.dir/edit_distance.cpp.o.d"
+  "edit_distance"
+  "edit_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edit_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/manycore_sim.dir/manycore_sim.cpp.o"
+  "CMakeFiles/manycore_sim.dir/manycore_sim.cpp.o.d"
+  "manycore_sim"
+  "manycore_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/manycore_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_cache.dir/cache_sim.cpp.o"
+  "CMakeFiles/rdp_cache.dir/cache_sim.cpp.o.d"
+  "CMakeFiles/rdp_cache.dir/kernel_traces.cpp.o"
+  "CMakeFiles/rdp_cache.dir/kernel_traces.cpp.o.d"
+  "librdp_cache.a"
+  "librdp_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_cnc.dir/context.cpp.o"
+  "CMakeFiles/rdp_cnc.dir/context.cpp.o.d"
+  "CMakeFiles/rdp_cnc.dir/step_instance.cpp.o"
+  "CMakeFiles/rdp_cnc.dir/step_instance.cpp.o.d"
+  "librdp_cnc.a"
+  "librdp_cnc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_cnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

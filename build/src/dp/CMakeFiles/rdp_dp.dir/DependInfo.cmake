@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dp/fw.cpp" "src/dp/CMakeFiles/rdp_dp.dir/fw.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/fw.cpp.o.d"
+  "/root/repo/src/dp/fw_cnc.cpp" "src/dp/CMakeFiles/rdp_dp.dir/fw_cnc.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/fw_cnc.cpp.o.d"
+  "/root/repo/src/dp/ge.cpp" "src/dp/CMakeFiles/rdp_dp.dir/ge.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/ge.cpp.o.d"
+  "/root/repo/src/dp/ge_cnc.cpp" "src/dp/CMakeFiles/rdp_dp.dir/ge_cnc.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/ge_cnc.cpp.o.d"
+  "/root/repo/src/dp/rway.cpp" "src/dp/CMakeFiles/rdp_dp.dir/rway.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/rway.cpp.o.d"
+  "/root/repo/src/dp/sw.cpp" "src/dp/CMakeFiles/rdp_dp.dir/sw.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/sw.cpp.o.d"
+  "/root/repo/src/dp/sw_cnc.cpp" "src/dp/CMakeFiles/rdp_dp.dir/sw_cnc.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/sw_cnc.cpp.o.d"
+  "/root/repo/src/dp/tiled.cpp" "src/dp/CMakeFiles/rdp_dp.dir/tiled.cpp.o" "gcc" "src/dp/CMakeFiles/rdp_dp.dir/tiled.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cnc/CMakeFiles/rdp_cnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/rdp_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_dp.dir/fw.cpp.o"
+  "CMakeFiles/rdp_dp.dir/fw.cpp.o.d"
+  "CMakeFiles/rdp_dp.dir/fw_cnc.cpp.o"
+  "CMakeFiles/rdp_dp.dir/fw_cnc.cpp.o.d"
+  "CMakeFiles/rdp_dp.dir/ge.cpp.o"
+  "CMakeFiles/rdp_dp.dir/ge.cpp.o.d"
+  "CMakeFiles/rdp_dp.dir/ge_cnc.cpp.o"
+  "CMakeFiles/rdp_dp.dir/ge_cnc.cpp.o.d"
+  "CMakeFiles/rdp_dp.dir/rway.cpp.o"
+  "CMakeFiles/rdp_dp.dir/rway.cpp.o.d"
+  "CMakeFiles/rdp_dp.dir/sw.cpp.o"
+  "CMakeFiles/rdp_dp.dir/sw.cpp.o.d"
+  "CMakeFiles/rdp_dp.dir/sw_cnc.cpp.o"
+  "CMakeFiles/rdp_dp.dir/sw_cnc.cpp.o.d"
+  "CMakeFiles/rdp_dp.dir/tiled.cpp.o"
+  "CMakeFiles/rdp_dp.dir/tiled.cpp.o.d"
+  "librdp_dp.a"
+  "librdp_dp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_dp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

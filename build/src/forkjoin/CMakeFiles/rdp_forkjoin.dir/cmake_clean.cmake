@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_forkjoin.dir/task_group.cpp.o"
+  "CMakeFiles/rdp_forkjoin.dir/task_group.cpp.o.d"
+  "CMakeFiles/rdp_forkjoin.dir/worker_pool.cpp.o"
+  "CMakeFiles/rdp_forkjoin.dir/worker_pool.cpp.o.d"
+  "librdp_forkjoin.a"
+  "librdp_forkjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

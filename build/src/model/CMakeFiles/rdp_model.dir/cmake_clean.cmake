@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_model.dir/analytical.cpp.o"
+  "CMakeFiles/rdp_model.dir/analytical.cpp.o.d"
+  "librdp_model.a"
+  "librdp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

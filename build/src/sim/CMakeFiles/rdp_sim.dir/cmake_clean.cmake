@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_sim.dir/des.cpp.o"
+  "CMakeFiles/rdp_sim.dir/des.cpp.o.d"
+  "CMakeFiles/rdp_sim.dir/experiment.cpp.o"
+  "CMakeFiles/rdp_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/rdp_sim.dir/machine.cpp.o"
+  "CMakeFiles/rdp_sim.dir/machine.cpp.o.d"
+  "librdp_sim.a"
+  "librdp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_support.dir/cli.cpp.o"
+  "CMakeFiles/rdp_support.dir/cli.cpp.o.d"
+  "CMakeFiles/rdp_support.dir/csv.cpp.o"
+  "CMakeFiles/rdp_support.dir/csv.cpp.o.d"
+  "CMakeFiles/rdp_support.dir/table_printer.cpp.o"
+  "CMakeFiles/rdp_support.dir/table_printer.cpp.o.d"
+  "librdp_support.a"
+  "librdp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

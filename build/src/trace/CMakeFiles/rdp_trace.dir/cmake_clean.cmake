@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdp_trace.dir/builders.cpp.o"
+  "CMakeFiles/rdp_trace.dir/builders.cpp.o.d"
+  "CMakeFiles/rdp_trace.dir/task_graph.cpp.o"
+  "CMakeFiles/rdp_trace.dir/task_graph.cpp.o.d"
+  "librdp_trace.a"
+  "librdp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cnc.dir/test_cnc.cpp.o"
+  "CMakeFiles/test_cnc.dir/test_cnc.cpp.o.d"
+  "test_cnc"
+  "test_cnc.pdb"
+  "test_cnc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cnc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dp_fw.cpp" "tests/CMakeFiles/test_dp_fw.dir/test_dp_fw.cpp.o" "gcc" "tests/CMakeFiles/test_dp_fw.dir/test_dp_fw.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dp/CMakeFiles/rdp_dp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cnc/CMakeFiles/rdp_cnc.dir/DependInfo.cmake"
+  "/root/repo/build/src/forkjoin/CMakeFiles/rdp_forkjoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/rdp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

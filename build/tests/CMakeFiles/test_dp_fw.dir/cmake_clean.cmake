@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_fw.dir/test_dp_fw.cpp.o"
+  "CMakeFiles/test_dp_fw.dir/test_dp_fw.cpp.o.d"
+  "test_dp_fw"
+  "test_dp_fw.pdb"
+  "test_dp_fw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

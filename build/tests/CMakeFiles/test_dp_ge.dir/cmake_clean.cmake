@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_ge.dir/test_dp_ge.cpp.o"
+  "CMakeFiles/test_dp_ge.dir/test_dp_ge.cpp.o.d"
+  "test_dp_ge"
+  "test_dp_ge.pdb"
+  "test_dp_ge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_ge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_rway.dir/test_dp_rway.cpp.o"
+  "CMakeFiles/test_dp_rway.dir/test_dp_rway.cpp.o.d"
+  "test_dp_rway"
+  "test_dp_rway.pdb"
+  "test_dp_rway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_rway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dp_tiled.dir/test_dp_tiled.cpp.o"
+  "CMakeFiles/test_dp_tiled.dir/test_dp_tiled.cpp.o.d"
+  "test_dp_tiled"
+  "test_dp_tiled.pdb"
+  "test_dp_tiled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dp_tiled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

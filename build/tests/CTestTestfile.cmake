@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_forkjoin[1]_include.cmake")
+include("/root/repo/build/tests/test_cnc[1]_include.cmake")
+include("/root/repo/build/tests/test_dp_ge[1]_include.cmake")
+include("/root/repo/build/tests/test_dp_fw[1]_include.cmake")
+include("/root/repo/build/tests/test_dp_sw[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_model_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_dp_rway[1]_include.cmake")
+include("/root/repo/build/tests/test_wavefront[1]_include.cmake")
+include("/root/repo/build/tests/test_random_graphs[1]_include.cmake")
+include("/root/repo/build/tests/test_dp_tiled[1]_include.cmake")
