@@ -1,12 +1,22 @@
 #include "figure_common.hpp"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "dp/dp.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/sampler.hpp"
+#include "obs/summary.hpp"
+#include "obs/tracer.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table_printer.hpp"
 
@@ -33,23 +43,178 @@ std::vector<std::size_t> panel_bases(std::size_t n, std::size_t min_base,
   return bases;
 }
 
+/// One traced phase: marks the phase, runs `body`, and samples the pool's
+/// gauges (when one is given) for the counter tracks of the trace. The
+/// trailing idle window keeps the pool alive with nothing to do so the
+/// workers' spin-then-park transition is on the record too.
+template <class Body>
+void traced_phase(const std::string& label, forkjoin::worker_pool* pool,
+                  Body&& body) {
+  auto& t = obs::tracer::instance();
+  t.begin_phase(label);
+  obs::sampler s;
+  if (pool != nullptr) {
+    s.add_gauge("parked workers",
+                [pool] { return std::uint64_t(pool->parked_workers()); });
+    s.add_gauge("ready tasks (est)",
+                [pool] { return std::uint64_t(pool->ready_estimate()); });
+    s.start();
+  }
+  body();
+  if (pool != nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    s.stop();
+  }
+}
+
+/// Run `fn` as a task of the pool and block until it finished. The figure
+/// kernels are run this way (rather than called from this thread) so the
+/// recursion unfolds on the *workers* — worker-local spawns and steals —
+/// with the environment thread off-CPU, which is also how the trace is
+/// easiest to read. Even on a single hardware core the workers then own
+/// the whole execution.
+template <class Fn>
+void run_on_pool(forkjoin::worker_pool& pool, Fn&& fn) {
+  std::atomic<bool> done{false};
+  pool.enqueue(forkjoin::make_task(
+      [&] {
+        fn();
+        done.store(true, std::memory_order_release);
+      },
+      nullptr));
+  while (!done.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+}
+
+/// The --trace path: real (not simulated) laptop-scale executions of the
+/// figure's benchmark, one phase per execution model, recorded by rdp::obs.
+int run_trace_capture(const figure_options& opts, const std::string& path,
+                      unsigned workers) {
+#ifdef RDP_TRACE_DISABLED
+  std::cerr << "--trace requires the library to be built with RDP_TRACE=ON "
+               "(this build has the tracer compiled out)\n";
+  (void)opts, (void)path, (void)workers;
+  return 2;
+#else
+  auto& t = obs::tracer::instance();
+  t.set_thread_label("environment");
+  t.start();
+
+  std::cout << "=== " << opts.figure_name << " — trace capture ===\n"
+            << "real execution, " << workers
+            << " workers, laptop-scale inputs (shapes, not the paper's "
+               "sizes)\n\n";
+
+  switch (opts.bm) {
+    case sim::benchmark::ge: {
+      const std::size_t n = 512, base = 64;
+      const auto input = make_diag_dominant(n, 1);
+      auto m = input;
+      {
+        forkjoin::worker_pool pool(workers);
+        traced_phase("forkjoin GE 512/64", &pool,
+                     [&] { run_on_pool(pool, [&] { dp::ge_rdp_forkjoin(m, base, pool); }); });
+      }
+      m = input;
+      traced_phase("CnC GE 512/64", nullptr, [&] {
+        dp::ge_cnc(m, base, dp::cnc_variant::native, workers);
+      });
+      m = input;
+      traced_phase("CnC_tuner GE 512/64", nullptr, [&] {
+        dp::ge_cnc(m, base, dp::cnc_variant::tuner, workers);
+      });
+      break;
+    }
+    case sim::benchmark::sw: {
+      const std::size_t n = 512, base = 64;
+      const auto a = make_dna(n, 7);
+      const auto b = make_dna(n, 8);
+      const dp::sw_params p;
+      matrix<std::int32_t> s(n + 1, n + 1, 0);
+      {
+        forkjoin::worker_pool pool(workers);
+        traced_phase("forkjoin SW 512/64", &pool,
+                     [&] { run_on_pool(pool, [&] { dp::sw_rdp_forkjoin(s, a, b, p, base, pool); }); });
+      }
+      s = matrix<std::int32_t>(n + 1, n + 1, 0);
+      traced_phase("CnC SW 512/64", nullptr, [&] {
+        dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::native, workers);
+      });
+      s = matrix<std::int32_t>(n + 1, n + 1, 0);
+      traced_phase("CnC_tuner SW 512/64", nullptr, [&] {
+        dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::tuner, workers);
+      });
+      break;
+    }
+    case sim::benchmark::fw: {
+      const std::size_t n = 256, base = 32;
+      auto input = make_digraph(n, 0.3, 5, 1e9);
+      for (std::size_t i = 0; i < input.size(); ++i)
+        input.data()[i] = static_cast<double>(
+            static_cast<long long>(input.data()[i]));
+      auto m = input;
+      {
+        forkjoin::worker_pool pool(workers);
+        traced_phase("forkjoin FW 256/32", &pool,
+                     [&] { run_on_pool(pool, [&] { dp::fw_rdp_forkjoin(m, base, pool); }); });
+      }
+      m = input;
+      traced_phase("CnC FW 256/32", nullptr, [&] {
+        dp::fw_cnc(m, base, dp::cnc_variant::native, workers);
+      });
+      m = input;
+      traced_phase("CnC_tuner FW 256/32", nullptr, [&] {
+        dp::fw_cnc(m, base, dp::cnc_variant::tuner, workers);
+      });
+      break;
+    }
+  }
+
+  t.stop();
+  const auto events = t.collect();
+  const auto phases = obs::summarize(events, t);
+  obs::print_summary(std::cout, phases);
+  if (t.dropped() > 0)
+    std::cout << "(" << t.dropped()
+              << " events dropped — full per-thread buffers)\n";
+  if (!obs::write_chrome_trace_file(path, events, t)) {
+    std::cerr << "cannot write trace file " << path << "\n";
+    return 2;
+  }
+  std::cout << "\nwrote " << events.size() << " events to " << path
+            << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  return 0;
+#endif
+}
+
 }  // namespace
 
 int run_figure_bench(int argc, const char* const* argv,
                      const figure_options& opts) {
   bool quick = false, full = false;
   std::string csv_path = opts.csv_file;
+  std::string trace_path;
+  std::int64_t trace_workers = 4;
   cli_parser cli(std::string("Regenerates ") + opts.figure_name);
   cli.add_flag("quick", &quick, "only the 2K and 4K matrix panels");
   cli.add_flag("full", &full,
                "include the most memory-hungry configurations (tiles > 192)");
   cli.add_string("csv", &csv_path, "CSV output path");
+  cli.add_string("trace", &trace_path,
+                 "run the benchmark for real under the event tracer and "
+                 "write a Chrome trace_event JSON to this path");
+  cli.add_int("trace-workers", &trace_workers,
+              "worker threads for --trace runs (default 4)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
   }
+
+  if (!trace_path.empty())
+    return run_trace_capture(opts, trace_path,
+                             static_cast<unsigned>(trace_workers));
 
   std::cout << "=== " << opts.figure_name << " ===\n"
             << "machine: " << opts.machine.name << " (" << opts.machine.cores

@@ -26,6 +26,12 @@ struct figure_options {
 ///   --quick        only the 2K and 4K panels
 ///   --full         include the largest (memory-hungry) configurations
 ///   --csv=<path>   override the CSV output path
+///   --trace=<path> instead of the simulated sweep, run the figure's
+///                  benchmark for real at laptop scale (fork-join, then
+///                  Native-CnC, then Tuner-CnC) under the rdp::obs event
+///                  tracer, write a Chrome trace_event JSON to <path>
+///                  (load in chrome://tracing or ui.perfetto.dev) and
+///                  print the per-phase scheduler summary table.
 int run_figure_bench(int argc, const char* const* argv,
                      const figure_options& opts);
 

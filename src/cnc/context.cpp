@@ -64,7 +64,12 @@ void context_base::wait() {
     if (a == 0) {
       if (s == 0) break;
       // No step is runnable or running, yet some are parked: no producer
-      // can ever publish the items they need. Deterministic deadlock.
+      // can ever publish the items they need. Deterministic deadlock —
+      // unless a step already died with a real error, in which case the
+      // parked instances are a *symptom* (the dead step's puts never
+      // happened) and the error is the diagnosis. Prefer rethrowing it.
+      if (std::exception_ptr error = take_error())
+        std::rethrow_exception(error);
       std::ostringstream os;
       os << "CnC graph quiesced with " << s
          << " step instance(s) blocked on items that were never produced";
@@ -72,13 +77,14 @@ void context_base::wait() {
     }
     bo.pause();
   }
-  std::exception_ptr error;
-  {
-    std::scoped_lock lock(error_mutex_);
-    error = first_error_;
-    first_error_ = nullptr;
-  }
-  if (error) std::rethrow_exception(error);
+  if (std::exception_ptr error = take_error()) std::rethrow_exception(error);
+}
+
+std::exception_ptr context_base::take_error() noexcept {
+  std::scoped_lock lock(error_mutex_);
+  std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  return error;
 }
 
 context_stats context_base::stats() const {

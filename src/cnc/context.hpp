@@ -90,6 +90,11 @@ public:
   /// Record a user-step exception; the first one is rethrown by wait().
   void record_error(std::exception_ptr e) noexcept;
 
+  /// Remove and return the recorded error (nullptr when none). Used by
+  /// wait() and by environment-side blocking gets, which prefer surfacing
+  /// a real step error over a quiescence diagnostic.
+  std::exception_ptr take_error() noexcept;
+
   /// Schedule a type-erased runnable in the pool as a detached task.
   template <class F>
   void schedule(F&& f) {

@@ -11,7 +11,9 @@
 // (outside any step), get() helps the worker pool until the item appears.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -21,8 +23,26 @@
 #include "cnc/step_instance.hpp"
 #include "concurrent/backoff.hpp"
 #include "concurrent/striped_hash_map.hpp"
+#include "obs/tracer.hpp"
 
 namespace rdp::cnc {
+
+namespace detail {
+
+/// Best-effort key rendering for diagnostics: streamable keys print their
+/// value, everything else degrades to a placeholder.
+template <class Key>
+std::string key_string(const Key& key) {
+  if constexpr (requires(std::ostream& os, const Key& k) { os << k; }) {
+    std::ostringstream os;
+    os << key;
+    return os.str();
+  } else {
+    return "<unprintable key>";
+  }
+}
+
+}  // namespace detail
 
 template <class Key, class Value, class Hash = std::hash<Key>>
 class item_collection {
@@ -31,7 +51,8 @@ public:
   using value_type = Value;
 
   item_collection(context_base& ctx, std::string name)
-      : ctx_(ctx), name_(std::move(name)) {}
+      : ctx_(ctx), name_(std::move(name)),
+        trace_name_(obs::tracer::instance().intern(name_)) {}
 
   item_collection(const item_collection&) = delete;
   item_collection& operator=(const item_collection&) = delete;
@@ -59,6 +80,8 @@ public:
       to_wake.swap(s.waiters);
     });
     ctx_.metrics().items_put.fetch_add(1, std::memory_order_relaxed);
+    RDP_TRACE_EVENT(obs::event_kind::item_put, trace_name_, Hash{}(key),
+                    to_wake.size());
     // Wake outside the stripe lock: item_ready() may schedule work.
     for (waiter* w : to_wake) w->item_ready();
   }
@@ -88,9 +111,12 @@ public:
     if (found) {
       if (erase_after) map_.erase(key);
       ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+      RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key), 0);
       return;
     }
     ctx_.metrics().gets_failed.fetch_add(1, std::memory_order_relaxed);
+    RDP_TRACE_EVENT(obs::event_kind::item_get_miss, trace_name_, Hash{}(key),
+                    0);
     throw detail::unmet_dependency_signal{};
   }
 
@@ -160,19 +186,55 @@ private:
   }
 
   /// Environment-side blocking get: help the pool until the item appears.
+  /// If instead the graph quiesces without producing it (no step active,
+  /// nothing runnable), waiting any longer can only spin forever — the same
+  /// determinism argument as context_base::wait() — so this throws
+  /// unsatisfied_dependency naming the collection and key. A step error
+  /// recorded before quiescence is preferred over the diagnostic (the
+  /// missing put is then a symptom of the dead step). As with wait(), the
+  /// quiescence test assumes no OTHER environment thread is still putting
+  /// tags or items concurrently.
   void environment_get(const Key& key, Value& out) const {
     concurrent::backoff bo;
-    while (!try_get_counted(key, out)) {
-      if (ctx_.pool().try_run_one())
+    for (;;) {
+      if (try_get_counted(key, out)) {
+        ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+        RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key),
+                        0);
+        return;
+      }
+      if (ctx_.pool().try_run_one()) {
         bo.reset();
-      else
-        bo.pause();
+        continue;
+      }
+      if (ctx_.active_count() == 0) {
+        // Quiescent. Re-check once: a final put may have landed between
+        // the failed lookup and the active-count read.
+        if (try_get_counted(key, out)) {
+          ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+          RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_,
+                          Hash{}(key), 0);
+          return;
+        }
+        if (std::exception_ptr error = ctx_.take_error())
+          std::rethrow_exception(error);
+        const long s = ctx_.suspended_count();
+        std::string msg = "blocking environment get on item collection '" +
+                          name_ + "', key " + detail::key_string(key) +
+                          ": graph is quiescent and the item was never "
+                          "produced";
+        if (s > 0)
+          msg += " (" + std::to_string(s) +
+                 " step instance(s) parked on unmet dependencies)";
+        throw unsatisfied_dependency(msg);
+      }
+      bo.pause();
     }
-    ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
   }
 
   context_base& ctx_;
   std::string name_;
+  std::uint16_t trace_name_;  // interned name_ for trace events
   mutable concurrent::striped_hash_map<Key, slot, Hash> map_;
 };
 

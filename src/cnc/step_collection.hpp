@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <concepts>
+#include <cstdint>
 #include <string>
 #include <utility>
 
@@ -22,6 +23,7 @@
 #include "cnc/errors.hpp"
 #include "cnc/step_instance.hpp"
 #include "cnc/waiter.hpp"
+#include "obs/tracer.hpp"
 #include "support/assertions.hpp"
 
 namespace rdp::cnc {
@@ -96,7 +98,7 @@ private:
     if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       step_instance_base& inst = inst_;
       delete this;
-      inst.item_ready();  // resume accounting + dispatch
+      inst.dispatch_prescheduled();  // resume accounting + first dispatch
     }
   }
 
@@ -132,7 +134,8 @@ public:
   step_collection(Ctx& ctx, std::string name, Step step = Step{},
                   schedule_policy policy = schedule_policy::spawn_immediately)
       : ctx_(ctx), name_(std::move(name)), step_(std::move(step)),
-        policy_(policy) {}
+        policy_(policy),
+        trace_name_(obs::tracer::instance().intern(name_)) {}
 
   step_collection(const step_collection&) = delete;
   step_collection& operator=(const step_collection&) = delete;
@@ -162,8 +165,11 @@ public:
         ctx_.on_suspend(inst);
         dependency_collector dc(cd->remaining(), *cd);
         step_.depends(tag, ctx_, dc);
-        if (dc.absent() > 0)
+        if (dc.absent() > 0) {
           ctx_.metrics().deferrals.fetch_add(1, std::memory_order_relaxed);
+          RDP_TRACE_EVENT(obs::event_kind::preschedule_defer, trace_name_,
+                          static_cast<std::uint64_t>(dc.absent()), 0);
+        }
         cd->finish_arming();
         return;
       } else {
@@ -180,6 +186,7 @@ public:
   /// queue so the retry runs after currently queued producers.
   void respawn(const Tag& tag) {
     ctx_.metrics().requeued.fetch_add(1, std::memory_order_relaxed);
+    RDP_TRACE_EVENT(obs::event_kind::step_requeue, trace_name_, 0, 0);
     auto* inst =
         new detail::typed_step_instance<Ctx, Step, Tag>(ctx_, step_, tag);
     inst->initial_dispatch_global();
@@ -190,6 +197,7 @@ private:
   std::string name_;
   Step step_;
   schedule_policy policy_;
+  std::uint16_t trace_name_;  // interned name_ for trace events
 };
 
 }  // namespace rdp::cnc

@@ -1,5 +1,7 @@
 #include "cnc/step_instance.hpp"
 
+#include "obs/tracer.hpp"
+
 namespace rdp::cnc {
 
 namespace {
@@ -31,6 +33,8 @@ void step_instance_base::execute_wrapper() noexcept {
 
   if (suspended) {
     ctx.metrics().aborted.fetch_add(1, std::memory_order_relaxed);
+    RDP_TRACE_EVENT(obs::event_kind::step_abort, 0,
+                    reinterpret_cast<std::uintptr_t>(this), 0);
     ctx.on_complete();  // leaves "active"; on_suspend already counted it
     return;
   }

@@ -18,6 +18,7 @@
 #include "cnc/context.hpp"
 #include "cnc/errors.hpp"
 #include "cnc/waiter.hpp"
+#include "obs/tracer.hpp"
 
 namespace rdp::cnc {
 
@@ -50,9 +51,20 @@ public:
   void set_affinity(int worker) noexcept { affinity_ = worker; }
   int affinity() const noexcept { return affinity_; }
 
-  /// waiter: an item this instance was parked on became available.
+  /// waiter: an item this instance was parked on became available. The
+  /// instance will re-run its body from the top (a re-execution).
   /// on_resume() already moves the instance from "suspended" to "active".
   void item_ready() final {
+    ctx_.on_resume(this);
+    RDP_TRACE_EVENT(obs::event_kind::step_resume, 0,
+                    reinterpret_cast<std::uintptr_t>(this), 0);
+    enqueue();
+  }
+
+  /// First dispatch of a prescheduled instance whose declared dependencies
+  /// all became available. Same accounting as item_ready(), but NOT a
+  /// re-execution — the body has never run — so no step_resume event.
+  void dispatch_prescheduled() {
     ctx_.on_resume(this);
     enqueue();
   }

@@ -1,5 +1,8 @@
 #include "forkjoin/worker_pool.hpp"
 
+#include <string>
+
+#include "obs/tracer.hpp"
 #include "support/assertions.hpp"
 #include "support/rng.hpp"
 
@@ -27,8 +30,8 @@ struct worker_pool::worker {
 worker_pool* worker_pool::current() noexcept { return tl_pool; }
 int worker_pool::current_worker_index() noexcept { return tl_index; }
 
-worker_pool::worker_pool(unsigned worker_count)
-    : injection_(1u << 16) {
+worker_pool::worker_pool(unsigned worker_count, std::size_t injection_capacity)
+    : injection_(injection_capacity < 2 ? 2 : injection_capacity) {
   RDP_REQUIRE_MSG(worker_count >= 1, "worker_pool needs at least one worker");
   workers_.reserve(worker_count);
   for (unsigned i = 0; i < worker_count; ++i)
@@ -53,21 +56,41 @@ worker_pool::~worker_pool() {
   }
 }
 
+void worker_pool::push_injection_blocking(task_node* t, bool low_priority) {
+  // Bounded-backoff retry push. Executing the task in the producer's stack
+  // frame instead would be the unbounded-recursion hazard this overflow
+  // policy exists to rule out: a retry-style task (e.g. a data-flow step
+  // requeueing itself) re-enters enqueue before the current frame returns,
+  // and a full queue keeps it re-entering until the stack overflows.
+  // Progress: workers (and helping waiters) drain the injection queue, so a
+  // slot frees up as long as the pool is alive.
+  concurrent::backoff bo;
+  std::uint64_t retries = 0;
+  while (!injection_.try_push(t)) {
+    ++retries;
+    overflow_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (retries == 1 || (retries & 1023) == 0)
+      RDP_TRACE_EVENT(obs::event_kind::task_overflow, 0, retries, 0);
+    wake_one();  // make sure a drainer is awake before backing off
+    bo.pause();
+  }
+  injections_.fetch_add(1, std::memory_order_relaxed);
+  RDP_TRACE_EVENT(obs::event_kind::task_inject, 0, low_priority ? 1 : 0, 0);
+  wake_one();
+}
+
 void worker_pool::enqueue(task_node* t) {
   RDP_ASSERT(t != nullptr);
   spawned_hint();
   if (tl_pool == this && tl_index >= 0) {
+    RDP_TRACE_EVENT(obs::event_kind::task_spawn, 0, tl_index, 0);
     workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
-  } else {
-    // External thread (or worker of a different pool): inject. If the
-    // bounded queue is full, run the task inline — correct, just eager.
-    if (!injection_.try_push(t)) {
-      t->execute_and_destroy(t);
-      return;
-    }
-    injections_.fetch_add(1, std::memory_order_relaxed);
+    wake_one();
+    return;
   }
-  wake_one();
+  // External thread (or worker of a different pool): inject, blocking on
+  // overflow. Never execute in place (see push_injection_blocking).
+  push_injection_blocking(t, /*low_priority=*/false);
 }
 
 void worker_pool::enqueue_global(task_node* t) {
@@ -75,16 +98,19 @@ void worker_pool::enqueue_global(task_node* t) {
   spawned_hint();
   if (injection_.try_push(t)) {
     injections_.fetch_add(1, std::memory_order_relaxed);
+    RDP_TRACE_EVENT(obs::event_kind::task_inject, 0, 1, 0);
     wake_one();
     return;
   }
-  // Injection queue full: fall back to the normal path rather than running
-  // inline (a retry task executed inline could recurse unboundedly).
+  // Injection queue full: a worker of this pool falls back to its own deque
+  // (an unbounded queue, so no retry loop is needed); any other thread
+  // blocks until a slot frees up. Neither path executes the task inline.
   if (tl_pool == this && tl_index >= 0) {
+    RDP_TRACE_EVENT(obs::event_kind::task_spawn, 0, tl_index, 0);
     workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
     wake_one();
   } else {
-    t->execute_and_destroy(t);
+    push_injection_blocking(t, /*low_priority=*/true);
   }
 }
 
@@ -93,18 +119,18 @@ void worker_pool::enqueue_affine(unsigned target, task_node* t) {
   RDP_REQUIRE_MSG(target < workers_.size(), "affinity worker out of range");
   spawned_hint();
   if (workers_[target]->affinity.try_push(t)) {
+    RDP_TRACE_EVENT(obs::event_kind::task_affine, 0, target, 0);
     wake_one();
     return;
   }
-  // Queue full: correctness over placement — run it anywhere.
+  // Queue full: correctness over placement — run it anywhere, but never in
+  // the producer's stack frame (same recursion hazard as above).
   if (tl_pool == this && tl_index >= 0) {
+    RDP_TRACE_EVENT(obs::event_kind::task_spawn, 0, tl_index, 0);
     workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
     wake_one();
-  } else if (injection_.try_push(t)) {
-    injections_.fetch_add(1, std::memory_order_relaxed);
-    wake_one();
   } else {
-    t->execute_and_destroy(t);
+    push_injection_blocking(t, /*low_priority=*/false);
   }
 }
 
@@ -142,6 +168,8 @@ task_node* worker_pool::find_task(int self_index) {
         if (self_index >= 0)
           workers_[static_cast<std::size_t>(self_index)]->steals.fetch_add(
               1, std::memory_order_relaxed);
+        RDP_TRACE_EVENT(obs::event_kind::task_steal, 0, victim,
+                        static_cast<std::int64_t>(self_index));
         return *t;
       }
     }
@@ -158,7 +186,10 @@ bool worker_pool::try_run_one() {
           1, std::memory_order_relaxed);
     return false;
   }
+  const auto task_id = reinterpret_cast<std::uintptr_t>(t);
+  RDP_TRACE_EVENT(obs::event_kind::task_run_begin, 0, task_id, 0);
   t->execute_and_destroy(t);
+  RDP_TRACE_EVENT(obs::event_kind::task_run_end, 0, task_id, 0);
   if (self >= 0)
     workers_[static_cast<std::size_t>(self)]->executed.fetch_add(
         1, std::memory_order_relaxed);
@@ -170,6 +201,10 @@ bool worker_pool::try_run_one() {
 void worker_pool::worker_loop(unsigned index) {
   tl_pool = this;
   tl_index = static_cast<int>(index);
+#ifndef RDP_TRACE_DISABLED
+  obs::tracer::instance().set_thread_label("worker " +
+                                           std::to_string(index));
+#endif
   worker& self = *workers_[index];
   concurrent::backoff bo;
   unsigned idle_rounds = 0;
@@ -195,11 +230,13 @@ void worker_pool::worker_loop(unsigned index) {
     }
     parked_.fetch_add(1, std::memory_order_acq_rel);
     self.parks.fetch_add(1, std::memory_order_relaxed);
+    RDP_TRACE_EVENT(obs::event_kind::worker_park, 0, index, 0);
     park_cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
       return stop_.load(std::memory_order_acquire) ||
              epoch_.load(std::memory_order_acquire) != seen;
     });
     parked_.fetch_sub(1, std::memory_order_acq_rel);
+    RDP_TRACE_EVENT(obs::event_kind::worker_unpark, 0, index, 0);
     idle_rounds = 0;
     bo.reset();
   }
@@ -219,7 +256,15 @@ pool_stats worker_pool::stats() const {
   s.tasks_executed += external_executed_.load(std::memory_order_relaxed);
   s.tasks_spawned = spawned_.load(std::memory_order_relaxed);
   s.injections = injections_.load(std::memory_order_relaxed);
+  s.overflow_retries = overflow_retries_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::size_t worker_pool::ready_estimate() const {
+  std::size_t n = injection_.size_estimate();
+  for (const auto& w : workers_)
+    n += w->deque.size_estimate() + w->affinity.size_estimate();
+  return n;
 }
 
 void worker_pool::reset_stats() {
@@ -232,6 +277,7 @@ void worker_pool::reset_stats() {
   external_executed_.store(0, std::memory_order_relaxed);
   spawned_.store(0, std::memory_order_relaxed);
   injections_.store(0, std::memory_order_relaxed);
+  overflow_retries_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rdp::forkjoin

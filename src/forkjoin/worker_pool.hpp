@@ -36,12 +36,18 @@ struct pool_stats {
   std::uint64_t failed_steal_rounds = 0;
   std::uint64_t injections = 0;
   std::uint64_t parks = 0;
+  std::uint64_t overflow_retries = 0;  // backed-off pushes on full queues
 };
 
 class worker_pool {
 public:
-  /// Spawns `worker_count` OS threads (>= 1).
-  explicit worker_pool(unsigned worker_count);
+  /// Spawns `worker_count` OS threads (>= 1). `injection_capacity` bounds
+  /// the external-submission queue (rounded up to a power of two); the
+  /// default matches the historical 1<<16. A full injection queue makes
+  /// producers back off and retry — it never runs tasks in their stack
+  /// frame (see enqueue()).
+  explicit worker_pool(unsigned worker_count,
+                       std::size_t injection_capacity = 1u << 16);
   ~worker_pool();
 
   worker_pool(const worker_pool&) = delete;
@@ -57,7 +63,10 @@ public:
   static int current_worker_index() noexcept;
 
   /// Schedule a task node. Called from worker threads (goes to the local
-  /// deque) or external threads (goes to the injection queue).
+  /// deque) or external threads (goes to the injection queue; a full queue
+  /// blocks the producer with bounded backoff rather than executing the
+  /// task inline — inline execution of a retry-style task would recurse
+  /// unboundedly).
   void enqueue(task_node* t);
 
   /// Schedule with LOW priority: always via the FIFO injection queue, even
@@ -105,12 +114,27 @@ public:
   pool_stats stats() const;
   void reset_stats();
 
+  // ---- observability gauges (approximate; safe to poll concurrently) ----
+
+  /// Workers currently blocked on the park condition variable.
+  unsigned parked_workers() const noexcept {
+    return parked_.load(std::memory_order_acquire);
+  }
+
+  /// Estimated tasks queued across the injection queue, the worker deques
+  /// and the affinity queues. Exact only when quiescent; intended for the
+  /// obs sampler's queue-depth gauge.
+  std::size_t ready_estimate() const;
+
 private:
   struct worker;
 
   void worker_loop(unsigned index);
   task_node* find_task(int self_index);
   void wake_one();
+  /// Push into the injection queue, backing off while it is full. The
+  /// overflow policy for every enqueue path: never execute in place.
+  void push_injection_blocking(task_node* t, bool low_priority);
   void spawned_hint() {
     spawned_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -126,6 +150,7 @@ private:
   std::atomic<std::uint64_t> epoch_{0};  // bumped on enqueue to unblock parks
   std::atomic<std::uint64_t> spawned_{0};
   std::atomic<std::uint64_t> injections_{0};
+  std::atomic<std::uint64_t> overflow_retries_{0};
   std::atomic<std::uint64_t> external_executed_{0};
   xoshiro256 external_rng_{0xDEADBEEFULL};
 };

@@ -1,0 +1,32 @@
+// Chrome trace_event JSON exporter.
+//
+// Writes the collected event stream in the Trace Event Format understood by
+// chrome://tracing and https://ui.perfetto.dev: task executions become B/E
+// duration slices on one track per thread, scheduler transitions become
+// instant events on the thread that observed them, sampler gauges become
+// counter tracks, and phase markers become global instants. Timestamps are
+// microseconds (the format's unit) with sub-microsecond fractions preserved.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace rdp::obs {
+
+class tracer;
+
+/// Serialize `events` (as returned by tracer::collect()) to `os`.
+/// `t` resolves interned names and thread labels.
+void write_chrome_trace(std::ostream& os, const std::vector<event>& events,
+                        const tracer& t);
+
+/// Convenience: write to `path`; returns false (and writes nothing) when
+/// the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<event>& events,
+                             const tracer& t);
+
+}  // namespace rdp::obs

@@ -1,0 +1,48 @@
+#include "obs/sampler.hpp"
+
+#include <atomic>
+
+#include "obs/tracer.hpp"
+
+namespace rdp::obs {
+
+sampler::sampler(std::chrono::microseconds period) : period_(period) {
+  if (period_ <= std::chrono::microseconds::zero())
+    period_ = std::chrono::microseconds(200);
+}
+
+sampler::~sampler() { stop(); }
+
+void sampler::add_gauge(std::string_view name,
+                        std::function<std::uint64_t()> fn) {
+  gauges_.push_back({tracer::instance().intern(name), std::move(fn)});
+}
+
+void sampler::start() {
+  if (running_.exchange(true, std::memory_order_acq_rel)) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void sampler::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+std::uint64_t sampler::samples_taken() const noexcept {
+  return samples_.load(std::memory_order_relaxed);
+}
+
+void sampler::run() {
+  tracer& t = tracer::instance();
+  t.set_thread_label("obs sampler");
+  while (running_.load(std::memory_order_acquire)) {
+    if (tracing_enabled()) {
+      for (const gauge& g : gauges_)
+        t.emit(event_kind::counter_sample, g.name_id, g.read());
+      samples_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(period_);
+  }
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,62 @@
+// Periodic gauge sampler: the "what does the scheduler look like right now"
+// half of rdp::obs.
+//
+// Event tracing records *transitions* (a worker parked, a step aborted); the
+// sampler records *levels* — queue depth, parked-worker count — by polling
+// registered gauges on a background thread and emitting counter_sample
+// events into the trace. Chrome's trace viewer renders these as counter
+// tracks above the per-thread timelines, which is exactly the view that
+// shows fork-join joins starving cores (parked spikes at every taskwait)
+// versus data-flow keeping queues non-empty.
+//
+// Gauges are plain callables so the layering stays clean: obs does not know
+// about worker_pool; the bench constructs the sampler with lambdas over
+// pool.parked_workers() / pool.ready_estimate().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace rdp::obs {
+
+class sampler {
+public:
+  explicit sampler(
+      std::chrono::microseconds period = std::chrono::microseconds(200));
+  ~sampler();  // stops if running
+
+  sampler(const sampler&) = delete;
+  sampler& operator=(const sampler&) = delete;
+
+  /// Register a gauge before start(). `fn` is called from the sampling
+  /// thread; it must be safe to invoke concurrently with the runtime
+  /// (approximate reads of relaxed atomics are the intended use).
+  void add_gauge(std::string_view name, std::function<std::uint64_t()> fn);
+
+  void start();
+  void stop();
+
+  std::uint64_t samples_taken() const noexcept;
+
+private:
+  struct gauge {
+    std::uint16_t name_id;
+    std::function<std::uint64_t()> read;
+  };
+
+  void run();
+
+  std::chrono::microseconds period_;
+  std::vector<gauge> gauges_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> samples_{0};
+  std::thread thread_;
+};
+
+}  // namespace rdp::obs

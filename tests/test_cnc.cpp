@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -629,6 +631,181 @@ TEST(Cnc, ItemCollectionSizeCountsPublishedItems) {
   EXPECT_EQ(ctx.data.size(), 2u);
   EXPECT_TRUE(ctx.data.contains(1));
   EXPECT_FALSE(ctx.data.contains(3));
+}
+
+// ------------------------------------- environment get on a missing item ----
+// A blocking environment get on an item nobody will ever produce used to
+// spin forever. It must detect quiescence — exactly like wait() — and throw
+// unsatisfied_dependency naming the collection and the key.
+
+TEST(Cnc, EnvironmentGetOnQuiescentGraphThrows) {
+  hello_ctx ctx;  // no tags put: the graph is trivially quiescent
+  double v = 0;
+  try {
+    ctx.data.get(99, v);
+    FAIL() << "environment get on a never-produced item must throw";
+  } catch (const unsatisfied_dependency& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("data"), std::string::npos) << msg;  // collection
+    EXPECT_NE(msg.find("99"), std::string::npos) << msg;    // key
+  }
+}
+
+TEST(Cnc, EnvironmentGetAfterGraphFinishedThrowsForMissingKey) {
+  hello_ctx ctx;
+  ctx.tags.put(1);  // produces item 1, nothing else
+  ctx.wait();
+  double v = 0;
+  ctx.data.get(1, v);  // present: fine
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  EXPECT_THROW(ctx.data.get(2, v), unsatisfied_dependency);
+}
+
+// Quiescence detection must not fire while a step is merely slow: a
+// producer that sleeps before putting keeps the graph active, so the
+// environment get blocks and then succeeds.
+struct slow_ctx;
+struct slow_step {
+  int execute(int tag, slow_ctx& ctx) const;
+};
+struct slow_ctx : context<slow_ctx> {
+  step_collection<slow_ctx, slow_step, int> steps{*this, "slow"};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, int> out{*this, "out"};
+  slow_ctx() : context(2) { tags.prescribe(steps); }
+};
+int slow_step::execute(int tag, slow_ctx& ctx) const {
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ctx.out.put(tag, tag * 10);
+  return 0;
+}
+
+TEST(Cnc, EnvironmentGetStillWaitsForLateProducer) {
+  slow_ctx ctx;
+  ctx.tags.put(3);
+  int v = 0;
+  ctx.out.get(3, v);  // drives/waits until the slow step has put
+  EXPECT_EQ(v, 30);
+  ctx.wait();
+}
+
+// When the item is missing because the producing step DIED, the step's
+// exception explains the failure better than the quiescence diagnostic —
+// the environment get must rethrow it.
+struct err_ctx;
+struct err_step {
+  int execute(int tag, err_ctx& ctx) const;
+};
+struct err_ctx : context<err_ctx> {
+  step_collection<err_ctx, err_step, int> steps{*this, "dying"};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, int> out{*this, "out"};
+  err_ctx() : context(2) { tags.prescribe(steps); }
+};
+int err_step::execute(int, err_ctx&) const {
+  throw std::runtime_error("producer died");
+}
+
+TEST(Cnc, EnvironmentGetPrefersStepErrorOverDiagnostic) {
+  err_ctx ctx;
+  ctx.tags.put(1);
+  int v = 0;
+  try {
+    ctx.out.get(1, v);
+    FAIL() << "must surface the step error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "producer died");
+  }
+}
+
+// --------------------------------------- wait() error-over-deadlock fix ----
+// A step error used to be LOST when the graph also quiesced with parked
+// instances: wait() threw the deadlock diagnostic and dropped the recorded
+// exception. The real error must win — the parked steps are usually just
+// downstream victims of the dead producer.
+
+struct mixed_ctx;
+struct mixed_step {
+  int execute(int tag, mixed_ctx& ctx) const;
+};
+struct mixed_ctx : context<mixed_ctx> {
+  step_collection<mixed_ctx, mixed_step, int> steps{*this, "mixed"};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, int> data{*this, "data"};
+  mixed_ctx() : context(2) { tags.prescribe(steps); }
+};
+int mixed_step::execute(int tag, mixed_ctx& ctx) const {
+  if (tag == 0) throw std::runtime_error("boom");
+  int v = 0;
+  ctx.data.get(0, v);  // never produced: parks forever
+  return 0;
+}
+
+TEST(Cnc, WaitPrefersStepErrorOverDeadlockDiagnostic) {
+  mixed_ctx ctx;
+  ctx.tags.put(0);  // throws "boom" instead of producing item 0
+  ctx.tags.put(1);  // parks forever on item 0
+  try {
+    ctx.wait();
+    FAIL() << "wait must rethrow the step error";
+  } catch (const std::runtime_error& e) {
+    // (unsatisfied_dependency also derives from runtime_error — the message
+    // check is what proves the step error beat the deadlock diagnostic.)
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // The diagnostic is still produced for a second wait(): the error was
+  // consumed, only the parked instance remains.
+  EXPECT_THROW(ctx.wait(), unsatisfied_dependency);
+}
+
+// ------------------------------------ concurrent get-count GC stress ----
+// Many items, each declared with get_count == number of consumers, consumed
+// concurrently by prescheduled steps AND racing environment gets go through
+// the same counted path; when the dust settles every item must be gone.
+
+struct gcstress_ctx;
+struct gcstress_step {
+  int execute(int tag, gcstress_ctx& ctx) const;
+  void depends(int tag, gcstress_ctx& ctx, dependency_collector& dc) const;
+};
+struct gcstress_ctx : context<gcstress_ctx> {
+  static constexpr int kItems = 50;
+  static constexpr int kConsumers = 4;  // steps per item
+  std::atomic<std::uint64_t> sum{0};
+  step_collection<gcstress_ctx, gcstress_step, int> steps{
+      *this, "consume", gcstress_step{}, schedule_policy::preschedule};
+  tag_collection<int> tags{*this, "ctrl"};
+  item_collection<int, int> data{*this, "data"};
+  gcstress_ctx() : context(4) { tags.prescribe(steps); }
+};
+int gcstress_step::execute(int tag, gcstress_ctx& ctx) const {
+  int v = 0;
+  ctx.data.get(tag / gcstress_ctx::kConsumers, v);
+  ctx.sum.fetch_add(static_cast<std::uint64_t>(v),
+                    std::memory_order_relaxed);
+  return 0;
+}
+void gcstress_step::depends(int tag, gcstress_ctx& ctx,
+                            dependency_collector& dc) const {
+  dc.require(ctx.data, tag / gcstress_ctx::kConsumers);
+}
+
+TEST(Cnc, ConcurrentConsumersReclaimEveryGetCountItem) {
+  gcstress_ctx ctx;
+  // Prescribe every consumer BEFORE any item exists (worst case for the
+  // countdowns), then publish the items from the environment while the
+  // tuner is already dispatching.
+  for (int t = 0; t < gcstress_ctx::kItems * gcstress_ctx::kConsumers; ++t)
+    ctx.tags.put(t);
+  for (int i = 0; i < gcstress_ctx::kItems; ++i)
+    ctx.data.put(i, i + 1, /*get_count=*/gcstress_ctx::kConsumers);
+  ctx.wait();
+  const auto consumers = static_cast<std::uint64_t>(gcstress_ctx::kConsumers);
+  const auto items = static_cast<std::uint64_t>(gcstress_ctx::kItems);
+  EXPECT_EQ(ctx.sum.load(), consumers * items * (items + 1) / 2);
+  EXPECT_EQ(ctx.stats().gets_ok, consumers * items);
+  EXPECT_EQ(ctx.stats().gets_failed, 0u);  // prescheduled: no aborts
+  EXPECT_EQ(ctx.data.size(), 0u);  // every item reclaimed by its last get
 }
 
 }  // namespace

@@ -272,4 +272,165 @@ TEST(TaskGroup, JoinOrdersStagesGlobally) {
   EXPECT_FALSE(violated.load());
 }
 
+// ------------------------------------------------ queue overflow policy ----
+// A full queue must make the producer back off and retry, NEVER execute the
+// task in the producer's stack frame: inline execution of a retry-style
+// task re-enters enqueue before the current frame returns and recurses
+// unboundedly. The tests detect inline execution precisely: a task that
+// runs on the producer's thread WHILE the producer is still inside its
+// enqueue loop.
+
+TEST(WorkerPool, FullInjectionQueueBlocksProducerInsteadOfInlining) {
+  worker_pool pool(1, /*injection_capacity=*/4);
+
+  // Gate the only worker so the injection queue cannot drain.
+  std::atomic<bool> gate_entered{false}, release{false};
+  pool.enqueue(make_task(
+      [&] {
+        gate_entered.store(true, std::memory_order_release);
+        while (!release.load(std::memory_order_acquire))
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+      },
+      nullptr));
+  while (!gate_entered.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+
+  constexpr int kTasks = 24;
+  std::atomic<int> completed{0};
+  std::atomic<int> inline_runs{0};
+  std::atomic<bool> producing{true};
+  std::thread producer([&] {
+    const auto producer_tid = std::this_thread::get_id();
+    for (int i = 0; i < kTasks; ++i) {
+      pool.enqueue(make_task(
+          [&, producer_tid] {
+            if (std::this_thread::get_id() == producer_tid &&
+                producing.load(std::memory_order_acquire))
+              inline_runs.fetch_add(1);
+            completed.fetch_add(1, std::memory_order_acq_rel);
+          },
+          nullptr));
+    }
+    producing.store(false, std::memory_order_release);
+  });
+
+  // The queue (capacity 4) overflows with the worker gated: the producer
+  // must now be parked in its bounded-backoff retry loop, with nothing
+  // executed anywhere.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(completed.load(), 0);
+  EXPECT_EQ(inline_runs.load(), 0);
+
+  release.store(true, std::memory_order_release);
+  producer.join();
+  while (completed.load(std::memory_order_acquire) < kTasks)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  EXPECT_EQ(inline_runs.load(), 0);
+  EXPECT_GT(pool.stats().overflow_retries, 0u);
+}
+
+TEST(WorkerPool, AffinityQueueOverflowStressNeverRunsInline) {
+  // Overflow the 4096-slot affinity queue of a gated worker from an
+  // external producer: the excess must spill to the injection queue (and
+  // so to the other worker), never into the producer's stack frame.
+  worker_pool pool(2);
+
+  std::atomic<bool> gate_entered{false}, release{false};
+  pool.enqueue_affine(0, make_task(
+                             [&] {
+                               gate_entered.store(true,
+                                                  std::memory_order_release);
+                               while (!release.load(std::memory_order_acquire))
+                                 std::this_thread::sleep_for(
+                                     std::chrono::microseconds(50));
+                             },
+                             nullptr));
+  while (!gate_entered.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+
+  constexpr int kTasks = 5000;  // > 4096: guaranteed affinity overflow
+  std::atomic<int> completed{0};
+  std::atomic<int> inline_runs{0};
+  std::atomic<bool> producing{true};
+  std::thread producer([&] {
+    const auto producer_tid = std::this_thread::get_id();
+    for (int i = 0; i < kTasks; ++i) {
+      pool.enqueue_affine(0, make_task(
+                                 [&, producer_tid] {
+                                   if (std::this_thread::get_id() ==
+                                           producer_tid &&
+                                       producing.load(
+                                           std::memory_order_acquire))
+                                     inline_runs.fetch_add(1);
+                                   completed.fetch_add(
+                                       1, std::memory_order_acq_rel);
+                                 },
+                                 nullptr));
+    }
+    producing.store(false, std::memory_order_release);
+  });
+  producer.join();  // must terminate: overflow spills to injection
+  EXPECT_EQ(inline_runs.load(), 0);
+
+  release.store(true, std::memory_order_release);
+  while (completed.load(std::memory_order_acquire) < kTasks)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  EXPECT_EQ(inline_runs.load(), 0);
+  EXPECT_EQ(completed.load(), kTasks);
+}
+
+TEST(WorkerPool, WorkerSideAffinityOverflowFallsBackToOwnDeque) {
+  // Same overflow produced FROM a worker thread: the excess goes to the
+  // producing worker's own deque (unbounded), again never inline.
+  worker_pool pool(2);
+
+  std::atomic<bool> gate_entered{false}, release{false};
+  pool.enqueue_affine(0, make_task(
+                             [&] {
+                               gate_entered.store(true,
+                                                  std::memory_order_release);
+                               while (!release.load(std::memory_order_acquire))
+                                 std::this_thread::sleep_for(
+                                     std::chrono::microseconds(50));
+                             },
+                             nullptr));
+  while (!gate_entered.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+
+  constexpr int kTasks = 4200;  // > 4096
+  std::atomic<int> completed{0};
+  std::atomic<int> inline_runs{0};
+  std::atomic<bool> producing{true};
+  std::atomic<bool> produced{false};
+  // The producing task lands on worker 1 (worker 0 is gated).
+  pool.enqueue(make_task(
+      [&] {
+        const auto producer_tid = std::this_thread::get_id();
+        for (int i = 0; i < kTasks; ++i) {
+          pool.enqueue_affine(0, make_task(
+                                     [&, producer_tid] {
+                                       if (std::this_thread::get_id() ==
+                                               producer_tid &&
+                                           producing.load(
+                                               std::memory_order_acquire))
+                                         inline_runs.fetch_add(1);
+                                       completed.fetch_add(
+                                           1, std::memory_order_acq_rel);
+                                     },
+                                     nullptr));
+        }
+        producing.store(false, std::memory_order_release);
+        produced.store(true, std::memory_order_release);
+      },
+      nullptr));
+  while (!produced.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  EXPECT_EQ(inline_runs.load(), 0);
+
+  release.store(true, std::memory_order_release);
+  while (completed.load(std::memory_order_acquire) < kTasks)
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  EXPECT_EQ(inline_runs.load(), 0);
+}
+
 }  // namespace

@@ -1,0 +1,381 @@
+// Tests for the rdp::obs observability layer: tracer sessions, per-thread
+// buffers and drop accounting, name interning, the per-phase summary
+// (including nested helper runs), and a full round trip of a real fork-join
+// execution through the Chrome trace_event JSON exporter, validated with a
+// small JSON parser.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "forkjoin/task_group.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/sampler.hpp"
+#include "obs/summary.hpp"
+#include "obs/tracer.hpp"
+
+namespace {
+
+using namespace rdp;
+using obs::event;
+using obs::event_kind;
+
+obs::tracer& trc() { return obs::tracer::instance(); }
+
+// ------------------------------------------------------------ tracer ----
+
+TEST(Tracer, EmitCollectRoundTrip) {
+  auto& t = trc();
+  t.start();
+  const auto name = t.intern("roundtrip");
+  t.emit(event_kind::item_put, name, 11, 22);
+  t.emit(event_kind::item_get, name, 33, 44);
+  t.stop();
+  const auto events = t.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, event_kind::item_put);
+  EXPECT_EQ(events[0].arg0, 11u);
+  EXPECT_EQ(events[0].arg1, 22u);
+  EXPECT_EQ(t.name(events[0].name), "roundtrip");
+  EXPECT_EQ(events[1].kind, event_kind::item_get);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_GE(events[0].tid, 0);  // collect() stamps thread ids
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST(Tracer, MacroIsGuardedByEnabledFlag) {
+  auto& t = trc();
+  t.start();
+  t.stop();
+  ASSERT_EQ(t.collect().size(), 0u);
+  // Disabled: the macro must not record.
+  RDP_TRACE_EVENT(event_kind::item_put, 0, 1, 2);
+  EXPECT_EQ(t.collect().size(), 0u);
+  t.start();
+  RDP_TRACE_EVENT(event_kind::item_put, 0, 1, 2);
+  t.stop();
+#ifdef RDP_TRACE_DISABLED
+  EXPECT_EQ(t.collect().size(), 0u);  // compiled out entirely
+#else
+  EXPECT_EQ(t.collect().size(), 1u);
+#endif
+}
+
+TEST(Tracer, FullBufferDropsAndCounts) {
+  auto& t = trc();
+  t.start(/*per_thread_capacity=*/4);
+  for (int i = 0; i < 10; ++i)
+    t.emit(event_kind::counter_sample, 0, static_cast<std::uint64_t>(i), 0);
+  t.stop();
+  EXPECT_EQ(t.collect().size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  // The next session resets the drop counter and the buffer.
+  t.start();
+  t.stop();
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.collect().size(), 0u);
+}
+
+TEST(Tracer, InternIsIdempotentAndResolvable) {
+  auto& t = trc();
+  const auto a = t.intern("collection-a");
+  EXPECT_EQ(t.intern("collection-a"), a);
+  EXPECT_NE(t.intern("collection-b"), a);
+  EXPECT_EQ(t.name(a), "collection-a");
+  EXPECT_EQ(t.name(0), "");
+}
+
+TEST(Tracer, ThreadsGetDistinctTids) {
+  auto& t = trc();
+  t.start();
+  t.emit(event_kind::item_put, 0, 0, 0);
+  std::thread other([&] {
+    t.set_thread_label("other thread");
+    t.emit(event_kind::item_put, 0, 1, 0);
+  });
+  other.join();
+  t.stop();
+  const auto events = t.collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+  const auto labels = t.thread_labels();
+  bool labelled = false;
+  for (const auto& l : labels) labelled = labelled || l == "other thread";
+  EXPECT_TRUE(labelled);
+}
+
+// ----------------------------------------------------------- summary ----
+
+TEST(Summary, AttributesEventsToPhases) {
+  auto& t = trc();
+  t.start();
+  t.begin_phase("alpha");
+  t.emit(event_kind::task_run_begin, 0, 1, 0);
+  t.emit(event_kind::task_run_end, 0, 1, 0);
+  t.emit(event_kind::step_abort, 0, 0, 0);
+  t.begin_phase("beta");
+  t.emit(event_kind::step_resume, 0, 0, 0);
+  t.emit(event_kind::task_steal, 0, 0, 1);
+  t.stop();
+  const auto phases = obs::summarize(t.collect(), t);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].phase, "alpha");
+  EXPECT_EQ(phases[0].tasks_run, 1u);
+  EXPECT_EQ(phases[0].step_aborts, 1u);
+  EXPECT_EQ(phases[0].step_reexecs, 0u);
+  EXPECT_EQ(phases[1].phase, "beta");
+  EXPECT_EQ(phases[1].step_reexecs, 1u);
+  EXPECT_EQ(phases[1].steals, 1u);
+}
+
+TEST(Summary, NestedHelperRunsBothCounted) {
+  // A helping join runs a nested task inside an outer one on the same
+  // thread; begin/end pair LIFO and BOTH runs must be counted — and the
+  // outer one in the phase it BEGAN in, even if it ends in the next phase.
+  auto& t = trc();
+  t.start();
+  t.begin_phase("outer-phase");
+  t.emit(event_kind::task_run_begin, 0, 1, 0);  // outer
+  t.emit(event_kind::task_run_begin, 0, 2, 0);  // nested (helping)
+  t.emit(event_kind::task_run_end, 0, 2, 0);
+  t.begin_phase("late-phase");
+  t.emit(event_kind::task_run_end, 0, 1, 0);  // outer ends after the marker
+  t.stop();
+  const auto phases = obs::summarize(t.collect(), t);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].phase, "outer-phase");
+  EXPECT_EQ(phases[0].tasks_run, 2u);  // nested AND outer
+  EXPECT_EQ(phases[1].tasks_run, 0u);
+}
+
+// -------------------------------------------- minimal JSON validation ----
+// A tiny recursive-descent parser, just rich enough for the exporter's
+// output (objects, arrays, strings, numbers, flat values). Throws
+// std::runtime_error on malformed input.
+
+struct json_value {
+  enum class type { object, array, string, number, null_t } t = type::null_t;
+  std::map<std::string, json_value> obj;
+  std::vector<json_value> arr;
+  std::string str;
+  double num = 0;
+};
+
+class json_parser {
+public:
+  explicit json_parser(const std::string& s) : s_(s) {}
+
+  json_value parse() {
+    json_value v = value();
+    skip_ws();
+    if (pos_ != s_.size()) throw std::runtime_error("trailing data");
+    return v;
+  }
+
+private:
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= s_.size()) throw std::runtime_error("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "' at " +
+                               std::to_string(pos_));
+    ++pos_;
+  }
+  json_value value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        json_value v;
+        v.t = json_value::type::string;
+        v.str = string();
+        return v;
+      }
+      default: return number();
+    }
+  }
+  json_value object() {
+    expect('{');
+    json_value v;
+    v.t = json_value::type::object;
+    if (peek() == '}') { ++pos_; return v; }
+    for (;;) {
+      std::string key = string();
+      expect(':');
+      v.obj.emplace(std::move(key), value());
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return v;
+    }
+  }
+  json_value array() {
+    expect('[');
+    json_value v;
+    v.t = json_value::type::array;
+    if (peek() == ']') { ++pos_; return v; }
+    for (;;) {
+      v.arr.push_back(value());
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return v;
+    }
+  }
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= s_.size()) throw std::runtime_error("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'u': pos_ += 4; out += '?'; break;
+          default: out += e;
+        }
+      } else {
+        out += c;
+      }
+    }
+    if (pos_ >= s_.size()) throw std::runtime_error("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+  json_value number() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+            s_[end] == '-' || s_[end] == '+' || s_[end] == '.' ||
+            s_[end] == 'e' || s_[end] == 'E'))
+      ++end;
+    if (end == pos_) throw std::runtime_error("expected number");
+    json_value v;
+    v.t = json_value::type::number;
+    v.num = std::stod(s_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --------------------------------------------------- chrome round trip ----
+
+TEST(ChromeTrace, RealForkJoinRunRoundTripsThroughJson) {
+#ifdef RDP_TRACE_DISABLED
+  GTEST_SKIP() << "tracer compiled out (RDP_TRACE=OFF)";
+#else
+  auto& t = trc();
+  t.start();
+  t.set_thread_label("environment");
+  std::atomic<int> leaves{0};
+  {
+    forkjoin::worker_pool pool(2);
+    forkjoin::parallel_for(pool, 0, 256, 4,
+                           [&](std::size_t) { ++leaves; });
+  }
+  t.stop();
+  EXPECT_EQ(leaves.load(), 256);
+
+  const auto events = t.collect();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(t.dropped(), 0u);
+
+  std::ostringstream os;
+  obs::write_chrome_trace(os, events, t);
+  const std::string json = os.str();
+  json_parser parser(json);
+  json_value root;
+  ASSERT_NO_THROW(root = parser.parse());
+  ASSERT_EQ(root.t, json_value::type::object);
+  ASSERT_TRUE(root.obj.count("traceEvents"));
+  const auto& arr = root.obj.at("traceEvents").arr;
+  // Metadata (thread_name) + one JSON object per collected event.
+  ASSERT_GE(arr.size(), events.size());
+
+  std::map<double, std::vector<double>> open_per_tid;  // tid -> begin ts
+  bool saw_spawn_or_inject = false, saw_task = false;
+  for (const auto& e : arr) {
+    ASSERT_EQ(e.t, json_value::type::object);
+    ASSERT_TRUE(e.obj.count("ph"));
+    ASSERT_TRUE(e.obj.count("name"));
+    const std::string& ph = e.obj.at("ph").str;
+    const std::string& name = e.obj.at("name").str;
+    if (ph == "M") continue;  // metadata carries no ts
+    ASSERT_TRUE(e.obj.count("tid"));
+    ASSERT_TRUE(e.obj.count("ts"));
+    const double tid = e.obj.at("tid").num;
+    const double ts = e.obj.at("ts").num;
+    saw_spawn_or_inject = saw_spawn_or_inject || name == "task_spawn" ||
+                          name == "task_inject";
+    if (ph == "B") {
+      EXPECT_EQ(name, "task");
+      saw_task = true;
+      open_per_tid[tid].push_back(ts);
+    } else if (ph == "E") {
+      // Every E closes the most recent B on the same thread (LIFO), so
+      // slices nest and never cross.
+      auto& stack = open_per_tid[tid];
+      ASSERT_FALSE(stack.empty()) << "E without open B on tid " << tid;
+      EXPECT_LE(stack.back(), ts);
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open_per_tid)
+    EXPECT_TRUE(stack.empty()) << "unclosed B on tid " << tid;
+  EXPECT_TRUE(saw_task);
+  EXPECT_TRUE(saw_spawn_or_inject);
+#endif
+}
+
+// ----------------------------------------------------------- sampler ----
+
+TEST(Sampler, EmitsCounterSamplesWhileRunning) {
+#ifdef RDP_TRACE_DISABLED
+  GTEST_SKIP() << "tracer compiled out (RDP_TRACE=OFF)";
+#else
+  auto& t = trc();
+  t.start();
+  std::atomic<std::uint64_t> level{42};
+  obs::sampler s(std::chrono::microseconds(100));
+  s.add_gauge("level", [&] { return level.load(); });
+  s.start();
+  // Deadline loop, not a fixed sleep: sanitizer builds start threads slowly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (s.samples_taken() == 0 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  s.stop();
+  t.stop();
+  EXPECT_GT(s.samples_taken(), 0u);
+  std::uint64_t samples = 0;
+  for (const auto& e : t.collect())
+    if (e.kind == event_kind::counter_sample) {
+      ++samples;
+      EXPECT_EQ(e.arg0, 42u);
+      EXPECT_EQ(t.name(e.name), "level");
+    }
+  EXPECT_GT(samples, 0u);
+#endif
+}
+
+}  // namespace
