@@ -3,14 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dp/dp.hpp"
 #include "forkjoin/worker_pool.hpp"
+#include "obs/analyze.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/perf_counters.hpp"
 #include "obs/sampler.hpp"
 #include "obs/summary.hpp"
 #include "obs/tracer.hpp"
@@ -43,13 +47,45 @@ std::vector<std::size_t> panel_bases(std::size_t n, std::size_t min_base,
   return bases;
 }
 
+/// Per-phase PMU readings. The perf_counters instance must be constructed
+/// on the environment thread before ANY pool exists: `inherit` only covers
+/// threads spawned after the events were opened, and reset/enable propagate
+/// to inherited children, so one instance gives per-phase deltas for every
+/// worker of every later pool.
+struct counter_log {
+  obs::perf_counters counters;
+  std::vector<std::pair<std::string, obs::perf_sample>> rows;
+};
+
+void print_counters(std::ostream& os, const counter_log& log) {
+  os << "\nPMU counters (backend: " << to_string(log.counters.backend())
+     << ", user space, all counted threads)\n";
+  table_printer table({"Phase", "Cycles", "Instr", "IPC", "L1D-miss",
+                       "LLC-miss", "TaskClock(ms)"});
+  auto cell = [](const obs::perf_value& v) {
+    return v.valid ? std::to_string(v.value) : std::string("n/a");
+  };
+  for (const auto& [phase, s] : log.rows) {
+    table.add_row({phase, cell(s.cycles), cell(s.instructions),
+                   s.ipc() > 0 ? table_printer::num(s.ipc()) : "n/a",
+                   cell(s.l1d_misses), cell(s.llc_misses),
+                   s.task_clock_ns.valid
+                       ? table_printer::num(
+                             static_cast<double>(s.task_clock_ns.value) / 1e6)
+                       : "n/a"});
+  }
+  table.print(os);
+}
+
 /// One traced phase: marks the phase, runs `body`, and samples the pool's
 /// gauges (when one is given) for the counter tracks of the trace. The
 /// trailing idle window keeps the pool alive with nothing to do so the
-/// workers' spin-then-park transition is on the record too.
+/// workers' spin-then-park transition is on the record too. With `pmu`,
+/// the PMU counts the body (not the idle window) and the reading is logged
+/// under the phase label.
 template <class Body>
 void traced_phase(const std::string& label, forkjoin::worker_pool* pool,
-                  Body&& body) {
+                  counter_log* pmu, Body&& body) {
   auto& t = obs::tracer::instance();
   t.begin_phase(label);
   obs::sampler s;
@@ -60,7 +96,12 @@ void traced_phase(const std::string& label, forkjoin::worker_pool* pool,
                 [pool] { return std::uint64_t(pool->ready_estimate()); });
     s.start();
   }
+  if (pmu != nullptr) pmu->counters.start();
   body();
+  if (pmu != nullptr) {
+    pmu->counters.stop();
+    pmu->rows.emplace_back(label, pmu->counters.read());
+  }
   if (pool != nullptr) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
     s.stop();
@@ -86,16 +127,30 @@ void run_on_pool(forkjoin::worker_pool& pool, Fn&& fn) {
     std::this_thread::sleep_for(std::chrono::microseconds(200));
 }
 
+/// Everything the --trace family of flags selects.
+struct trace_options {
+  std::string chrome_path;  // --trace: Chrome trace_event JSON
+  std::string raw_path;     // --trace-raw: lossless format for trace_analyze
+  bool counters = false;    // --counters: per-phase PMU readings
+  bool analyze = false;     // --analyze: in-process work/span analysis
+  unsigned workers = 4;
+};
+
 /// The --trace path: real (not simulated) laptop-scale executions of the
 /// figure's benchmark, one phase per execution model, recorded by rdp::obs.
-int run_trace_capture(const figure_options& opts, const std::string& path,
-                      unsigned workers) {
+int run_trace_capture(const figure_options& opts, const trace_options& topt) {
 #ifdef RDP_TRACE_DISABLED
   std::cerr << "--trace requires the library to be built with RDP_TRACE=ON "
                "(this build has the tracer compiled out)\n";
-  (void)opts, (void)path, (void)workers;
+  (void)opts, (void)topt;
   return 2;
 #else
+  const unsigned workers = topt.workers;
+  // PMU events must exist before the first pool spawns its workers (see
+  // counter_log); null when not requested so the capture stays untouched.
+  std::unique_ptr<counter_log> pmu;
+  if (topt.counters) pmu = std::make_unique<counter_log>();
+
   auto& t = obs::tracer::instance();
   t.set_thread_label("environment");
   t.start();
@@ -112,15 +167,15 @@ int run_trace_capture(const figure_options& opts, const std::string& path,
       auto m = input;
       {
         forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin GE 512/64", &pool,
+        traced_phase("forkjoin GE 512/64", &pool, pmu.get(),
                      [&] { run_on_pool(pool, [&] { dp::ge_rdp_forkjoin(m, base, pool); }); });
       }
       m = input;
-      traced_phase("CnC GE 512/64", nullptr, [&] {
+      traced_phase("CnC GE 512/64", nullptr, pmu.get(), [&] {
         dp::ge_cnc(m, base, dp::cnc_variant::native, workers);
       });
       m = input;
-      traced_phase("CnC_tuner GE 512/64", nullptr, [&] {
+      traced_phase("CnC_tuner GE 512/64", nullptr, pmu.get(), [&] {
         dp::ge_cnc(m, base, dp::cnc_variant::tuner, workers);
       });
       break;
@@ -133,15 +188,15 @@ int run_trace_capture(const figure_options& opts, const std::string& path,
       matrix<std::int32_t> s(n + 1, n + 1, 0);
       {
         forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin SW 512/64", &pool,
+        traced_phase("forkjoin SW 512/64", &pool, pmu.get(),
                      [&] { run_on_pool(pool, [&] { dp::sw_rdp_forkjoin(s, a, b, p, base, pool); }); });
       }
       s = matrix<std::int32_t>(n + 1, n + 1, 0);
-      traced_phase("CnC SW 512/64", nullptr, [&] {
+      traced_phase("CnC SW 512/64", nullptr, pmu.get(), [&] {
         dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::native, workers);
       });
       s = matrix<std::int32_t>(n + 1, n + 1, 0);
-      traced_phase("CnC_tuner SW 512/64", nullptr, [&] {
+      traced_phase("CnC_tuner SW 512/64", nullptr, pmu.get(), [&] {
         dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::tuner, workers);
       });
       break;
@@ -155,15 +210,15 @@ int run_trace_capture(const figure_options& opts, const std::string& path,
       auto m = input;
       {
         forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin FW 256/32", &pool,
+        traced_phase("forkjoin FW 256/32", &pool, pmu.get(),
                      [&] { run_on_pool(pool, [&] { dp::fw_rdp_forkjoin(m, base, pool); }); });
       }
       m = input;
-      traced_phase("CnC FW 256/32", nullptr, [&] {
+      traced_phase("CnC FW 256/32", nullptr, pmu.get(), [&] {
         dp::fw_cnc(m, base, dp::cnc_variant::native, workers);
       });
       m = input;
-      traced_phase("CnC_tuner FW 256/32", nullptr, [&] {
+      traced_phase("CnC_tuner FW 256/32", nullptr, pmu.get(), [&] {
         dp::fw_cnc(m, base, dp::cnc_variant::tuner, workers);
       });
       break;
@@ -177,14 +232,46 @@ int run_trace_capture(const figure_options& opts, const std::string& path,
   if (t.dropped() > 0)
     std::cout << "(" << t.dropped()
               << " events dropped — full per-thread buffers)\n";
-  if (!obs::write_chrome_trace_file(path, events, t)) {
-    std::cerr << "cannot write trace file " << path << "\n";
-    return 2;
+  if (pmu) print_counters(std::cout, *pmu);
+  if (topt.analyze) {
+    const auto labels = t.thread_labels();
+    const auto metrics = obs::analyze_trace(
+        events, [&t](std::uint16_t id) { return t.name(id); },
+        [&labels](std::int32_t tid) {
+          return tid >= 0 && static_cast<std::size_t>(tid) < labels.size()
+                     ? labels[tid]
+                     : std::string();
+        });
+    std::cout << "\nMeasured work/span and idle attribution\n";
+    obs::print_metrics(std::cout, metrics, /*per_thread=*/false);
   }
-  std::cout << "\nwrote " << events.size() << " events to " << path
-            << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  if (!topt.chrome_path.empty()) {
+    if (!obs::write_chrome_trace_file(topt.chrome_path, events, t)) {
+      std::cerr << "cannot write trace file " << topt.chrome_path << "\n";
+      return 2;
+    }
+    std::cout << "\nwrote " << events.size() << " events to "
+              << topt.chrome_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!topt.raw_path.empty()) {
+    if (!obs::write_raw_trace_file(topt.raw_path, events, t)) {
+      std::cerr << "cannot write raw trace file " << topt.raw_path << "\n";
+      return 2;
+    }
+    std::cout << "wrote raw trace (" << events.size() << " events) to "
+              << topt.raw_path << " (analyze with bench/trace_analyze)\n";
+  }
   return 0;
 #endif
+}
+
+/// --trace / --trace-raw destinations are validated before the (minutes
+/// long) capture runs, not after: probe by opening in append mode, which
+/// creates a missing file but clobbers nothing.
+bool probe_writable(const std::string& path) {
+  std::ofstream probe(path, std::ios::app);
+  return static_cast<bool>(probe);
 }
 
 }  // namespace
@@ -193,16 +280,25 @@ int run_figure_bench(int argc, const char* const* argv,
                      const figure_options& opts) {
   bool quick = false, full = false;
   std::string csv_path = opts.csv_file;
-  std::string trace_path;
+  trace_options topt;
   std::int64_t trace_workers = 4;
   cli_parser cli(std::string("Regenerates ") + opts.figure_name);
   cli.add_flag("quick", &quick, "only the 2K and 4K matrix panels");
   cli.add_flag("full", &full,
                "include the most memory-hungry configurations (tiles > 192)");
   cli.add_string("csv", &csv_path, "CSV output path");
-  cli.add_string("trace", &trace_path,
+  cli.add_string("trace", &topt.chrome_path,
                  "run the benchmark for real under the event tracer and "
                  "write a Chrome trace_event JSON to this path");
+  cli.add_string("trace-raw", &topt.raw_path,
+                 "also/instead write the lossless raw trace here (input "
+                 "format of bench/trace_analyze)");
+  cli.add_flag("counters", &topt.counters,
+               "read PMU counters (perf_event_open) per traced phase; "
+               "degrades to software or null counting where unavailable");
+  cli.add_flag("analyze", &topt.analyze,
+               "print measured work/span/parallelism and the idle-time "
+               "breakdown after the capture");
   cli.add_int("trace-workers", &trace_workers,
               "worker threads for --trace runs (default 4)");
   try {
@@ -211,10 +307,21 @@ int run_figure_bench(int argc, const char* const* argv,
     std::cerr << e.what() << "\n";
     return 2;
   }
+  topt.workers = static_cast<unsigned>(trace_workers);
 
-  if (!trace_path.empty())
-    return run_trace_capture(opts, trace_path,
-                             static_cast<unsigned>(trace_workers));
+  const bool capture = !topt.chrome_path.empty() || !topt.raw_path.empty();
+  if ((topt.counters || topt.analyze) && !capture) {
+    std::cerr << "--counters/--analyze need a capture run: pass --trace=FILE "
+                 "or --trace-raw=FILE\n";
+    return 2;
+  }
+  for (const std::string* p : {&topt.chrome_path, &topt.raw_path}) {
+    if (!p->empty() && !probe_writable(*p)) {
+      std::cerr << "trace destination is not writable: " << *p << "\n";
+      return 2;
+    }
+  }
+  if (capture) return run_trace_capture(opts, topt);
 
   std::cout << "=== " << opts.figure_name << " ===\n"
             << "machine: " << opts.machine.name << " (" << opts.machine.cores

@@ -10,18 +10,29 @@
 // The paper's measured ratios are printed alongside for shape comparison:
 // the ratio should collapse once three base blocks of doubles no longer fit
 // in the level (after 128 for L2, after 1024 for L3 on SKYLAKE).
+// With --measured, the analytical bound is additionally compared against
+// *hardware* counts: one real ge_base_kernel task per kind is replayed
+// under perf_event_open (L1D read misses / LLC misses) and scaled by the
+// kind's multiplicity. Columns read n/a when the machine grants no PMU
+// access (VMs, containers) — the analytical/simulated columns above never
+// depend on it.
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cache/kernel_traces.hpp"
 #include "cache/profiles.hpp"
 #include "dp/common.hpp"
+#include "dp/ge.hpp"
 #include "model/analytical.hpp"
+#include "obs/perf_counters.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
+#include "support/rng.hpp"
 #include "support/stopwatch.hpp"
 #include "support/table_printer.hpp"
 
@@ -58,15 +69,64 @@ const std::map<std::uint64_t, std::pair<double, double>> k_paper_ratios = {
     {512, {7.97, 5793.74}},  {1024, {6.13, 8247.60}}, {2048, {5.96, 127.06}},
 };
 
+/// Hardware-measured misses of one base-case task per kind, scaled by the
+/// kind's multiplicity like the simulated column. The replay matrix is
+/// capped at max(2048, 2*base) — per-task misses depend on the block
+/// footprint, not the full problem, and this keeps the largest replay in
+/// memory and under a second. Measuring is skipped entirely (valid=false)
+/// when the PMU is unreachable.
+struct measured_totals {
+  double l1d = 0, llc = 0;
+  bool l1d_valid = false, llc_valid = false;
+};
+
+measured_totals measure_ge_misses(obs::perf_counters& pc, std::uint64_t n,
+                                  std::uint64_t base) {
+  measured_totals out;
+  const std::uint64_t n_m = std::min<std::uint64_t>(
+      n, std::max<std::uint64_t>(2048, 2 * base));
+  const std::uint64_t t_m = n_m / base;
+  auto work = make_diag_dominant(static_cast<std::size_t>(n_m), 1);
+  // The LLC holds none of `work` after this walk (64 MiB of strided
+  // writes), so every replay starts cold like the simulated one.
+  static std::vector<double> flusher(8u << 20);
+  const std::uint64_t t_real = n / base;
+  out.l1d_valid = out.llc_valid = true;
+  for (const kind_sample& ks : kind_samples(t_m)) {
+    // Multiplicity from the REAL tiling: the replay matrix only provides
+    // the coordinates, the real problem provides the task counts.
+    double count = 0;
+    for (const kind_sample& real : kind_samples(t_real))
+      if (real.kind == ks.kind) count = static_cast<double>(real.count);
+    if (count == 0) continue;
+    for (std::size_t i = 0; i < flusher.size(); i += 8) flusher[i] += 1.0;
+    pc.start();
+    dp::ge_base_kernel(work.data(), work.rows(),
+                   static_cast<std::size_t>(ks.i) * base,
+                   static_cast<std::size_t>(ks.j) * base,
+                   static_cast<std::size_t>(ks.k) * base, base);
+    pc.stop();
+    const obs::perf_sample s = pc.read();
+    out.l1d_valid &= s.l1d_misses.valid;
+    out.llc_valid &= s.llc_misses.valid;
+    out.l1d += static_cast<double>(s.l1d_misses.value) * count;
+    out.llc += static_cast<double>(s.llc_misses.value) * count;
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
+  bool quick = false, measured = false;
   std::string csv_path = "table1_cache_ratio.csv";
   std::int64_t n64 = 8192;
   cli_parser cli("Regenerates Table I (estimated/actual cache-miss ratio, "
                  "GE 8K on SKYLAKE)");
   cli.add_flag("quick", &quick, "lower the exact-replay threshold to 128");
+  cli.add_flag("measured", &measured,
+               "add a column of real PMU cache-miss counts (perf_event_open "
+               "replay of one task per kind; n/a without PMU access)");
   cli.add_int("n", &n64, "problem size (default 8192)");
   cli.add_string("csv", &csv_path, "CSV output path");
   try {
@@ -84,8 +144,22 @@ int main(int argc, char** argv) {
                "for shape comparison)\n\n";
 
   cache::hierarchy_sim hier(cache::skylake_hierarchy());
-  table_printer table({"Base Size", "L2 ratio", "L3 ratio", "L2 (paper)",
-                       "L3 (paper)", "mode"});
+  std::unique_ptr<obs::perf_counters> pc;
+  if (measured) {
+    pc = std::make_unique<obs::perf_counters>(/*inherit=*/false);
+    std::cout << "PMU backend: " << to_string(pc->backend());
+    if (pc->backend() != obs::perf_backend::hardware)
+      std::cout << " — no hardware cache events here, measured columns "
+                   "will read n/a";
+    std::cout << "\n\n";
+  }
+  std::vector<std::string> header = {"Base Size", "L2 ratio", "L3 ratio",
+                                     "L2 (paper)", "L3 (paper)", "mode"};
+  if (measured) {
+    header.push_back("LLC ratio (meas)");
+    header.push_back("L1D ratio (meas)");
+  }
+  table_printer table(std::move(header));
   csv_writer csv({"base", "level", "estimated_misses", "actual_misses",
                   "ratio"});
 
@@ -116,10 +190,39 @@ int main(int argc, char** argv) {
     const auto paper = k_paper_ratios.count(base)
                            ? k_paper_ratios.at(base)
                            : std::pair<double, double>{0, 0};
-    table.add_row({std::to_string(base), table_printer::num(l2_ratio),
-                   table_printer::num(l3_ratio), table_printer::num(paper.first),
-                   table_printer::num(paper.second),
-                   any_sampled ? "sampled" : "exact"});
+    std::vector<std::string> row = {
+        std::to_string(base), table_printer::num(l2_ratio),
+        table_printer::num(l3_ratio), table_printer::num(paper.first),
+        table_printer::num(paper.second), any_sampled ? "sampled" : "exact"};
+    if (measured) {
+      // Replaying without hardware cache events would burn minutes to
+      // produce n/a cells; only the hardware tier runs the kernels.
+      const measured_totals mt =
+          pc->backend() == obs::perf_backend::hardware
+              ? measure_ge_misses(*pc, n, base)
+              : measured_totals{};
+      row.push_back(mt.llc_valid && mt.llc > 0
+                        ? table_printer::num(estimated_total / mt.llc)
+                        : "n/a");
+      row.push_back(mt.l1d_valid && mt.l1d > 0
+                        ? table_printer::num(estimated_total / mt.l1d)
+                        : "n/a");
+      if (mt.llc_valid)
+        csv.add_row({std::to_string(base), "LLC-measured",
+                     table_printer::num(estimated_total, 9),
+                     table_printer::num(mt.llc, 9),
+                     table_printer::num(mt.llc > 0 ? estimated_total / mt.llc
+                                                   : 0,
+                                        6)});
+      if (mt.l1d_valid)
+        csv.add_row({std::to_string(base), "L1D-measured",
+                     table_printer::num(estimated_total, 9),
+                     table_printer::num(mt.l1d, 9),
+                     table_printer::num(mt.l1d > 0 ? estimated_total / mt.l1d
+                                                   : 0,
+                                        6)});
+    }
+    table.add_row(std::move(row));
     csv.add_row({std::to_string(base), "L2",
                  table_printer::num(estimated_total, 9),
                  table_printer::num(actual[1], 9),

@@ -1,0 +1,54 @@
+// Post-mortem analyzer CLI: turns a raw trace captured with
+//   fig4_ge_epyc64 --trace-raw=ge.trace        (any figure bench works)
+// into measured work/span/parallelism and a per-cause idle breakdown:
+//   trace_analyze --in=ge.trace [--csv=ge_metrics.csv] [--per-worker]
+// The analysis itself lives in src/obs/analyze.cpp; this binary only does
+// file IO, so traces can be captured on one machine and studied on another.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/analyze.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::string in, csv;
+  bool per_worker = false;
+  rdp::cli_parser cli(
+      "Measured work/span and idle-time attribution of a raw rdp trace");
+  cli.add_string("in", &in, "raw trace file (from --trace-raw)");
+  cli.add_string("csv", &csv, "also write per-phase metrics as CSV here");
+  cli.add_flag("per-worker", &per_worker,
+               "print the per-thread busy/join-wait/data-wait breakdown");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (in.empty()) {
+    std::cerr << "missing --in=FILE\n" << cli.usage();
+    return 2;
+  }
+  try {
+    const rdp::obs::raw_trace trace = rdp::obs::read_raw_trace_file(in);
+    const auto metrics = rdp::obs::analyze_trace(trace);
+    std::cout << in << ": " << trace.events.size() << " events, "
+              << metrics.size() << " phases\n\n";
+    rdp::obs::print_metrics(std::cout, metrics, per_worker);
+    if (!csv.empty()) {
+      std::ofstream os(csv);
+      if (!os) {
+        std::cerr << "cannot write " << csv << "\n";
+        return 2;
+      }
+      rdp::obs::write_metrics_csv(os, metrics);
+      std::cout << "\nwrote " << metrics.size() << " phase rows to " << csv
+                << "\n";
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

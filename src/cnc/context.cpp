@@ -5,6 +5,7 @@
 
 #include "cnc/step_instance.hpp"
 #include "concurrent/backoff.hpp"
+#include "obs/tracer.hpp"
 
 namespace rdp::cnc {
 
@@ -53,6 +54,9 @@ void context_base::record_error(std::exception_ptr e) noexcept {
 }
 
 void context_base::wait() {
+  // Bracketed as a data-wait: the environment is blocked on the data-flow
+  // graph draining (name 0 distinguishes it from an item-collection get).
+  RDP_TRACE_EVENT(obs::event_kind::data_wait_begin, 0, 0, 0);
   concurrent::backoff bo;
   for (;;) {
     if (pool_->try_run_one()) {
@@ -63,6 +67,7 @@ void context_base::wait() {
     const long s = suspended_.load(std::memory_order_acquire);
     if (a == 0) {
       if (s == 0) break;
+      RDP_TRACE_EVENT(obs::event_kind::data_wait_end, 0, 0, 0);
       // No step is runnable or running, yet some are parked: no producer
       // can ever publish the items they need. Deterministic deadlock —
       // unless a step already died with a real error, in which case the
@@ -77,6 +82,7 @@ void context_base::wait() {
     }
     bo.pause();
   }
+  RDP_TRACE_EVENT(obs::event_kind::data_wait_end, 0, 0, 0);
   if (std::exception_ptr error = take_error()) std::rethrow_exception(error);
 }
 

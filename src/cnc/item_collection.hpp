@@ -195,10 +195,22 @@ private:
   /// quiescence test assumes no OTHER environment thread is still putting
   /// tags or items concurrently.
   void environment_get(const Key& key, Value& out) const {
+    // Fast path first so a hit costs no wait events; the slow path brackets
+    // the blocked stretch in data_wait_begin/end — the trace analyzer's
+    // *data-wait* idle bucket (true dependencies, vs fork-join join-wait).
+    if (try_get_counted(key, out)) {
+      ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+      RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key), 0);
+      return;
+    }
+    RDP_TRACE_EVENT(obs::event_kind::data_wait_begin, trace_name_,
+                    Hash{}(key), 0);
     concurrent::backoff bo;
     for (;;) {
       if (try_get_counted(key, out)) {
         ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+        RDP_TRACE_EVENT(obs::event_kind::data_wait_end, trace_name_,
+                        Hash{}(key), 0);
         RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key),
                         0);
         return;
@@ -212,10 +224,14 @@ private:
         // the failed lookup and the active-count read.
         if (try_get_counted(key, out)) {
           ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+          RDP_TRACE_EVENT(obs::event_kind::data_wait_end, trace_name_,
+                          Hash{}(key), 0);
           RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_,
                           Hash{}(key), 0);
           return;
         }
+        RDP_TRACE_EVENT(obs::event_kind::data_wait_end, trace_name_,
+                        Hash{}(key), 0);
         if (std::exception_ptr error = ctx_.take_error())
           std::rethrow_exception(error);
         const long s = ctx_.suspended_count();

@@ -17,6 +17,7 @@
 #include "concurrent/backoff.hpp"
 #include "concurrent/spinlock.hpp"
 #include "forkjoin/worker_pool.hpp"
+#include "obs/tracer.hpp"
 #include "support/assertions.hpp"
 
 namespace rdp::forkjoin {
@@ -56,7 +57,15 @@ public:
 
   /// Join: block until every spawned child completed. Helps the pool while
   /// waiting. Rethrows the first exception raised by any child.
+  ///
+  /// The join_begin/join_end events bracket the wait so the trace analyzer
+  /// can attribute this thread's non-helping time to *join-wait* — the cost
+  /// of the artificial dependencies (§III-B); nested task_run slices inside
+  /// the bracket are helping runs and stay attributed as work.
   void wait() {
+    RDP_TRACE_EVENT(obs::event_kind::join_begin, 0,
+                    reinterpret_cast<std::uintptr_t>(this),
+                    pending_.load(std::memory_order_relaxed));
     concurrent::backoff bo;
     while (pending_.load(std::memory_order_acquire) != 0) {
       if (pool_.try_run_one())
@@ -64,6 +73,8 @@ public:
       else
         bo.pause();
     }
+    RDP_TRACE_EVENT(obs::event_kind::join_end, 0,
+                    reinterpret_cast<std::uintptr_t>(this), 0);
     std::exception_ptr error;
     {
       std::scoped_lock lock(error_mutex_);

@@ -56,7 +56,8 @@ worker_pool::~worker_pool() {
   }
 }
 
-void worker_pool::push_injection_blocking(task_node* t, bool low_priority) {
+void worker_pool::push_injection_blocking(task_node* t, bool low_priority,
+                                          bool trace) {
   // Bounded-backoff retry push. Executing the task in the producer's stack
   // frame instead would be the unbounded-recursion hazard this overflow
   // policy exists to rule out: a retry-style task (e.g. a data-flow step
@@ -64,6 +65,14 @@ void worker_pool::push_injection_blocking(task_node* t, bool low_priority) {
   // and a full queue keeps it re-entering until the stack overflows.
   // Progress: workers (and helping waiters) drain the injection queue, so a
   // slot frees up as long as the pool is alive.
+  //
+  // The spawn event is recorded before the push (here and at every other
+  // enqueue site): once the task is visible in a queue a consumer may begin
+  // it immediately, and the trace analyzer relies on every task's spawn
+  // timestamp preceding its run_begin.
+  if (trace)
+    RDP_TRACE_EVENT(obs::event_kind::task_inject, 0, low_priority ? 1 : 0,
+                    reinterpret_cast<std::uintptr_t>(t));
   concurrent::backoff bo;
   std::uint64_t retries = 0;
   while (!injection_.try_push(t)) {
@@ -75,7 +84,6 @@ void worker_pool::push_injection_blocking(task_node* t, bool low_priority) {
     bo.pause();
   }
   injections_.fetch_add(1, std::memory_order_relaxed);
-  RDP_TRACE_EVENT(obs::event_kind::task_inject, 0, low_priority ? 1 : 0, 0);
   wake_one();
 }
 
@@ -83,7 +91,8 @@ void worker_pool::enqueue(task_node* t) {
   RDP_ASSERT(t != nullptr);
   spawned_hint();
   if (tl_pool == this && tl_index >= 0) {
-    RDP_TRACE_EVENT(obs::event_kind::task_spawn, 0, tl_index, 0);
+    RDP_TRACE_EVENT(obs::event_kind::task_spawn, 0, tl_index,
+                    reinterpret_cast<std::uintptr_t>(t));
     workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
     wake_one();
     return;
@@ -96,9 +105,13 @@ void worker_pool::enqueue(task_node* t) {
 void worker_pool::enqueue_global(task_node* t) {
   RDP_ASSERT(t != nullptr);
   spawned_hint();
+  // One spawn event per task, before any push (see push_injection_blocking
+  // for why): the kind reflects the intended queue, not the rare overflow
+  // fallback's actual destination.
+  RDP_TRACE_EVENT(obs::event_kind::task_inject, 0, 1,
+                  reinterpret_cast<std::uintptr_t>(t));
   if (injection_.try_push(t)) {
     injections_.fetch_add(1, std::memory_order_relaxed);
-    RDP_TRACE_EVENT(obs::event_kind::task_inject, 0, 1, 0);
     wake_one();
     return;
   }
@@ -106,11 +119,10 @@ void worker_pool::enqueue_global(task_node* t) {
   // (an unbounded queue, so no retry loop is needed); any other thread
   // blocks until a slot frees up. Neither path executes the task inline.
   if (tl_pool == this && tl_index >= 0) {
-    RDP_TRACE_EVENT(obs::event_kind::task_spawn, 0, tl_index, 0);
     workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
     wake_one();
   } else {
-    push_injection_blocking(t, /*low_priority=*/true);
+    push_injection_blocking(t, /*low_priority=*/true, /*trace=*/false);
   }
 }
 
@@ -118,19 +130,19 @@ void worker_pool::enqueue_affine(unsigned target, task_node* t) {
   RDP_ASSERT(t != nullptr);
   RDP_REQUIRE_MSG(target < workers_.size(), "affinity worker out of range");
   spawned_hint();
+  RDP_TRACE_EVENT(obs::event_kind::task_affine, 0, target,
+                  reinterpret_cast<std::uintptr_t>(t));
   if (workers_[target]->affinity.try_push(t)) {
-    RDP_TRACE_EVENT(obs::event_kind::task_affine, 0, target, 0);
     wake_one();
     return;
   }
   // Queue full: correctness over placement — run it anywhere, but never in
   // the producer's stack frame (same recursion hazard as above).
   if (tl_pool == this && tl_index >= 0) {
-    RDP_TRACE_EVENT(obs::event_kind::task_spawn, 0, tl_index, 0);
     workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
     wake_one();
   } else {
-    push_injection_blocking(t, /*low_priority=*/false);
+    push_injection_blocking(t, /*low_priority=*/false, /*trace=*/false);
   }
 }
 

@@ -134,7 +134,8 @@ private:
   void wake_one();
   /// Push into the injection queue, backing off while it is full. The
   /// overflow policy for every enqueue path: never execute in place.
-  void push_injection_blocking(task_node* t, bool low_priority);
+  void push_injection_blocking(task_node* t, bool low_priority,
+                               bool trace = true);
   void spawned_hint() {
     spawned_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -47,6 +47,8 @@ constexpr const char* category(event_kind k) {
     case event_kind::item_put:
     case event_kind::item_get:
     case event_kind::item_get_miss:
+    case event_kind::data_wait_begin:
+    case event_kind::data_wait_end:
       return "cnc";
     case event_kind::counter_sample:
     case event_kind::phase_begin:

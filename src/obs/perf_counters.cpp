@@ -1,0 +1,120 @@
+#include "obs/perf_counters.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
+
+namespace rdp::obs {
+
+#if defined(__linux__)
+
+namespace {
+
+struct event_spec {
+  std::uint32_t type;
+  std::uint64_t config;
+  bool hardware;  // counts towards the `hardware` backend tier
+};
+
+// Slot order matches perf_sample: cycles, instructions, L1D read misses,
+// LLC misses, task-clock. L1D uses the cache-event encoding
+// (cache id | op << 8 | result << 16) from perf_event_open(2).
+constexpr event_spec k_events[perf_counters::k_slots] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, true},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, true},
+    {PERF_TYPE_HW_CACHE,
+     PERF_COUNT_HW_CACHE_L1D | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+         (PERF_COUNT_HW_CACHE_RESULT_MISS << 16),
+     true},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES, true},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK, false},
+};
+
+int open_event(const event_spec& spec, bool inherit) noexcept {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 1;
+  attr.inherit = inherit ? 1 : 0;
+  // Count user space only: the paper's quantities (kernel activity would
+  // also need perf_event_paranoid <= 1, which containers rarely grant).
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid 0, cpu -1: this thread (and, with inherit, its future children),
+  // on every CPU it migrates across.
+  const long fd =
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, PERF_FLAG_FD_CLOEXEC);
+  return fd >= 0 ? static_cast<int>(fd) : -1;
+}
+
+}  // namespace
+
+perf_counters::perf_counters(bool inherit, bool force_null) {
+  fds_.fill(-1);
+  if (force_null) return;
+  bool any_hardware = false, any = false;
+  for (std::size_t i = 0; i < k_slots; ++i) {
+    fds_[i] = open_event(k_events[i], inherit);
+    if (fds_[i] >= 0) {
+      any = true;
+      any_hardware |= k_events[i].hardware;
+    }
+  }
+  backend_ = any_hardware ? perf_backend::hardware
+             : any        ? perf_backend::software
+                          : perf_backend::null;
+}
+
+perf_counters::~perf_counters() {
+  for (int fd : fds_)
+    if (fd >= 0) close(fd);
+}
+
+void perf_counters::start() noexcept {
+  // RESET and ENABLE both propagate to inherited child events, so one
+  // instance yields correct per-phase deltas across a pool's workers.
+  for (int fd : fds_) {
+    if (fd < 0) continue;
+    ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void perf_counters::stop() noexcept {
+  for (int fd : fds_)
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+perf_sample perf_counters::read() const noexcept {
+  perf_sample s;
+  perf_value* values[k_slots] = {&s.cycles, &s.instructions, &s.l1d_misses,
+                                 &s.llc_misses, &s.task_clock_ns};
+  for (std::size_t i = 0; i < k_slots; ++i) {
+    if (fds_[i] < 0) continue;
+    std::uint64_t v = 0;
+    if (::read(fds_[i], &v, sizeof v) == sizeof v) {
+      values[i]->value = v;
+      values[i]->valid = true;
+    }
+  }
+  return s;
+}
+
+#else  // !__linux__: the null backend is the only backend.
+
+perf_counters::perf_counters(bool, bool) { fds_.fill(-1); }
+perf_counters::~perf_counters() = default;
+void perf_counters::start() noexcept {}
+void perf_counters::stop() noexcept {}
+perf_sample perf_counters::read() const noexcept { return {}; }
+
+#endif
+
+}  // namespace rdp::obs

@@ -1,0 +1,93 @@
+// Hardware performance counters via perf_event_open(2): the "Measured"
+// half of rdp::obs (the paper validates its analytical cache model with
+// PAPI; this module is the from-scratch equivalent).
+//
+// A perf_counters instance owns one set of counting events attached to the
+// calling thread — cycles, instructions, L1D read misses, LLC misses, plus
+// the software task-clock. With `inherit` (the default) every thread the
+// caller subsequently spawns is counted too, which is how a bench measures
+// a whole worker pool: construct the counters on the environment thread
+// BEFORE the pool, then start()/stop() around each phase (reset propagates
+// to inherited children, so one instance serves many phases).
+//
+// Degradation is per event and never an error: each event that cannot be
+// opened (no PMU in a VM/container, perf_event_paranoid, seccomp, non-Linux
+// build) is simply marked invalid in every sample. The aggregate tiers are
+//   hardware — at least one hardware event opened;
+//   software — only software events (typical for unprivileged containers);
+//   null     — nothing opened (or forced, for tests): start/stop/read all
+//              succeed and every value reads 0/invalid.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace rdp::obs {
+
+enum class perf_backend : std::uint8_t { null, software, hardware };
+
+inline constexpr const char* to_string(perf_backend b) noexcept {
+  switch (b) {
+    case perf_backend::null: return "null";
+    case perf_backend::software: return "software";
+    case perf_backend::hardware: return "hardware";
+  }
+  return "?";
+}
+
+/// One counter reading. `valid` is false when the event could not be opened
+/// (the value is then 0 and must not be interpreted).
+struct perf_value {
+  std::uint64_t value = 0;
+  bool valid = false;
+};
+
+/// A snapshot of every counter since the last start().
+struct perf_sample {
+  perf_value cycles;
+  perf_value instructions;
+  perf_value l1d_misses;   // L1 data cache read misses
+  perf_value llc_misses;   // last-level cache misses
+  perf_value task_clock_ns;  // software event: on-CPU time of counted threads
+
+  /// Instructions per cycle; 0 when either counter is unavailable.
+  double ipc() const noexcept {
+    if (!cycles.valid || !instructions.valid || cycles.value == 0) return 0;
+    return static_cast<double>(instructions.value) /
+           static_cast<double>(cycles.value);
+  }
+};
+
+class perf_counters {
+public:
+  /// Opens the event set for the calling thread. `inherit` extends counting
+  /// to threads spawned by this thread *after* construction. `force_null`
+  /// skips every open (the deterministic fallback path, used by tests).
+  /// Never throws: failures only narrow the backend.
+  explicit perf_counters(bool inherit = true, bool force_null = false);
+  ~perf_counters();
+
+  perf_counters(const perf_counters&) = delete;
+  perf_counters& operator=(const perf_counters&) = delete;
+
+  perf_backend backend() const noexcept { return backend_; }
+  bool available() const noexcept {
+    return backend_ != perf_backend::null;
+  }
+
+  /// Number of events in the set (slot order == perf_sample field order).
+  static constexpr std::size_t k_slots = 5;
+
+  /// Zero every counter (including inherited children) and enable counting.
+  void start() noexcept;
+  /// Disable counting; read() afterwards returns the window's totals.
+  void stop() noexcept;
+  /// Read all counters (valid whether running or stopped).
+  perf_sample read() const noexcept;
+
+private:
+  std::array<int, k_slots> fds_{};  // -1 = event unavailable
+  perf_backend backend_ = perf_backend::null;
+};
+
+}  // namespace rdp::obs

@@ -41,6 +41,10 @@ std::vector<phase_summary> summarize(const std::vector<event>& events,
       case event_kind::task_steal: ++p.steals; break;
       case event_kind::worker_park: ++p.parks; break;
       case event_kind::worker_unpark: break;
+      case event_kind::join_begin: ++p.joins; break;
+      case event_kind::join_end: break;
+      case event_kind::data_wait_begin: ++p.data_waits; break;
+      case event_kind::data_wait_end: break;
       case event_kind::task_run_begin:
         open[e.tid].push_back({e.ts_ns, phases.size() - 1});
         break;
@@ -83,8 +87,8 @@ std::vector<phase_summary> summarize(const std::vector<event>& events,
 void print_summary(std::ostream& os,
                    const std::vector<phase_summary>& phases) {
   table_printer table({"Phase", "Tasks", "Busy(ms)", "Wall(ms)", "Spawn",
-                       "Inject", "Steal", "Park", "Abort", "Re-exec",
-                       "Requeue", "Defer", "Put", "Get", "Miss"});
+                       "Inject", "Steal", "Park", "Join", "DWait", "Abort",
+                       "Re-exec", "Requeue", "Defer", "Put", "Get", "Miss"});
   for (const phase_summary& p : phases) {
     const double wall_ms =
         static_cast<double>(p.last_ts_ns - p.first_ts_ns) / 1e6;
@@ -92,7 +96,8 @@ void print_summary(std::ostream& os,
                    table_printer::num(p.busy_ms),
                    table_printer::num(wall_ms), std::to_string(p.spawns),
                    std::to_string(p.injections), std::to_string(p.steals),
-                   std::to_string(p.parks), std::to_string(p.step_aborts),
+                   std::to_string(p.parks), std::to_string(p.joins),
+                   std::to_string(p.data_waits), std::to_string(p.step_aborts),
                    std::to_string(p.step_reexecs),
                    std::to_string(p.step_requeues), std::to_string(p.defers),
                    std::to_string(p.item_puts), std::to_string(p.item_gets),

@@ -33,6 +33,8 @@ struct phase_summary {
   std::uint64_t overflows = 0;
   std::uint64_t steals = 0;
   std::uint64_t parks = 0;
+  std::uint64_t joins = 0;       // task_group::wait brackets entered
+  std::uint64_t data_waits = 0;  // environment blocked-get brackets entered
   std::uint64_t step_aborts = 0;
   std::uint64_t step_reexecs = 0;   // resumes of parked instances
   std::uint64_t step_requeues = 0;  // non-blocking-get retries

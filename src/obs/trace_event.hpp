@@ -14,15 +14,21 @@ namespace rdp::obs {
 
 enum class event_kind : std::uint8_t {
   // -- fork-join scheduler (emitted by rdp::forkjoin::worker_pool) --------
-  task_spawn,       // local deque push           arg0 = worker index
-  task_inject,      // injection-queue push       arg0 = 1 for low-priority
-  task_affine,      // affinity-queue push        arg0 = target worker
+  task_spawn,       // local deque push           arg0 = worker index,
+                    //                            arg1 = task identity
+  task_inject,      // injection-queue push       arg0 = 1 for low-priority,
+                    //                            arg1 = task identity
+  task_affine,      // affinity-queue push        arg0 = target worker,
+                    //                            arg1 = task identity
   task_overflow,    // bounded queue full: retry  arg0 = retry count so far
   task_steal,       // arg0 = victim worker, arg1 = thief worker
   task_run_begin,   // arg0 = task identity (pointer value)
   task_run_end,     // arg0 = task identity
   worker_park,      // arg0 = worker index
   worker_unpark,    // arg0 = worker index
+  join_begin,       // task_group::wait entered   arg0 = group identity,
+                    //                            arg1 = pending children
+  join_end,         // task_group::wait satisfied arg0 = group identity
   // -- data-flow runtime (emitted by rdp::cnc) ----------------------------
   step_abort,       // unmet blocking get         arg0 = instance identity
   step_resume,      // parked instance re-woken   arg0 = instance identity
@@ -31,10 +37,20 @@ enum class event_kind : std::uint8_t {
   item_put,         // name = item collection     arg0 = key hash
   item_get,         // successful blocking get    arg0 = key hash
   item_get_miss,    // failed blocking get        arg0 = key hash
+  data_wait_begin,  // environment blocked on an unproduced item (or the
+                    // context quiescence wait)   name = item collection
+                    //                            (0 for context::wait),
+                    //                            arg0 = key hash
+  data_wait_end,    // the matching wait resolved arg0 = key hash
   // -- cross-cutting ------------------------------------------------------
   counter_sample,   // periodic gauge sample      name = gauge, arg0 = value
   phase_begin,      // name = phase label
 };
+
+/// Number of event kinds (phase_begin is last). Used by the raw-trace
+/// reader to reject records from incompatible files.
+inline constexpr unsigned k_event_kind_count =
+    static_cast<unsigned>(event_kind::phase_begin) + 1;
 
 inline constexpr const char* to_string(event_kind k) noexcept {
   switch (k) {
@@ -47,6 +63,8 @@ inline constexpr const char* to_string(event_kind k) noexcept {
     case event_kind::task_run_end: return "task_run_end";
     case event_kind::worker_park: return "worker_park";
     case event_kind::worker_unpark: return "worker_unpark";
+    case event_kind::join_begin: return "join_begin";
+    case event_kind::join_end: return "join_end";
     case event_kind::step_abort: return "step_abort";
     case event_kind::step_resume: return "step_resume";
     case event_kind::step_requeue: return "step_requeue";
@@ -54,6 +72,8 @@ inline constexpr const char* to_string(event_kind k) noexcept {
     case event_kind::item_put: return "item_put";
     case event_kind::item_get: return "item_get";
     case event_kind::item_get_miss: return "item_get_miss";
+    case event_kind::data_wait_begin: return "data_wait_begin";
+    case event_kind::data_wait_end: return "data_wait_end";
     case event_kind::counter_sample: return "counter_sample";
     case event_kind::phase_begin: return "phase_begin";
   }
