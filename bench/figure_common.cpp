@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "dp/dp.hpp"
+#include "dp/tuning.hpp"
 #include "forkjoin/worker_pool.hpp"
 #include "obs/analyze.hpp"
 #include "obs/chrome_trace.hpp"
@@ -131,10 +132,24 @@ void run_on_pool(forkjoin::worker_pool& pool, Fn&& fn) {
 struct trace_options {
   std::string chrome_path;  // --trace: Chrome trace_event JSON
   std::string raw_path;     // --trace-raw: lossless format for trace_analyze
+  std::string base;         // --base: integer | "auto" | "" (figure default)
   bool counters = false;    // --counters: per-phase PMU readings
   bool analyze = false;     // --analyze: in-process work/span analysis
   unsigned workers = 4;
 };
+
+/// Resolve the --base flag for one traced benchmark, reporting what the
+/// calibration picked when the sweep ran.
+std::size_t resolve_trace_base(const trace_options& topt,
+                               dp::tune_target target, std::size_t n,
+                               std::size_t fallback) {
+  const std::size_t base =
+      dp::resolve_base_option(topt.base, target, n, fallback);
+  if (topt.base == "auto")
+    std::cout << "calibrated base (" << dp::to_string(target) << ", n=" << n
+              << "): " << base << "\n";
+  return base;
+}
 
 /// The --trace path: real (not simulated) laptop-scale executions of the
 /// figure's benchmark, one phase per execution model, recorded by rdp::obs.
@@ -162,47 +177,59 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
 
   switch (opts.bm) {
     case sim::benchmark::ge: {
-      const std::size_t n = 512, base = 64;
+      const std::size_t n = 512;
+      const std::size_t base =
+          resolve_trace_base(topt, dp::tune_target::ge, n, 64);
+      const std::string tag =
+          "GE " + std::to_string(n) + "/" + std::to_string(base);
       const auto input = make_diag_dominant(n, 1);
       auto m = input;
       {
         forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin GE 512/64", &pool, pmu.get(),
+        traced_phase("forkjoin " + tag, &pool, pmu.get(),
                      [&] { run_on_pool(pool, [&] { dp::ge_rdp_forkjoin(m, base, pool); }); });
       }
       m = input;
-      traced_phase("CnC GE 512/64", nullptr, pmu.get(), [&] {
+      traced_phase("CnC " + tag, nullptr, pmu.get(), [&] {
         dp::ge_cnc(m, base, dp::cnc_variant::native, workers);
       });
       m = input;
-      traced_phase("CnC_tuner GE 512/64", nullptr, pmu.get(), [&] {
+      traced_phase("CnC_tuner " + tag, nullptr, pmu.get(), [&] {
         dp::ge_cnc(m, base, dp::cnc_variant::tuner, workers);
       });
       break;
     }
     case sim::benchmark::sw: {
-      const std::size_t n = 512, base = 64;
+      const std::size_t n = 512;
+      const std::size_t base =
+          resolve_trace_base(topt, dp::tune_target::sw, n, 64);
+      const std::string tag =
+          "SW " + std::to_string(n) + "/" + std::to_string(base);
       const auto a = make_dna(n, 7);
       const auto b = make_dna(n, 8);
       const dp::sw_params p;
       matrix<std::int32_t> s(n + 1, n + 1, 0);
       {
         forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin SW 512/64", &pool, pmu.get(),
+        traced_phase("forkjoin " + tag, &pool, pmu.get(),
                      [&] { run_on_pool(pool, [&] { dp::sw_rdp_forkjoin(s, a, b, p, base, pool); }); });
       }
       s = matrix<std::int32_t>(n + 1, n + 1, 0);
-      traced_phase("CnC SW 512/64", nullptr, pmu.get(), [&] {
+      traced_phase("CnC " + tag, nullptr, pmu.get(), [&] {
         dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::native, workers);
       });
       s = matrix<std::int32_t>(n + 1, n + 1, 0);
-      traced_phase("CnC_tuner SW 512/64", nullptr, pmu.get(), [&] {
+      traced_phase("CnC_tuner " + tag, nullptr, pmu.get(), [&] {
         dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::tuner, workers);
       });
       break;
     }
     case sim::benchmark::fw: {
-      const std::size_t n = 256, base = 32;
+      const std::size_t n = 256;
+      const std::size_t base =
+          resolve_trace_base(topt, dp::tune_target::fw, n, 32);
+      const std::string tag =
+          "FW " + std::to_string(n) + "/" + std::to_string(base);
       auto input = make_digraph(n, 0.3, 5, 1e9);
       for (std::size_t i = 0; i < input.size(); ++i)
         input.data()[i] = static_cast<double>(
@@ -210,15 +237,15 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
       auto m = input;
       {
         forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin FW 256/32", &pool, pmu.get(),
+        traced_phase("forkjoin " + tag, &pool, pmu.get(),
                      [&] { run_on_pool(pool, [&] { dp::fw_rdp_forkjoin(m, base, pool); }); });
       }
       m = input;
-      traced_phase("CnC FW 256/32", nullptr, pmu.get(), [&] {
+      traced_phase("CnC " + tag, nullptr, pmu.get(), [&] {
         dp::fw_cnc(m, base, dp::cnc_variant::native, workers);
       });
       m = input;
-      traced_phase("CnC_tuner FW 256/32", nullptr, pmu.get(), [&] {
+      traced_phase("CnC_tuner " + tag, nullptr, pmu.get(), [&] {
         dp::fw_cnc(m, base, dp::cnc_variant::tuner, workers);
       });
       break;
@@ -232,6 +259,14 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
   if (t.dropped() > 0)
     std::cout << "(" << t.dropped()
               << " events dropped — full per-thread buffers)\n";
+  const auto arena = forkjoin::arena_stats_snapshot();
+  std::cout << "task arena: "
+            << (arena.freelist_allocs + arena.slab_allocs) << " allocs ("
+            << arena.freelist_allocs << " freelist, " << arena.slab_allocs
+            << " slab-carved, " << arena.heap_allocs << " heap-fallback), "
+            << arena.local_frees << " local frees, " << arena.remote_frees
+            << " remote frees, " << arena.bytes_reserved / 1024
+            << " KiB in " << arena.slabs_reserved << " slabs\n";
   if (pmu) print_counters(std::cout, *pmu);
   if (topt.analyze) {
     const auto labels = t.thread_labels();
@@ -301,6 +336,10 @@ int run_figure_bench(int argc, const char* const* argv,
                "breakdown after the capture");
   cli.add_int("trace-workers", &trace_workers,
               "worker threads for --trace runs (default 4)");
+  cli.add_string("base", &topt.base,
+                 "base-case size for --trace runs: a power of two, or 'auto' "
+                 "to run the one-shot grain calibration sweep (default: the "
+                 "figure's hand-picked value)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
@@ -321,7 +360,14 @@ int run_figure_bench(int argc, const char* const* argv,
       return 2;
     }
   }
-  if (capture) return run_trace_capture(opts, topt);
+  if (capture) {
+    try {
+      return run_trace_capture(opts, topt);
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";  // e.g. a malformed --base value
+      return 2;
+    }
+  }
 
   std::cout << "=== " << opts.figure_name << " ===\n"
             << "machine: " << opts.machine.name << " (" << opts.machine.cores

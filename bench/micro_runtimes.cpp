@@ -63,6 +63,42 @@ BENCHMARK(BM_StripedMapInsertFind);
 
 // ----------------------------------------------------------- fork-join ----
 
+// Pure allocate→execute→destroy round trip of one task node, no scheduler:
+// this is the slice of per-spawn overhead the task arena targets. The
+// /heap variant routes the same payload through operator new/delete (it
+// captures an over-aligned dummy so make_task takes the arena's heap
+// fallback), giving the before/after on one build.
+void BM_TaskNodeRoundTrip(benchmark::State& state) {
+  std::atomic<int> sink{0};
+  for (auto _ : state) {
+    auto* t = forkjoin::make_task(
+        [&sink] { sink.fetch_add(1, std::memory_order_relaxed); }, nullptr);
+    t->execute_and_destroy(t);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskNodeRoundTrip);
+
+void BM_TaskNodeRoundTripHeap(benchmark::State& state) {
+  struct alignas(64) padded {
+    int v = 0;
+  };
+  std::atomic<int> sink{0};
+  padded pad;
+  for (auto _ : state) {
+    auto* t = forkjoin::make_task(
+        [&sink, pad] {
+          sink.fetch_add(1 + pad.v, std::memory_order_relaxed);
+        },
+        nullptr);
+    t->execute_and_destroy(t);
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TaskNodeRoundTripHeap);
+
 void BM_ForkJoinSpawnWait(benchmark::State& state) {
   forkjoin::worker_pool pool(2);
   const auto batch = static_cast<int>(state.range(0));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dp/kernels.hpp"
 #include "forkjoin/task_group.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
@@ -52,7 +53,7 @@ struct fw_recursion {
 
   void funcA(std::size_t d, std::size_t s) {
     if (s <= base) {
-      fw_base_kernel(c, n, d, d, d, s);
+      fw_kernel(c, n, d, d, d, s);
       return;
     }
     const std::size_t h = s / 2;
@@ -70,7 +71,7 @@ struct fw_recursion {
   void funcB(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
     RDP_ASSERT(xi == xk);
     if (s <= base) {
-      fw_base_kernel(c, n, xi, xj, xk, s);
+      fw_kernel(c, n, xi, xj, xk, s);
       return;
     }
     const std::size_t h = s / 2;
@@ -86,7 +87,7 @@ struct fw_recursion {
   void funcC(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
     RDP_ASSERT(xj == xk);
     if (s <= base) {
-      fw_base_kernel(c, n, xi, xj, xk, s);
+      fw_kernel(c, n, xi, xj, xk, s);
       return;
     }
     const std::size_t h = s / 2;
@@ -101,7 +102,7 @@ struct fw_recursion {
 
   void funcD(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
     if (s <= base) {
-      fw_base_kernel(c, n, xi, xj, xk, s);
+      fw_kernel(c, n, xi, xj, xk, s);
       return;
     }
     const std::size_t h = s / 2;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "dp/kernels.hpp"
 #include "forkjoin/task_group.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
@@ -74,7 +75,7 @@ struct ge_recursion {
 
   void funcA(std::size_t d, std::size_t s) {
     if (s <= base) {
-      ge_base_kernel(c, n, d, d, d, s);
+      ge_kernel(c, n, d, d, d, s);
       return;
     }
     const std::size_t h = s / 2;
@@ -87,7 +88,7 @@ struct ge_recursion {
   void funcB(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
     RDP_ASSERT(xi == xk);
     if (s <= base) {
-      ge_base_kernel(c, n, xi, xj, xk, s);
+      ge_kernel(c, n, xi, xj, xk, s);
       return;
     }
     const std::size_t h = s / 2;
@@ -101,7 +102,7 @@ struct ge_recursion {
   void funcC(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
     RDP_ASSERT(xj == xk);
     if (s <= base) {
-      ge_base_kernel(c, n, xi, xj, xk, s);
+      ge_kernel(c, n, xi, xj, xk, s);
       return;
     }
     const std::size_t h = s / 2;
@@ -114,7 +115,7 @@ struct ge_recursion {
 
   void funcD(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
     if (s <= base) {
-      ge_base_kernel(c, n, xi, xj, xk, s);
+      ge_kernel(c, n, xi, xj, xk, s);
       return;
     }
     const std::size_t h = s / 2;

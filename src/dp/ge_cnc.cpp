@@ -2,6 +2,7 @@
 
 #include "cnc/cnc.hpp"
 #include "dp/ge.hpp"
+#include "dp/kernels.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
 
@@ -122,7 +123,7 @@ struct ge_context : cnc::context<ge_context> {
 
   void run_base_kernel(const tile4& t) const {
     const auto b = static_cast<std::size_t>(t.b);
-    ge_base_kernel(dp_table, input_sz, t.i * b, t.j * b, t.k * b, b);
+    ge_kernel(dp_table, input_sz, t.i * b, t.j * b, t.k * b, b);
   }
 };
 

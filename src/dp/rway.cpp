@@ -5,6 +5,7 @@
 
 #include "dp/fw.hpp"
 #include "dp/ge.hpp"
+#include "dp/kernels.hpp"
 #include "forkjoin/task_group.hpp"
 #include "support/assertions.hpp"
 
@@ -169,21 +170,21 @@ void run_rway(matrix<double>& m, std::size_t base, std::size_t r,
 }  // namespace
 
 void ge_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r) {
-  run_rway(c, base, r, &ge_base_kernel, /*triangular=*/true, nullptr);
+  run_rway(c, base, r, &ge_kernel, /*triangular=*/true, nullptr);
 }
 
 void ge_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
                           forkjoin::worker_pool& pool) {
-  run_rway(c, base, r, &ge_base_kernel, /*triangular=*/true, &pool);
+  run_rway(c, base, r, &ge_kernel, /*triangular=*/true, &pool);
 }
 
 void fw_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r) {
-  run_rway(c, base, r, &fw_base_kernel, /*triangular=*/false, nullptr);
+  run_rway(c, base, r, &fw_kernel, /*triangular=*/false, nullptr);
 }
 
 void fw_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
                           forkjoin::worker_pool& pool) {
-  run_rway(c, base, r, &fw_base_kernel, /*triangular=*/false, &pool);
+  run_rway(c, base, r, &fw_kernel, /*triangular=*/false, &pool);
 }
 
 namespace {
@@ -201,7 +202,7 @@ struct sw_rway_recursion {
 
   void fill(std::size_t i0, std::size_t j0, std::size_t s) {
     if (s <= base) {
-      sw_base_kernel(table, ld, a, b, p, i0, j0, s);
+      sw_kernel(table, ld, a, b, p, i0, j0, s);
       return;
     }
     RDP_REQUIRE_MSG(s % r == 0, "size must be base * r^L");

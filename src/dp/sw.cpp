@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "dp/kernels.hpp"
 #include "forkjoin/task_group.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
@@ -59,7 +60,7 @@ struct sw_recursion {
 
   void fill(std::size_t i0, std::size_t j0, std::size_t sz) {
     if (sz <= base) {
-      sw_base_kernel(s, ld, a, b, p, i0, j0, sz);
+      sw_kernel(s, ld, a, b, p, i0, j0, sz);
       return;
     }
     const std::size_t h = sz / 2;

@@ -1,6 +1,7 @@
 #include "dp/sw_cnc.hpp"
 
 #include "cnc/cnc.hpp"
+#include "dp/kernels.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
 
@@ -86,8 +87,8 @@ int sw_tile_step::execute(const tile4& t, sw_context& ctx) const {
     if (t.j > 0) ctx.done.get({t.i, t.j - 1, 0}, v);
   }
   const std::size_t bsz = ctx.base_sz;
-  sw_base_kernel(ctx.table, ctx.ld, ctx.a, ctx.b, ctx.params, t.i * bsz,
-                 t.j * bsz, bsz);
+  sw_kernel(ctx.table, ctx.ld, ctx.a, ctx.b, ctx.params, t.i * bsz,
+            t.j * bsz, bsz);
   ctx.done.put({t.i, t.j, 0}, true, ctx.get_count_for(t.i, t.j));
   return 0;
 }

@@ -4,6 +4,7 @@
 
 #include "dp/fw.hpp"
 #include "dp/ge.hpp"
+#include "dp/kernels.hpp"
 #include "forkjoin/task_group.hpp"
 #include "support/assertions.hpp"
 
@@ -58,14 +59,14 @@ void blocked_rounds(double* c, std::size_t n, std::size_t b, kernel_fn kernel,
 void ge_tiled_forkjoin(matrix<double>& c, std::size_t base,
                        forkjoin::worker_pool& pool) {
   check_tiled(c.rows(), c.rows(), c.cols(), base);
-  blocked_rounds(c.data(), c.rows(), base, &ge_base_kernel,
+  blocked_rounds(c.data(), c.rows(), base, &ge_kernel,
                  /*triangular=*/true, pool);
 }
 
 void fw_tiled_forkjoin(matrix<double>& c, std::size_t base,
                        forkjoin::worker_pool& pool) {
   check_tiled(c.rows(), c.rows(), c.cols(), base);
-  blocked_rounds(c.data(), c.rows(), base, &fw_base_kernel,
+  blocked_rounds(c.data(), c.rows(), base, &fw_kernel,
                  /*triangular=*/false, pool);
 }
 
@@ -85,7 +86,7 @@ void sw_tiled_forkjoin(matrix<std::int32_t>& s, std::string_view a,
         if (d < i || d - i >= t) continue;
         const std::size_t j = d - i;
         g.spawn([=] {
-          sw_base_kernel(tbl, ld, a, b, p, i * base, j * base, base);
+          sw_kernel(tbl, ld, a, b, p, i * base, j * base, base);
         });
       }
       g.wait();  // one barrier per wavefront (the paper's footnote 6)

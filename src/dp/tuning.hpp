@@ -1,0 +1,51 @@
+// Calibrated base-case (grain) size selection.
+//
+// The recursion's base size b trades per-task scheduling overhead (small b
+// => many tasks) against base-kernel locality (large b => fewer, heavier
+// tasks whose working set must still fit in cache — the analytical model's
+// ⌈b/L⌉-style miss terms). The paper picks b per machine by hand; this
+// module replaces the hand-picked constants with a one-shot timed probe:
+// run the serial recursion over a small probe table once per candidate b,
+// keep the fastest. The winner is cached in-process (per benchmark and per
+// active kernel implementation), so repeated runs pay the sweep once.
+//
+// Benches expose this as --base=auto; an explicit --base=N bypasses the
+// probe entirely.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace rdp::dp {
+
+enum class tune_target { ge, sw, fw };
+
+const char* to_string(tune_target t) noexcept;
+
+/// Base sizes the calibration probe tries (powers of two, clamped to n).
+/// Exposed for tests and the kernel_bench sweep.
+inline constexpr std::size_t k_tune_candidates[] = {16, 32, 64, 128, 256};
+
+/// Result of one calibration sweep.
+struct tune_result {
+  std::size_t base = 0;       ///< fastest candidate
+  std::size_t probe_n = 0;    ///< table size the probe ran at
+  double best_seconds = 0;    ///< probe time of the winner
+};
+
+/// Runs the probe for `target` now (no caching) at probe size
+/// min(n, 512), returning the fastest candidate <= n. Deterministic inputs;
+/// two repetitions per candidate, minimum taken.
+tune_result calibrate_base(tune_target target, std::size_t n);
+
+/// Cached calibration: first call per (target, active kernel_impl) runs
+/// calibrate_base, later calls return the cached winner (clamped to n).
+std::size_t tuned_base(tune_target target, std::size_t n);
+
+/// Resolves a --base= option: "" => `fallback`, "auto" => tuned_base(),
+/// an integer => that value (must be a power of two <= n).
+/// Throws std::runtime_error on malformed values.
+std::size_t resolve_base_option(const std::string& opt, tune_target target,
+                                std::size_t n, std::size_t fallback);
+
+}  // namespace rdp::dp

@@ -1,21 +1,33 @@
-// Type-erased heap task node used by the fork-join scheduler.
+// Type-erased task node used by the fork-join scheduler.
 //
 // A task is allocated on spawn, executed exactly once by some worker, and
 // destroyed immediately after execution. The node carries an optional
 // completion hook back to its task_group (pending counter + exception slot).
+//
+// Nodes come from the per-worker task arena (task_arena.hpp), not operator
+// new: spawn is a freelist pop / slab bump and same-worker destroy is a
+// freelist push, which is the hot path for LIFO deques that mostly pop
+// their own pushes. The arena handles stolen tasks (destroyed on the thief)
+// via a per-owner return stack.
 #pragma once
 
 #include <atomic>
 #include <exception>
+#include <new>
 #include <utility>
+
+#include "forkjoin/task_arena.hpp"
 
 namespace rdp::forkjoin {
 
 class task_group;
 
 struct task_node {
-  // Runs the payload, reports completion, and destroys the node.
+  /// Runs the payload, reports completion, and destroys the node.
   void (*execute_and_destroy)(task_node*) noexcept;
+  /// Destroys the node WITHOUT running or reporting — for shutdown drains
+  /// (~worker_pool) that discard never-executed tasks.
+  void (*destroy)(task_node*) noexcept;
   task_group* group;  // may be null for detached tasks
 };
 
@@ -29,6 +41,7 @@ struct task_impl final : task_node {
 
   explicit task_impl(F&& f, task_group* g) : fn(std::move(f)) {
     execute_and_destroy = &run;
+    destroy = &dispose;
     group = g;
   }
 
@@ -41,8 +54,15 @@ struct task_impl final : task_node {
       error = std::current_exception();
     }
     task_group* g = self->group;
-    delete self;
+    self->~task_impl();
+    arena_deallocate(self);
     if (g != nullptr) report_completion(g, std::move(error));
+  }
+
+  static void dispose(task_node* base) noexcept {
+    auto* self = static_cast<task_impl*>(base);
+    self->~task_impl();
+    arena_deallocate(self);
   }
 };
 
@@ -51,7 +71,14 @@ struct task_impl final : task_node {
 template <class F>
 task_node* make_task(F&& f, task_group* g) {
   using Fn = std::decay_t<F>;
-  return new detail::task_impl<Fn>(Fn(std::forward<F>(f)), g);
+  using Impl = detail::task_impl<Fn>;
+  void* mem = arena_allocate(sizeof(Impl), alignof(Impl));
+  try {
+    return ::new (mem) Impl(Fn(std::forward<F>(f)), g);
+  } catch (...) {
+    arena_deallocate(mem);
+    throw;
+  }
 }
 
 }  // namespace rdp::forkjoin

@@ -1,0 +1,309 @@
+#include "forkjoin/task_arena.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace rdp::forkjoin {
+
+namespace {
+
+constexpr std::size_t k_header = 16;  // bytes in front of every payload
+constexpr std::size_t k_class_size[] = {64, 128, 256, 512};  // header incl.
+constexpr std::size_t k_classes =
+    sizeof(k_class_size) / sizeof(k_class_size[0]);
+constexpr std::size_t k_max_block = k_class_size[k_classes - 1];
+constexpr std::size_t k_slab_bytes = std::size_t{1} << 16;
+
+struct arena_state;
+
+/// Sits at the 16 bytes before each payload. `owner` is overwritten by the
+/// freelist link while a block is free (cls stays intact so return-stack
+/// drains can re-class the block); heap-fallback blocks set owner to null
+/// and reuse cls as the payload's offset from the raw allocation.
+struct block_header {
+  arena_state* owner;
+  std::uint32_t cls;
+  std::uint32_t pad;
+};
+static_assert(sizeof(block_header) == k_header);
+
+/// Teardown bias (see arena_state::shared below). Far above any plausible
+/// live-block count, so `shared` can only reach zero after the owner has
+/// subtracted the bias on exit.
+constexpr std::int64_t k_owner_bias = std::int64_t{1} << 62;
+
+struct arena_state {
+  // ---- owner-thread-only state (no synchronization) ----
+  void* freelist[k_classes] = {nullptr, nullptr, nullptr, nullptr};
+  char* bump = nullptr;
+  char* bump_end = nullptr;
+  std::vector<char*> slabs;
+
+  // ---- shared state ----
+  /// Treiber stack of blocks freed by other threads (multi-producer push,
+  /// single-consumer drain by the owner).
+  std::atomic<void*> remote_head{nullptr};
+  /// Biased teardown counter. The hot path (owner alloc/free) never touches
+  /// it: the owner tracks its balance in the plain counters below and only
+  /// settles on thread exit, subtracting (bias - blocks still outstanding).
+  /// Remote frees subtract 1 each. Whoever drives `shared` to zero — the
+  /// exiting owner, or the last remote free after the owner is gone — owns
+  /// the slabs and reclaims them.
+  std::atomic<std::int64_t> shared{k_owner_bias};
+
+  // Counters. Owner-written ones use relaxed load+store (no RMW — the
+  // owner is the only writer; cross-thread snapshot readers just need
+  // tear-free values). Remote frees are multi-writer, hence fetch_add.
+  std::atomic<std::uint64_t> c_freelist{0};
+  std::atomic<std::uint64_t> c_slab{0};
+  std::atomic<std::uint64_t> c_local_free{0};
+  std::atomic<std::uint64_t> c_remote_free{0};
+  std::atomic<std::uint64_t> c_drain{0};
+  std::atomic<std::uint64_t> c_slabs{0};
+  std::atomic<std::uint64_t> c_bytes{0};
+};
+
+void bump_owner_counter(std::atomic<std::uint64_t>& c) noexcept {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
+void* next_of(void* blk) noexcept {
+  void* n;
+  std::memcpy(&n, blk, sizeof(n));
+  return n;
+}
+void set_next(void* blk, void* n) noexcept { std::memcpy(blk, &n, sizeof(n)); }
+
+block_header* header_of(void* payload) noexcept {
+  return reinterpret_cast<block_header*>(static_cast<char*>(payload) -
+                                         k_header);
+}
+
+unsigned class_for(std::size_t block_bytes) noexcept {
+  unsigned cls = 0;
+  while (k_class_size[cls] < block_bytes) ++cls;
+  return cls;
+}
+
+/// Live-arena registry + counters of already-retired arenas. Immortal
+/// (leaked on exit): the last reference to an arena can drop during static
+/// destruction, after function-local statics would have been destroyed.
+struct registry_t {
+  std::mutex mu;
+  std::vector<arena_state*> live;
+  arena_stats retired;
+};
+
+registry_t& registry() {
+  static registry_t* r = new registry_t;
+  return *r;
+}
+
+void fold_counters(arena_stats& out, const arena_state& s) {
+  out.freelist_allocs += s.c_freelist.load(std::memory_order_relaxed);
+  out.slab_allocs += s.c_slab.load(std::memory_order_relaxed);
+  out.local_frees += s.c_local_free.load(std::memory_order_relaxed);
+  out.remote_frees += s.c_remote_free.load(std::memory_order_relaxed);
+  out.remote_drains += s.c_drain.load(std::memory_order_relaxed);
+  out.slabs_reserved += s.c_slabs.load(std::memory_order_relaxed);
+  out.bytes_reserved += s.c_bytes.load(std::memory_order_relaxed);
+}
+
+void retire(arena_state* s) noexcept {
+  registry_t& r = registry();
+  {
+    std::scoped_lock lock(r.mu);
+    for (std::size_t i = 0; i < r.live.size(); ++i) {
+      if (r.live[i] == s) {
+        r.live[i] = r.live.back();
+        r.live.pop_back();
+        break;
+      }
+    }
+    fold_counters(r.retired, *s);
+  }
+  for (char* slab : s->slabs) ::operator delete(slab);
+  delete s;
+}
+
+struct tl_holder {
+  arena_state* state = nullptr;
+  ~tl_holder() {
+    arena_state* s = state;
+    if (s == nullptr) return;
+    state = nullptr;  // later frees from this thread take the remote path
+    // Settle the bias. `outstanding` counts blocks that left owner control
+    // for good: allocated, not freed locally, not drained back. Each such
+    // block charges the shared counter exactly -1 (its eventual — or
+    // already-landed — remote free), so leaving `outstanding` behind makes
+    // the last charge hit zero. Remote-free counts must NOT appear here:
+    // an in-flight free may or may not have landed its fetch_sub yet, and
+    // the subtraction below is correct either way precisely because the
+    // formula never reads the racing counter.
+    const std::int64_t outstanding =
+        static_cast<std::int64_t>(
+            s->c_freelist.load(std::memory_order_relaxed) +
+            s->c_slab.load(std::memory_order_relaxed)) -
+        static_cast<std::int64_t>(
+            s->c_local_free.load(std::memory_order_relaxed) +
+            s->c_drain.load(std::memory_order_relaxed));
+    const std::int64_t delta = k_owner_bias - outstanding;
+    // acq_rel, not release+acquire-fence: the acquire side makes every
+    // peer's pre-free writes visible before retire() frees the slabs (and
+    // TSan does not model standalone fences).
+    if (s->shared.fetch_sub(delta, std::memory_order_acq_rel) == delta)
+      retire(s);
+  }
+};
+thread_local tl_holder tl_arena;
+
+arena_state* local_state() {
+  arena_state*& s = tl_arena.state;
+  if (s == nullptr) {
+    s = new arena_state;
+    registry_t& r = registry();
+    std::scoped_lock lock(r.mu);
+    r.live.push_back(s);
+  }
+  return s;
+}
+
+/// Move remotely-freed blocks back onto the owner's freelists. A drained
+/// block was already counted in c_remote_free by the freeing thread; the
+/// drain counter re-adds it to the owner's balance (it is allocatable
+/// again), keeping `outstanding` in ~tl_holder exact.
+void drain_remote(arena_state* s) noexcept {
+  void* blk = s->remote_head.exchange(nullptr, std::memory_order_acquire);
+  std::uint64_t n = 0;
+  while (blk != nullptr) {
+    void* nx = next_of(blk);
+    const std::uint32_t cls =
+        header_of(static_cast<char*>(blk) + k_header)->cls;
+    set_next(blk, s->freelist[cls]);
+    s->freelist[cls] = blk;
+    blk = nx;
+    ++n;
+  }
+  if (n != 0) {
+    s->c_drain.store(s->c_drain.load(std::memory_order_relaxed) + n,
+                     std::memory_order_relaxed);
+    // Reclaim the teardown debt the remote frees charged: the blocks are
+    // back under owner control.
+    s->shared.fetch_add(static_cast<std::int64_t>(n),
+                        std::memory_order_relaxed);
+  }
+}
+
+void new_slab(arena_state* s) {
+  char* slab = static_cast<char*>(::operator new(k_slab_bytes));
+  s->slabs.push_back(slab);
+  s->bump = slab;
+  s->bump_end = slab + k_slab_bytes;
+  bump_owner_counter(s->c_slabs);
+  s->c_bytes.store(s->c_bytes.load(std::memory_order_relaxed) + k_slab_bytes,
+                   std::memory_order_relaxed);
+}
+
+std::atomic<bool> g_poison{[] {
+  const char* v = std::getenv("RDP_ARENA_POISON");
+  return v != nullptr && v[0] == '1';
+}()};
+
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void* heap_allocate(std::size_t size, std::size_t align) {
+  // Over-aligned or oversized payloads bypass the arena entirely; the
+  // header still precedes the payload so arena_deallocate stays uniform.
+  const std::size_t a = align < k_header ? k_header : align;
+  char* raw = static_cast<char*>(::operator new(size + a + k_header));
+  auto addr = reinterpret_cast<std::uintptr_t>(raw) + k_header;
+  addr = (addr + a - 1) & ~(a - 1);
+  char* payload = reinterpret_cast<char*>(addr);
+  block_header* h = header_of(payload);
+  h->owner = nullptr;
+  h->cls = static_cast<std::uint32_t>(payload - raw);
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return payload;
+}
+
+}  // namespace
+
+arena_stats arena_stats_snapshot() {
+  registry_t& r = registry();
+  std::scoped_lock lock(r.mu);
+  arena_stats out = r.retired;
+  for (const arena_state* s : r.live) fold_counters(out, *s);
+  out.heap_allocs = g_heap_allocs.load(std::memory_order_relaxed);
+  return out;
+}
+
+void arena_set_poison(bool enabled) noexcept {
+  g_poison.store(enabled, std::memory_order_relaxed);
+}
+bool arena_poison_enabled() noexcept {
+  return g_poison.load(std::memory_order_relaxed);
+}
+
+void* arena_allocate(std::size_t size, std::size_t align) {
+  if (size + k_header > k_max_block || align > k_header)
+    return heap_allocate(size, align);
+  arena_state* s = local_state();
+  const unsigned cls = class_for(size + k_header);
+  void* blk = s->freelist[cls];
+  if (blk == nullptr) {
+    drain_remote(s);
+    blk = s->freelist[cls];
+  }
+  if (blk != nullptr) {
+    s->freelist[cls] = next_of(blk);
+    bump_owner_counter(s->c_freelist);
+  } else {
+    const std::size_t bytes = k_class_size[cls];
+    if (static_cast<std::size_t>(s->bump_end - s->bump) < bytes) new_slab(s);
+    blk = s->bump;
+    s->bump += bytes;
+    bump_owner_counter(s->c_slab);
+  }
+  auto* h = static_cast<block_header*>(blk);
+  h->owner = s;
+  h->cls = cls;
+  return static_cast<char*>(blk) + k_header;
+}
+
+void arena_deallocate(void* p) noexcept {
+  if (p == nullptr) return;
+  block_header* h = header_of(p);
+  arena_state* owner = h->owner;
+  if (owner == nullptr) {
+    ::operator delete(static_cast<char*>(p) - h->cls);
+    return;
+  }
+  const std::uint32_t cls = h->cls;
+  if (arena_poison_enabled())
+    std::memset(p, k_arena_poison_byte, k_class_size[cls] - k_header);
+  void* blk = static_cast<char*>(p) - k_header;
+  if (owner == tl_arena.state) {
+    set_next(blk, owner->freelist[cls]);
+    owner->freelist[cls] = blk;
+    bump_owner_counter(owner->c_local_free);
+    return;
+  }
+  // Cross-thread free: hand the block back via the owner's return stack,
+  // then charge one unit of teardown debt. The order matters — once the
+  // fetch_sub lands the owner may settle and a peer may retire the arena,
+  // so the block must already be on the stack (inside the slabs) by then.
+  owner->c_remote_free.fetch_add(1, std::memory_order_relaxed);
+  void* head = owner->remote_head.load(std::memory_order_relaxed);
+  do {
+    set_next(blk, head);
+  } while (!owner->remote_head.compare_exchange_weak(
+      head, blk, std::memory_order_release, std::memory_order_relaxed));
+  if (owner->shared.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    retire(owner);
+}
+
+}  // namespace rdp::forkjoin

@@ -1,0 +1,72 @@
+// Per-worker task allocator.
+//
+// Every spawn in the fork-join runtime used to pay one `new` and every
+// completion one `delete`. For recursive D&C DPs near the tuned grain the
+// task payload is tiny (a lambda capturing a few words), so the allocator
+// round-trip dominates per-spawn overhead. This arena replaces it with:
+//
+//  * a thread-local arena per allocating thread — the hot path (spawn and
+//    destroy on the same worker, the common case for a LIFO deque that pops
+//    its own pushes) is a size-classed freelist push/pop with no atomics on
+//    the block itself;
+//  * slab backing: when a freelist is empty, blocks are carved from a
+//    bump-allocated slab owned by the arena, so a cold spawn is a pointer
+//    bump, not a malloc;
+//  * an MPSC return stack per arena for cross-worker frees (a stolen task
+//    executes — and is destroyed — on the thief): the thief pushes the
+//    block onto the owner's lock-free Treiber stack and the owner drains it
+//    into its freelists the next time a freelist misses;
+//  * a heap fallback for oversized or over-aligned payloads, so the arena
+//    never constrains what a task may capture.
+//
+// Lifetime: an arena's slabs must outlive every block carved from them,
+// but blocks can outlive the owning thread (a task enqueued by a worker of
+// pool A can be drained by ~worker_pool after that worker exited, or freed
+// by a thief after the owner unwound). Each arena state therefore carries a
+// reference count of (1 for the owning thread) + (live blocks); whoever
+// drops it to zero — the exiting owner or the last remote free — reclaims
+// the slabs. Freed-but-unreused blocks live inside the slabs and need no
+// references of their own.
+//
+// Debug aid: arena_set_poison(true) (or RDP_ARENA_POISON=1 in the
+// environment) fills freed payloads with k_arena_poison_byte so
+// use-after-destroy reads trip deterministically instead of silently
+// reading a stale task.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdp::forkjoin {
+
+/// Process-wide arena counters (sums over all live and retired per-thread
+/// arenas; relaxed reads, exact only when quiescent).
+struct arena_stats {
+  std::uint64_t freelist_allocs = 0;  ///< served from a local freelist
+  std::uint64_t slab_allocs = 0;      ///< carved fresh from a slab bump
+  std::uint64_t heap_allocs = 0;      ///< oversized/over-aligned fallback
+  std::uint64_t local_frees = 0;      ///< freed on the allocating thread
+  std::uint64_t remote_frees = 0;     ///< freed cross-thread (return stack)
+  std::uint64_t remote_drains = 0;    ///< blocks recovered from return stacks
+  std::uint64_t slabs_reserved = 0;   ///< slab count across all arenas
+  std::uint64_t bytes_reserved = 0;   ///< slab bytes across all arenas
+};
+
+/// Snapshot of the process-wide counters.
+arena_stats arena_stats_snapshot();
+
+/// Poison freed payloads with k_arena_poison_byte (default: off, or on when
+/// the environment sets RDP_ARENA_POISON=1). Cheap enough to flip in tests.
+void arena_set_poison(bool enabled) noexcept;
+bool arena_poison_enabled() noexcept;
+inline constexpr unsigned char k_arena_poison_byte = 0xDD;
+
+/// Allocates `size` bytes aligned to `align` from the calling thread's
+/// arena (heap fallback when size/align exceed the largest size class).
+/// Never returns nullptr; throws std::bad_alloc on slab exhaustion.
+void* arena_allocate(std::size_t size, std::size_t align);
+
+/// Returns a block from arena_allocate, callable from ANY thread.
+void arena_deallocate(void* p) noexcept;
+
+}  // namespace rdp::forkjoin

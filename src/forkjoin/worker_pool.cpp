@@ -48,11 +48,13 @@ worker_pool::~worker_pool() {
   }
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
-  // Drain any tasks that were never executed so they do not leak.
-  while (auto t = injection_.try_pop()) delete *t;
+  // Drain any tasks that were never executed so they do not leak. The
+  // destroy-only op releases the node back to its owning arena without
+  // running the payload or reporting to a group.
+  while (auto t = injection_.try_pop()) (*t)->destroy(*t);
   for (auto& w : workers_) {
-    while (auto t = w->deque.pop()) delete *t;
-    while (auto t = w->affinity.try_pop()) delete *t;
+    while (auto t = w->deque.pop()) (*t)->destroy(*t);
+    while (auto t = w->affinity.try_pop()) (*t)->destroy(*t);
   }
 }
 
@@ -137,7 +139,12 @@ void worker_pool::enqueue_affine(unsigned target, task_node* t) {
     return;
   }
   // Queue full: correctness over placement — run it anywhere, but never in
-  // the producer's stack frame (same recursion hazard as above).
+  // the producer's stack frame (same recursion hazard as above). The lost
+  // placement is an overflow like any other: count it and emit the event so
+  // the obs summary's Ovfl column surfaces undersized affinity queues.
+  overflow_retries_.fetch_add(1, std::memory_order_relaxed);
+  RDP_TRACE_EVENT(obs::event_kind::task_overflow, 0, target,
+                  reinterpret_cast<std::uintptr_t>(t));
   if (tl_pool == this && tl_index >= 0) {
     workers_[static_cast<std::size_t>(tl_index)]->deque.push(t);
     wake_one();
@@ -269,6 +276,7 @@ pool_stats worker_pool::stats() const {
   s.tasks_spawned = spawned_.load(std::memory_order_relaxed);
   s.injections = injections_.load(std::memory_order_relaxed);
   s.overflow_retries = overflow_retries_.load(std::memory_order_relaxed);
+  s.arena = arena_stats_snapshot();
   return s;
 }
 

@@ -24,6 +24,7 @@
 #include "concurrent/chase_lev_deque.hpp"
 #include "concurrent/mpmc_queue.hpp"
 #include "forkjoin/task.hpp"
+#include "forkjoin/task_arena.hpp"
 #include "support/rng.hpp"
 
 namespace rdp::forkjoin {
@@ -36,7 +37,11 @@ struct pool_stats {
   std::uint64_t failed_steal_rounds = 0;
   std::uint64_t injections = 0;
   std::uint64_t parks = 0;
-  std::uint64_t overflow_retries = 0;  // backed-off pushes on full queues
+  std::uint64_t overflow_retries = 0;  // backed-off/rerouted full-queue pushes
+  /// Task-arena counters (task_arena.hpp). The arena is per-thread, not
+  /// per-pool, so this snapshot is PROCESS-wide — in single-pool programs
+  /// (every bench and test here) that is the pool's own allocation story.
+  arena_stats arena;
 };
 
 class worker_pool {

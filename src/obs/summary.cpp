@@ -87,15 +87,17 @@ std::vector<phase_summary> summarize(const std::vector<event>& events,
 void print_summary(std::ostream& os,
                    const std::vector<phase_summary>& phases) {
   table_printer table({"Phase", "Tasks", "Busy(ms)", "Wall(ms)", "Spawn",
-                       "Inject", "Steal", "Park", "Join", "DWait", "Abort",
-                       "Re-exec", "Requeue", "Defer", "Put", "Get", "Miss"});
+                       "Inject", "Ovfl", "Steal", "Park", "Join", "DWait",
+                       "Abort", "Re-exec", "Requeue", "Defer", "Put", "Get",
+                       "Miss"});
   for (const phase_summary& p : phases) {
     const double wall_ms =
         static_cast<double>(p.last_ts_ns - p.first_ts_ns) / 1e6;
     table.add_row({p.phase, std::to_string(p.tasks_run),
                    table_printer::num(p.busy_ms),
                    table_printer::num(wall_ms), std::to_string(p.spawns),
-                   std::to_string(p.injections), std::to_string(p.steals),
+                   std::to_string(p.injections), std::to_string(p.overflows),
+                   std::to_string(p.steals),
                    std::to_string(p.parks), std::to_string(p.joins),
                    std::to_string(p.data_waits), std::to_string(p.step_aborts),
                    std::to_string(p.step_reexecs),

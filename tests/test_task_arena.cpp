@@ -1,0 +1,181 @@
+// Tests for the per-worker task arena: same-thread freelist reuse,
+// cross-thread frees through the MPSC return stack, owner-exit teardown
+// with outstanding blocks, heap fallback for oversized/over-aligned
+// payloads, freed-memory poisoning, and the destroy-without-run path the
+// pool shutdown drain uses. Labeled `runtime` so the TSan/UBSan presets
+// sweep the lock-free return stack and the biased teardown counter.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "forkjoin/task.hpp"
+#include "forkjoin/task_arena.hpp"
+#include "forkjoin/task_group.hpp"
+#include "forkjoin/worker_pool.hpp"
+
+namespace {
+
+using namespace rdp::forkjoin;
+
+/// RAII: tests toggle poisoning; leave the process-wide flag as found.
+struct poison_guard {
+  bool saved = arena_poison_enabled();
+  ~poison_guard() { arena_set_poison(saved); }
+};
+
+TEST(TaskArena, SameThreadFreeIsReusedLifo) {
+  void* p = arena_allocate(40, 8);
+  ASSERT_NE(p, nullptr);
+  arena_deallocate(p);
+  // LIFO freelist: the very next same-class allocation gets the block back.
+  void* q = arena_allocate(40, 8);
+  EXPECT_EQ(p, q);
+  arena_deallocate(q);
+  const auto s = arena_stats_snapshot();
+  EXPECT_GE(s.freelist_allocs, 1u);
+  EXPECT_GE(s.local_frees, 2u);
+}
+
+TEST(TaskArena, StatsCountSlabsAndBytes) {
+  const auto before = arena_stats_snapshot();
+  std::vector<void*> blocks;
+  for (int i = 0; i < 100; ++i) blocks.push_back(arena_allocate(200, 8));
+  const auto after = arena_stats_snapshot();
+  EXPECT_GE(after.freelist_allocs + after.slab_allocs,
+            before.freelist_allocs + before.slab_allocs + 100);
+  EXPECT_GE(after.bytes_reserved, before.bytes_reserved);
+  EXPECT_GT(after.bytes_reserved, 0u);
+  for (void* p : blocks) arena_deallocate(p);
+}
+
+TEST(TaskArena, CrossThreadFreeReturnsViaOwnerStack) {
+  const auto before = arena_stats_snapshot();
+  void* p = arena_allocate(40, 8);
+  std::thread t([p] { arena_deallocate(p); });
+  t.join();
+  const auto mid = arena_stats_snapshot();
+  EXPECT_EQ(mid.remote_frees, before.remote_frees + 1);
+  // The block is on this arena's return stack; a burst of allocations must
+  // eventually drain it back into circulation (drain fires when the class
+  // freelist runs dry).
+  bool recycled = false;
+  std::vector<void*> held;
+  for (int i = 0; i < 4096 && !recycled; ++i) {
+    void* q = arena_allocate(40, 8);
+    recycled = (q == p);
+    held.push_back(q);
+  }
+  EXPECT_TRUE(recycled);
+  const auto after = arena_stats_snapshot();
+  EXPECT_GE(after.remote_drains, before.remote_drains + 1);
+  for (void* q : held) arena_deallocate(q);
+}
+
+TEST(TaskArena, OwnerExitWithLiveBlocksThenRemoteFree) {
+  // The allocating thread dies while its block is still live; the later
+  // free (now necessarily "remote") must be safe and reclaim the arena.
+  std::atomic<void*> handoff{nullptr};
+  std::thread t([&] { handoff.store(arena_allocate(40, 8)); });
+  t.join();
+  void* p = handoff.load();
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5A, 40);  // block memory must still be valid
+  arena_deallocate(p);       // last reference → retires the dead owner's slabs
+  const auto s = arena_stats_snapshot();
+  EXPECT_GE(s.remote_frees, 1u);
+  // Retired arenas keep contributing to the totals.
+  EXPECT_GT(s.slabs_reserved, 0u);
+}
+
+TEST(TaskArena, HeapFallbackForOversized) {
+  const auto before = arena_stats_snapshot();
+  void* p = arena_allocate(4096, 8);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xCC, 4096);
+  arena_deallocate(p);
+  const auto after = arena_stats_snapshot();
+  EXPECT_EQ(after.heap_allocs, before.heap_allocs + 1);
+}
+
+TEST(TaskArena, HeapFallbackForOveraligned) {
+  void* p = arena_allocate(64, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  arena_deallocate(p);
+}
+
+TEST(TaskArena, PoisonOnFreeMarksPayload) {
+  poison_guard guard;
+  arena_set_poison(true);
+  auto* p = static_cast<unsigned char*>(arena_allocate(40, 8));
+  std::memset(p, 0xAB, 40);
+  arena_deallocate(p);
+  // The slab still owns the memory, so inspecting it is safe here. The
+  // first 8 bytes now hold the freelist link; everything after must carry
+  // the poison pattern — a reuse-after-destroy read cannot see stale task
+  // state.
+  for (int i = 8; i < 40; ++i)
+    ASSERT_EQ(p[i], k_arena_poison_byte) << "offset " << i;
+  // Reclaim the block so later tests see a clean freelist head.
+  void* q = arena_allocate(40, 8);
+  EXPECT_EQ(static_cast<void*>(p), q);
+  arena_deallocate(q);
+}
+
+TEST(TaskArena, DestroyWithoutRunReleasesNode) {
+  const auto before = arena_stats_snapshot();
+  std::atomic<int> executed{0};
+  task_node* t = make_task([&executed] { ++executed; }, nullptr);
+  t->destroy(t);  // the ~worker_pool drain path: no run, no completion
+  EXPECT_EQ(executed.load(), 0);
+  const auto after = arena_stats_snapshot();
+  EXPECT_GE(after.local_frees, before.local_frees + 1);
+}
+
+TEST(TaskArena, PoolStressBalancesAllocsAndFrees) {
+  const auto before = arena_stats_snapshot();
+  {
+    worker_pool pool(4);
+    for (int round = 0; round < 20; ++round) {
+      pool.run([&pool] {
+        task_group g(pool);
+        std::atomic<int> sink{0};
+        for (int i = 0; i < 200; ++i)
+          g.spawn([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+        g.wait();
+      });
+    }
+  }
+  const auto after = arena_stats_snapshot();
+  const auto allocs = (after.freelist_allocs + after.slab_allocs) -
+                      (before.freelist_allocs + before.slab_allocs);
+  const auto frees = (after.local_frees + after.remote_frees) -
+                     (before.local_frees + before.remote_frees);
+  // Every task node allocated during the stress was destroyed (executed or
+  // drained) by the time the pool is gone.
+  EXPECT_GE(allocs, 20u * 201u);
+  EXPECT_EQ(allocs, frees);
+  // Steals across 4 workers destroy on non-owning threads: the remote path
+  // must have been exercised at least once in 4000 spawns... but a quiet
+  // machine may keep everything local, so only assert it never went
+  // negative (delta is unsigned) and the books balance.
+}
+
+TEST(TaskArena, PoolStatsCarryArenaSnapshot) {
+  worker_pool pool(2);
+  std::atomic<int> sink{0};
+  pool.run([&] {
+    task_group g(pool);
+    for (int i = 0; i < 50; ++i)
+      g.spawn([&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    g.wait();
+  });
+  const auto s = pool.stats();
+  EXPECT_GT(s.arena.freelist_allocs + s.arena.slab_allocs, 0u);
+  EXPECT_GT(s.arena.bytes_reserved, 0u);
+}
+
+}  // namespace
