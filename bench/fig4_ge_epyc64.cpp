@@ -1,13 +1,7 @@
-// Regenerates Figure 4: Gaussian Elimination on EPYC-64 of the paper (simulated many-core execution).
-#include "figure_common.hpp"
+// Regenerates Gaussian Elimination on EPYC-64 (Figure 4) — a shim over
+// the declarative figure table; see figure_table.cpp for the row.
+#include "figure_table.hpp"
 
 int main(int argc, char** argv) {
-  rdp::bench::figure_options opts;
-  opts.figure_name = "Figure 4: Gaussian Elimination on EPYC-64";
-  opts.csv_file = "fig4_ge_epyc64.csv";
-  opts.bm = rdp::sim::benchmark::ge;
-  opts.machine = rdp::sim::epyc64();
-  opts.with_estimated = true;
-  opts.min_base = 8;
-  return rdp::bench::run_figure_bench(argc, argv, opts);
+  return rdp::bench::run_figure("fig4", argc, argv);
 }

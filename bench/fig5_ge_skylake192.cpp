@@ -1,13 +1,7 @@
-// Regenerates Figure 5: Gaussian Elimination on SKYLAKE-192 of the paper (simulated many-core execution).
-#include "figure_common.hpp"
+// Regenerates Gaussian Elimination on SKYLAKE-192 (Figure 5) — a shim over
+// the declarative figure table; see figure_table.cpp for the row.
+#include "figure_table.hpp"
 
 int main(int argc, char** argv) {
-  rdp::bench::figure_options opts;
-  opts.figure_name = "Figure 5: Gaussian Elimination on SKYLAKE-192";
-  opts.csv_file = "fig5_ge_skylake192.csv";
-  opts.bm = rdp::sim::benchmark::ge;
-  opts.machine = rdp::sim::skylake192();
-  opts.with_estimated = true;
-  opts.min_base = 8;
-  return rdp::bench::run_figure_bench(argc, argv, opts);
+  return rdp::bench::run_figure("fig5", argc, argv);
 }

@@ -1,13 +1,7 @@
-// Regenerates Figure 6: Smith-Waterman on EPYC-64 of the paper (simulated many-core execution).
-#include "figure_common.hpp"
+// Regenerates Smith-Waterman on EPYC-64 (Figure 6) — a shim over
+// the declarative figure table; see figure_table.cpp for the row.
+#include "figure_table.hpp"
 
 int main(int argc, char** argv) {
-  rdp::bench::figure_options opts;
-  opts.figure_name = "Figure 6: Smith-Waterman on EPYC-64";
-  opts.csv_file = "fig6_sw_epyc64.csv";
-  opts.bm = rdp::sim::benchmark::sw;
-  opts.machine = rdp::sim::epyc64();
-  opts.with_estimated = false;
-  opts.min_base = 64;
-  return rdp::bench::run_figure_bench(argc, argv, opts);
+  return rdp::bench::run_figure("fig6", argc, argv);
 }

@@ -1,13 +1,7 @@
-// Regenerates Figure 7: Smith-Waterman on SKYLAKE-192 of the paper (simulated many-core execution).
-#include "figure_common.hpp"
+// Regenerates Smith-Waterman on SKYLAKE-192 (Figure 7) — a shim over
+// the declarative figure table; see figure_table.cpp for the row.
+#include "figure_table.hpp"
 
 int main(int argc, char** argv) {
-  rdp::bench::figure_options opts;
-  opts.figure_name = "Figure 7: Smith-Waterman on SKYLAKE-192";
-  opts.csv_file = "fig7_sw_skylake192.csv";
-  opts.bm = rdp::sim::benchmark::sw;
-  opts.machine = rdp::sim::skylake192();
-  opts.with_estimated = false;
-  opts.min_base = 64;
-  return rdp::bench::run_figure_bench(argc, argv, opts);
+  return rdp::bench::run_figure("fig7", argc, argv);
 }

@@ -1,13 +1,7 @@
-// Regenerates Figure 8: Floyd Warshall's Algorithm on EPYC-64 of the paper (simulated many-core execution).
-#include "figure_common.hpp"
+// Regenerates Floyd Warshall's Algorithm on EPYC-64 (Figure 8) — a shim over
+// the declarative figure table; see figure_table.cpp for the row.
+#include "figure_table.hpp"
 
 int main(int argc, char** argv) {
-  rdp::bench::figure_options opts;
-  opts.figure_name = "Figure 8: Floyd Warshall's Algorithm on EPYC-64";
-  opts.csv_file = "fig8_fw_epyc64.csv";
-  opts.bm = rdp::sim::benchmark::fw;
-  opts.machine = rdp::sim::epyc64();
-  opts.with_estimated = false;
-  opts.min_base = 64;
-  return rdp::bench::run_figure_bench(argc, argv, opts);
+  return rdp::bench::run_figure("fig8", argc, argv);
 }

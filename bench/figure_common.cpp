@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -133,10 +134,88 @@ struct trace_options {
   std::string chrome_path;  // --trace: Chrome trace_event JSON
   std::string raw_path;     // --trace-raw: lossless format for trace_analyze
   std::string base;         // --base: integer | "auto" | "" (figure default)
+  std::string impls;        // --impl: comma-separated registry labels
   bool counters = false;    // --counters: per-phase PMU readings
   bool analyze = false;     // --analyze: in-process work/span analysis
   unsigned workers = 4;
 };
+
+/// The phases a --trace capture runs when --impl is not given: the paper's
+/// fork-join vs Native-CnC vs Tuner-CnC comparison.
+constexpr const char* k_default_impls = "forkjoin,dataflow:native,dataflow:tuner";
+
+dp::benchmark_id to_benchmark_id(sim::benchmark bm) {
+  switch (bm) {
+    case sim::benchmark::ge: return dp::benchmark_id::ge;
+    case sim::benchmark::sw: return dp::benchmark_id::sw;
+    case sim::benchmark::fw: return dp::benchmark_id::fw;
+  }
+  return dp::benchmark_id::ge;
+}
+
+/// Resolve a comma-separated --impl list against the variant registry.
+/// Returns an empty vector (after printing the valid labels) on a bad name.
+std::vector<const dp::variant*> resolve_impls(dp::benchmark_id bm,
+                                              const std::string& csv) {
+  std::vector<const dp::variant*> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string label =
+        csv.substr(pos, comma == std::string::npos ? csv.size() - pos
+                                                   : comma - pos);
+    if (!label.empty()) {
+      const dp::variant* v = dp::find_variant(bm, label);
+      if (v == nullptr) {
+        std::cerr << "unknown --impl variant '" << label
+                  << "'; valid: " << dp::impl_help() << "\n";
+        return {};
+      }
+      out.push_back(v);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Run one traced phase per registry variant: reset the table, run the
+/// variant's backend, label the phase from the registry (spec name + the
+/// paper's series names). Pool-backed backends get their own pool so the
+/// trace shows worker-local spawns and steals; the data-flow/serial rows
+/// run on the context's own threads.
+void run_trace_phases(const std::vector<const dp::variant*>& phases,
+                      const std::string& tag, std::size_t base,
+                      unsigned workers, counter_log* pmu,
+                      const std::function<void()>& reset,
+                      const dp::problem_ref& prob) {
+  const std::size_t n = dp::problem_size(prob);
+  for (const dp::variant* v : phases) {
+    if (!v->supports(n, base)) {
+      std::cout << "skipping " << v->label << " (preconditions fail for n="
+                << n << ", base=" << base << ")\n";
+      continue;
+    }
+    reset();
+    dp::run_options ropt;
+    ropt.base = base;
+    ropt.workers = workers;
+    const std::string label = dp::trace_phase_label(*v) + " " + tag;
+    const bool pool_backed = v->backend == dp::backend_kind::forkjoin ||
+                             v->backend == dp::backend_kind::tiled ||
+                             v->backend == dp::backend_kind::rway;
+    if (pool_backed) {
+      forkjoin::worker_pool pool(workers);
+      ropt.pool = &pool;
+      traced_phase(label, &pool, pmu, [&] {
+        run_on_pool(pool, [&] { v->run(*v, prob, ropt); });
+      });
+    } else {
+      traced_phase(label, nullptr, pmu,
+                   [&] { v->run(*v, prob, ropt); });
+    }
+  }
+}
 
 /// Resolve the --base flag for one traced benchmark, reporting what the
 /// calibration picked when the sweep ran.
@@ -166,6 +245,11 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
   std::unique_ptr<counter_log> pmu;
   if (topt.counters) pmu = std::make_unique<counter_log>();
 
+  const dp::benchmark_id bm = to_benchmark_id(opts.bm);
+  const std::vector<const dp::variant*> impls = resolve_impls(
+      bm, topt.impls.empty() ? std::string(k_default_impls) : topt.impls);
+  if (impls.empty()) return 2;
+
   auto& t = obs::tracer::instance();
   t.set_thread_label("environment");
   t.start();
@@ -175,6 +259,8 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
             << " workers, laptop-scale inputs (shapes, not the paper's "
                "sizes)\n\n";
 
+  // Per-benchmark problem *data* setup; the scheduling of every phase comes
+  // from the registry entry (src/exec backends), not from code here.
   switch (opts.bm) {
     case sim::benchmark::ge: {
       const std::size_t n = 512;
@@ -184,19 +270,8 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
           "GE " + std::to_string(n) + "/" + std::to_string(base);
       const auto input = make_diag_dominant(n, 1);
       auto m = input;
-      {
-        forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin " + tag, &pool, pmu.get(),
-                     [&] { run_on_pool(pool, [&] { dp::ge_rdp_forkjoin(m, base, pool); }); });
-      }
-      m = input;
-      traced_phase("CnC " + tag, nullptr, pmu.get(), [&] {
-        dp::ge_cnc(m, base, dp::cnc_variant::native, workers);
-      });
-      m = input;
-      traced_phase("CnC_tuner " + tag, nullptr, pmu.get(), [&] {
-        dp::ge_cnc(m, base, dp::cnc_variant::tuner, workers);
-      });
+      run_trace_phases(impls, tag, base, workers, pmu.get(),
+                       [&] { m = input; }, dp::ge_problem(m));
       break;
     }
     case sim::benchmark::sw: {
@@ -209,19 +284,9 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
       const auto b = make_dna(n, 8);
       const dp::sw_params p;
       matrix<std::int32_t> s(n + 1, n + 1, 0);
-      {
-        forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin " + tag, &pool, pmu.get(),
-                     [&] { run_on_pool(pool, [&] { dp::sw_rdp_forkjoin(s, a, b, p, base, pool); }); });
-      }
-      s = matrix<std::int32_t>(n + 1, n + 1, 0);
-      traced_phase("CnC " + tag, nullptr, pmu.get(), [&] {
-        dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::native, workers);
-      });
-      s = matrix<std::int32_t>(n + 1, n + 1, 0);
-      traced_phase("CnC_tuner " + tag, nullptr, pmu.get(), [&] {
-        dp::sw_cnc(s, a, b, p, base, dp::cnc_variant::tuner, workers);
-      });
+      run_trace_phases(impls, tag, base, workers, pmu.get(),
+                       [&] { s = matrix<std::int32_t>(n + 1, n + 1, 0); },
+                       dp::sw_problem(s, a, b, p));
       break;
     }
     case sim::benchmark::fw: {
@@ -235,19 +300,8 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
         input.data()[i] = static_cast<double>(
             static_cast<long long>(input.data()[i]));
       auto m = input;
-      {
-        forkjoin::worker_pool pool(workers);
-        traced_phase("forkjoin " + tag, &pool, pmu.get(),
-                     [&] { run_on_pool(pool, [&] { dp::fw_rdp_forkjoin(m, base, pool); }); });
-      }
-      m = input;
-      traced_phase("CnC " + tag, nullptr, pmu.get(), [&] {
-        dp::fw_cnc(m, base, dp::cnc_variant::native, workers);
-      });
-      m = input;
-      traced_phase("CnC_tuner " + tag, nullptr, pmu.get(), [&] {
-        dp::fw_cnc(m, base, dp::cnc_variant::tuner, workers);
-      });
+      run_trace_phases(impls, tag, base, workers, pmu.get(),
+                       [&] { m = input; }, dp::fw_problem(m));
       break;
     }
   }
@@ -322,9 +376,22 @@ int run_figure_bench(int argc, const char* const* argv,
   cli.add_flag("full", &full,
                "include the most memory-hungry configurations (tiles > 192)");
   cli.add_string("csv", &csv_path, "CSV output path");
+  // The --trace/--impl help is generated from the variant registry so it
+  // can never drift from what the registry actually runs.
+  std::string default_phases;
+  for (const dp::variant* v :
+       resolve_impls(dp::benchmark_id::ge, k_default_impls)) {
+    if (!default_phases.empty()) default_phases += ", ";
+    default_phases += dp::trace_phase_label(*v);
+  }
   cli.add_string("trace", &topt.chrome_path,
-                 "run the benchmark for real under the event tracer and "
-                 "write a Chrome trace_event JSON to this path");
+                 "run the benchmark for real under the event tracer (one "
+                 "phase per --impl variant; default " + default_phases +
+                 ") and write a Chrome trace_event JSON to this path");
+  cli.add_string("impl", &topt.impls,
+                 "comma-separated registry variants to trace (default " +
+                 std::string(k_default_impls) + "); each one of: " +
+                 dp::impl_help());
   cli.add_string("trace-raw", &topt.raw_path,
                  "also/instead write the lossless raw trace here (input "
                  "format of bench/trace_analyze)");

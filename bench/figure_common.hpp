@@ -27,11 +27,16 @@ struct figure_options {
 ///   --full         include the largest (memory-hungry) configurations
 ///   --csv=<path>   override the CSV output path
 ///   --trace=<path> instead of the simulated sweep, run the figure's
-///                  benchmark for real at laptop scale (fork-join, then
-///                  Native-CnC, then Tuner-CnC) under the rdp::obs event
-///                  tracer, write a Chrome trace_event JSON to <path>
-///                  (load in chrome://tracing or ui.perfetto.dev) and
-///                  print the per-phase scheduler summary table.
+///                  benchmark for real at laptop scale under the rdp::obs
+///                  event tracer — one phase per --impl variant — write a
+///                  Chrome trace_event JSON to <path> (load in
+///                  chrome://tracing or ui.perfetto.dev) and print the
+///                  per-phase scheduler summary table.
+///   --impl=<list>  comma-separated variant-registry labels selecting the
+///                  traced phases (default forkjoin,dataflow:native,
+///                  dataflow:tuner — the paper's fork-join vs Native-CnC vs
+///                  Tuner-CnC comparison). The full label list comes from
+///                  rdp::dp::registry(); see `--help` or DESIGN.md §10.
 int run_figure_bench(int argc, const char* const* argv,
                      const figure_options& opts);
 

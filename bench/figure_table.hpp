@@ -1,0 +1,17 @@
+// Declarative table of the paper's figure benches (Figures 4-9).
+//
+// One row per figure maps the artefact key ("fig4".."fig9") to its
+// benchmark, machine profile, Estimated-series switch and base-size floor;
+// every fig* binary is a one-line shim over run_figure(). Adding a figure
+// means adding a row here, not writing another driver.
+#pragma once
+
+#include <string_view>
+
+namespace rdp::bench {
+
+/// Runs the figure named by `key` through run_figure_bench() with the
+/// table row's options. Returns a process exit code (2 on unknown key).
+int run_figure(std::string_view key, int argc, const char* const* argv);
+
+}  // namespace rdp::bench

@@ -1,15 +1,18 @@
 // E-R1: real-execution sanity at laptop scale.
 //
-// Runs every benchmark in every REAL execution model (serial loop, serial
-// R-DP, fork-join R-DP on the work-stealing pool, and the three data-flow
-// variants on the CnC runtime), validates each against the serial-loop
-// oracle, and reports wall-clock. On a single-core box the absolute times
-// mostly measure runtime overhead (which is exactly what calibrates the
+// Runs every benchmark through every variant the runtime registry knows
+// (serial R-DP, fork-join, tiled, the four data-flow modes, r-way — see
+// rdp::dp::registry()), validates each against the serial-loop oracle, and
+// reports wall-clock. On a single-core box the absolute times mostly
+// measure runtime overhead (which is exactly what calibrates the
 // simulator); the figure-level comparisons live in the fig*/xover benches.
+// Registry entries whose preconditions fail for the chosen (n, base) are
+// skipped and reported as such.
 #include <iostream>
 #include <string>
 
 #include "dp/dp.hpp"
+#include "forkjoin/worker_pool.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/rng.hpp"
@@ -27,7 +30,7 @@ struct row_sink {
   const char* bm;
   std::size_t n;
 
-  void add(const char* variant, double secs, bool ok) {
+  void add(const std::string& variant, double secs, bool ok) {
     table->add_row({bm, std::to_string(n), variant, table_printer::num(secs),
                     ok ? "ok" : "FAILED"});
     csv->add_row({bm, std::to_string(n), variant,
@@ -36,6 +39,26 @@ struct row_sink {
   }
 };
 
+/// Sweep every registry variant of one benchmark: reset, run, validate.
+/// `reset` restores the input table, `valid` compares it to the oracle.
+template <class Reset, class Valid>
+void run_registry_variants(benchmark_id bm, const problem_ref& prob,
+                           const run_options& opts, row_sink& sink,
+                           const Reset& reset, const Valid& valid) {
+  const std::size_t n = problem_size(prob);
+  for (const variant* v : variants_for(bm)) {
+    if (!v->supports(n, opts.base)) {
+      sink.table->add_row({sink.bm, std::to_string(sink.n),
+                           std::string(v->label), "-", "skipped"});
+      continue;
+    }
+    reset();
+    stopwatch sw;
+    v->run(*v, prob, opts);
+    sink.add(std::string(v->label), sw.seconds(), valid());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -43,7 +66,7 @@ int main(int argc, char** argv) {
   std::int64_t ge_n = 512, sw_n = 1024, fw_n = 256;
   std::int64_t base = 64;
   std::string csv_path = "real_small.csv";
-  cli_parser cli("Real-execution comparison of all variants (E-R1)");
+  cli_parser cli("Real-execution comparison of all registry variants (E-R1)");
   cli.add_int("workers", &workers, "worker threads (default 4)");
   cli.add_int("ge-n", &ge_n, "GE problem size (default 512)");
   cli.add_int("sw-n", &sw_n, "SW sequence length (default 1024)");
@@ -59,10 +82,17 @@ int main(int argc, char** argv) {
   const auto b = static_cast<std::size_t>(base);
   const auto w = static_cast<unsigned>(workers);
 
-  std::cout << "=== E-R1: real execution, all variants, " << w
+  std::cout << "=== E-R1: real execution, all registry variants, " << w
             << " workers ===\n\n";
   table_printer table({"benchmark", "n", "variant", "seconds", "valid"});
   csv_writer csv({"benchmark", "n", "variant", "seconds", "valid"});
+
+  // One pool shared by every pool-backed variant of the whole sweep.
+  forkjoin::worker_pool pool(w);
+  run_options opts;
+  opts.base = b;
+  opts.workers = w;
+  opts.pool = &pool;
 
   // ------------------------------------------------------------- GE ----
   {
@@ -74,28 +104,8 @@ int main(int argc, char** argv) {
     sink.add("loop-serial", sw0.seconds(), true);
 
     auto m = input;
-    stopwatch sw1;
-    ge_rdp_serial(m, b);
-    sink.add("rdp-serial", sw1.seconds(), m == oracle);
-
-    m = input;
-    forkjoin::worker_pool pool(w);
-    stopwatch sw2;
-    ge_rdp_forkjoin(m, b, pool);
-    sink.add("forkjoin", sw2.seconds(), m == oracle);
-
-    m = input;
-    stopwatch sw2t;
-    ge_tiled_forkjoin(m, b, pool);
-    sink.add("tiled-blocked", sw2t.seconds(), m == oracle);
-
-    for (cnc_variant v : {cnc_variant::native, cnc_variant::tuner,
-                          cnc_variant::manual}) {
-      m = input;
-      stopwatch sw3;
-      ge_cnc(m, b, v, w);
-      sink.add(to_string(v), sw3.seconds(), m == oracle);
-    }
+    run_registry_variants(benchmark_id::ge, ge_problem(m), opts, sink,
+                          [&] { m = input; }, [&] { return m == oracle; });
   }
 
   // ------------------------------------------------------------- SW ----
@@ -110,28 +120,10 @@ int main(int argc, char** argv) {
     sink.add("loop-serial", sw0.seconds(), true);
 
     matrix<std::int32_t> s(sw_n + 1, sw_n + 1, 0);
-    stopwatch sw1;
-    sw_rdp_serial(s, a, bseq, p, b);
-    sink.add("rdp-serial", sw1.seconds(), s == oracle);
-
-    s = matrix<std::int32_t>(sw_n + 1, sw_n + 1, 0);
-    forkjoin::worker_pool pool(w);
-    stopwatch sw2;
-    sw_rdp_forkjoin(s, a, bseq, p, b, pool);
-    sink.add("forkjoin", sw2.seconds(), s == oracle);
-
-    s = matrix<std::int32_t>(sw_n + 1, sw_n + 1, 0);
-    stopwatch sw2t;
-    sw_tiled_forkjoin(s, a, bseq, p, b, pool);
-    sink.add("tiled-wavefront", sw2t.seconds(), s == oracle);
-
-    for (cnc_variant v : {cnc_variant::native, cnc_variant::tuner,
-                          cnc_variant::manual}) {
-      s = matrix<std::int32_t>(sw_n + 1, sw_n + 1, 0);
-      stopwatch sw3;
-      sw_cnc(s, a, bseq, p, b, v, w);
-      sink.add(to_string(v), sw3.seconds(), s == oracle);
-    }
+    run_registry_variants(
+        benchmark_id::sw, sw_problem(s, a, bseq, p), opts, sink,
+        [&] { s = matrix<std::int32_t>(sw_n + 1, sw_n + 1, 0); },
+        [&] { return s == oracle; });
   }
 
   // ------------------------------------------------------------- FW ----
@@ -147,32 +139,13 @@ int main(int argc, char** argv) {
     sink.add("loop-serial", sw0.seconds(), true);
 
     auto m = input;
-    stopwatch sw1;
-    fw_rdp_serial(m, b);
-    sink.add("rdp-serial", sw1.seconds(), m == oracle);
-
-    m = input;
-    forkjoin::worker_pool pool(w);
-    stopwatch sw2;
-    fw_rdp_forkjoin(m, b, pool);
-    sink.add("forkjoin", sw2.seconds(), m == oracle);
-
-    m = input;
-    stopwatch sw2t;
-    fw_tiled_forkjoin(m, b, pool);
-    sink.add("tiled-blocked", sw2t.seconds(), m == oracle);
-
-    for (cnc_variant v : {cnc_variant::native, cnc_variant::tuner,
-                          cnc_variant::manual}) {
-      m = input;
-      stopwatch sw3;
-      fw_cnc(m, b, v, w);
-      sink.add(to_string(v), sw3.seconds(), m == oracle);
-    }
+    run_registry_variants(benchmark_id::fw, fw_problem(m), opts, sink,
+                          [&] { m = input; }, [&] { return m == oracle; });
   }
 
   table.print(std::cout);
-  std::cout << "\nAll variants validated against the serial-loop oracle.\n";
+  std::cout << "\nAll runnable registry variants validated against the "
+               "serial-loop oracle.\n";
   csv.save(csv_path);
   std::cout << "wrote " << csv_path << "\n";
   return 0;

@@ -1,0 +1,107 @@
+// Registry smoke check (CI): enumerate the variant registry, run every
+// entry on a small instance, and require each table to be bit-identical to
+// the serial 2-way R-DP reference. Exits 1 on the first mismatch, so a
+// registry row whose lowering drifts from the recurrence spec fails fast.
+//
+// The default (n=128, base=8) keeps every backend in play: power-of-two for
+// the 2-way/data-flow rows, divisible for tiled, and 128 = 8·4² so even
+// rway:r4 runs.
+#include <iostream>
+#include <string>
+
+#include "dp/dp.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "support/assertions.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace rdp;
+using namespace rdp::dp;
+
+int g_failures = 0;
+
+void report(benchmark_id bm, const variant& v, bool ok) {
+  std::cout << "  " << to_string(bm) << " × " << v.label << ": "
+            << (ok ? "ok" : "MISMATCH") << "\n";
+  if (!ok) ++g_failures;
+}
+
+/// Run every registry variant of `bm` and compare against the serial row.
+/// `reset` restores the input, `run_serial_ref` fills the oracle once.
+template <class Table, class Reset>
+void smoke(benchmark_id bm, const problem_ref& prob, const run_options& opts,
+           Table& table, const Reset& reset) {
+  const std::size_t n = problem_size(prob);
+  const variant* serial = find_variant(bm, "serial");
+  RDP_REQUIRE(serial != nullptr && serial->supports(n, opts.base));
+  reset();
+  serial->run(*serial, prob, opts);
+  const Table oracle = table;
+
+  for (const variant* v : variants_for(bm)) {
+    if (v == serial) continue;
+    if (!v->supports(n, opts.base)) {
+      std::cout << "  " << to_string(bm) << " × " << v->label
+                << ": skipped (preconditions)\n";
+      continue;
+    }
+    reset();
+    v->run(*v, prob, opts);
+    report(bm, *v, table == oracle);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t n = 128, base = 8, workers = 4;
+  cli_parser cli("Variant-registry smoke check: every backend vs serial");
+  cli.add_int("n", &n, "problem size (default 128)");
+  cli.add_int("base", &base, "base-case size (default 8)");
+  cli.add_int("workers", &workers, "worker threads (default 4)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+
+  std::cout << "registry: " << registry().size() << " variants ("
+            << impl_help() << ")\n";
+
+  forkjoin::worker_pool pool(static_cast<unsigned>(workers));
+  run_options opts;
+  opts.base = static_cast<std::size_t>(base);
+  opts.workers = static_cast<unsigned>(workers);
+  opts.pool = &pool;
+
+  {
+    auto m = make_diag_dominant(static_cast<std::size_t>(n), 1);
+    const auto input = m;
+    smoke(benchmark_id::ge, ge_problem(m), opts, m, [&] { m = input; });
+  }
+  {
+    const auto a = make_dna(static_cast<std::size_t>(n), 7);
+    const auto b = make_dna(static_cast<std::size_t>(n), 8);
+    const sw_params p;
+    matrix<std::int32_t> s(n + 1, n + 1, 0);
+    smoke(benchmark_id::sw, sw_problem(s, a, b, p), opts, s,
+          [&] { s = matrix<std::int32_t>(n + 1, n + 1, 0); });
+  }
+  {
+    auto m = make_digraph(static_cast<std::size_t>(n), 0.3, 5, 1e9);
+    for (std::size_t i = 0; i < m.size(); ++i)
+      m.data()[i] = static_cast<double>(static_cast<long long>(m.data()[i]));
+    const auto input = m;
+    smoke(benchmark_id::fw, fw_problem(m), opts, m, [&] { m = input; });
+  }
+
+  if (g_failures > 0) {
+    std::cerr << g_failures << " variant(s) diverged from serial\n";
+    return 1;
+  }
+  std::cout << "all registry variants bit-identical to serial\n";
+  return 0;
+}

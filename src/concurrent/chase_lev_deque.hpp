@@ -108,13 +108,24 @@ private:
     const std::size_t mask;
     std::unique_ptr<std::atomic<T>[]> slots;
 
+    // Lê et al. hand elements across threads with standalone fences (the
+    // release fence in push, the seq_cst fences in pop/steal), which
+    // ThreadSanitizer does not model — it would flag every stolen task as
+    // a race on the element's memory. Under TSan the slot accesses carry
+    // the ordering themselves; on x86 both versions compile to plain movs.
+#if defined(__SANITIZE_THREAD__)
+    static constexpr auto slot_load = std::memory_order_acquire;
+    static constexpr auto slot_store = std::memory_order_release;
+#else
+    static constexpr auto slot_load = std::memory_order_relaxed;
+    static constexpr auto slot_store = std::memory_order_relaxed;
+#endif
+
     T get(std::int64_t i) const {
-      return slots[static_cast<std::size_t>(i) & mask].load(
-          std::memory_order_relaxed);
+      return slots[static_cast<std::size_t>(i) & mask].load(slot_load);
     }
     void put(std::int64_t i, T v) {
-      slots[static_cast<std::size_t>(i) & mask].store(
-          v, std::memory_order_relaxed);
+      slots[static_cast<std::size_t>(i) & mask].store(v, slot_store);
     }
   };
 

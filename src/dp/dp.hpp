@@ -1,14 +1,18 @@
 // Umbrella header: the three paper benchmarks in every execution model,
-// the parametric r-way generalisation, and the generic wavefront framework.
+// the parametric r-way generalisation, the generic wavefront framework,
+// the recurrence-spec layer and the runtime variant registry.
 #pragma once
 
-#include "dp/common.hpp"     // IWYU pragma: export
-#include "dp/fw.hpp"         // IWYU pragma: export
-#include "dp/fw_cnc.hpp"     // IWYU pragma: export
-#include "dp/ge.hpp"         // IWYU pragma: export
-#include "dp/ge_cnc.hpp"     // IWYU pragma: export
-#include "dp/rway.hpp"       // IWYU pragma: export
-#include "dp/sw.hpp"         // IWYU pragma: export
-#include "dp/sw_cnc.hpp"     // IWYU pragma: export
-#include "dp/tiled.hpp"      // IWYU pragma: export
-#include "dp/wavefront.hpp"  // IWYU pragma: export
+#include "dp/common.hpp"      // IWYU pragma: export
+#include "dp/fw.hpp"          // IWYU pragma: export
+#include "dp/fw_cnc.hpp"      // IWYU pragma: export
+#include "dp/ge.hpp"          // IWYU pragma: export
+#include "dp/ge_cnc.hpp"      // IWYU pragma: export
+#include "dp/registry.hpp"    // IWYU pragma: export
+#include "dp/rway.hpp"        // IWYU pragma: export
+#include "dp/spec/spec.hpp"   // IWYU pragma: export
+#include "dp/spec/specs.hpp"  // IWYU pragma: export
+#include "dp/sw.hpp"          // IWYU pragma: export
+#include "dp/sw_cnc.hpp"      // IWYU pragma: export
+#include "dp/tiled.hpp"       // IWYU pragma: export
+#include "dp/wavefront.hpp"   // IWYU pragma: export

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "dp/fw_cnc.hpp"
 #include "dp/kernels.hpp"
-#include "forkjoin/task_group.hpp"
+#include "dp/spec/specs.hpp"
+#include "exec/backend.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
 
@@ -25,96 +27,10 @@ void fw_base_kernel(double* c, std::size_t n, std::size_t i0, std::size_t j0,
 
 void fw_loop_serial(matrix<double>& m) {
   RDP_REQUIRE(m.rows() == m.cols());
-  fw_base_kernel(m.data(), m.rows(), 0, 0, 0, m.rows());
+  fw_kernel(m.data(), m.rows(), 0, 0, 0, m.rows());
 }
 
 namespace {
-
-/// FW's 2-way decomposition (Chowdhury & Ramachandran, SODA'06). Unlike GE,
-/// every region is updated by EVERY pivot range, so each function has a
-/// forward sweep (first k-half) and a backward sweep (second k-half) — 8
-/// recursive calls instead of GE's 5/6.
-struct fw_recursion {
-  double* c;
-  std::size_t n;
-  std::size_t base;
-  forkjoin::worker_pool* pool;  // nullptr => serial
-
-  template <class... Fns>
-  void stage(Fns&&... fns) {
-    if (pool == nullptr) {
-      (fns(), ...);
-    } else {
-      forkjoin::task_group g(*pool);
-      (g.spawn(std::forward<Fns>(fns)), ...);
-      g.wait();
-    }
-  }
-
-  void funcA(std::size_t d, std::size_t s) {
-    if (s <= base) {
-      fw_kernel(c, n, d, d, d, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    // Forward sweep: pivots in the first half.
-    funcA(d, h);
-    stage([&] { funcB(d, d + h, d, h); }, [&] { funcC(d + h, d, d, h); });
-    funcD(d + h, d + h, d, h);
-    // Backward sweep: pivots in the second half update everything else too.
-    funcA(d + h, h);
-    stage([&] { funcB(d + h, d, d + h, h); },
-          [&] { funcC(d, d + h, d + h, h); });
-    funcD(d, d, d + h, h);
-  }
-
-  void funcB(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    RDP_ASSERT(xi == xk);
-    if (s <= base) {
-      fw_kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    stage([&] { funcB(xi, xj, xk, h); }, [&] { funcB(xi, xj + h, xk, h); });
-    stage([&] { funcD(xi + h, xj, xk, h); },
-          [&] { funcD(xi + h, xj + h, xk, h); });
-    stage([&] { funcB(xi + h, xj, xk + h, h); },
-          [&] { funcB(xi + h, xj + h, xk + h, h); });
-    stage([&] { funcD(xi, xj, xk + h, h); },
-          [&] { funcD(xi, xj + h, xk + h, h); });
-  }
-
-  void funcC(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    RDP_ASSERT(xj == xk);
-    if (s <= base) {
-      fw_kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    stage([&] { funcC(xi, xj, xk, h); }, [&] { funcC(xi + h, xj, xk, h); });
-    stage([&] { funcD(xi, xj + h, xk, h); },
-          [&] { funcD(xi + h, xj + h, xk, h); });
-    stage([&] { funcC(xi, xj + h, xk + h, h); },
-          [&] { funcC(xi + h, xj + h, xk + h, h); });
-    stage([&] { funcD(xi, xj, xk + h, h); },
-          [&] { funcD(xi + h, xj, xk + h, h); });
-  }
-
-  void funcD(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    if (s <= base) {
-      fw_kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    stage([&] { funcD(xi, xj, xk, h); }, [&] { funcD(xi, xj + h, xk, h); },
-          [&] { funcD(xi + h, xj, xk, h); },
-          [&] { funcD(xi + h, xj + h, xk, h); });
-    stage([&] { funcD(xi, xj, xk + h, h); },
-          [&] { funcD(xi, xj + h, xk + h, h); },
-          [&] { funcD(xi + h, xj, xk + h, h); },
-          [&] { funcD(xi + h, xj + h, xk + h, h); });
-  }
-};
 
 void check_rdp_preconditions(const matrix<double>& m, std::size_t base) {
   RDP_REQUIRE(m.rows() == m.cols());
@@ -126,15 +42,19 @@ void check_rdp_preconditions(const matrix<double>& m, std::size_t base) {
 
 void fw_rdp_serial(matrix<double>& m, std::size_t base) {
   check_rdp_preconditions(m, base);
-  fw_recursion rec{m.data(), m.rows(), base, nullptr};
-  rec.funcA(0, m.rows());
+  exec::run_serial(*make_fw_spec(m, base));
 }
 
 void fw_rdp_forkjoin(matrix<double>& m, std::size_t base,
                      forkjoin::worker_pool& pool) {
   check_rdp_preconditions(m, base);
-  fw_recursion rec{m.data(), m.rows(), base, &pool};
-  pool.run([&] { rec.funcA(0, m.rows()); });
+  exec::run_forkjoin(*make_fw_spec(m, base), pool);
+}
+
+cnc_run_info fw_cnc(matrix<double>& m, std::size_t base, cnc_variant variant,
+                    unsigned workers) {
+  check_rdp_preconditions(m, base);
+  return exec::run_dataflow(*make_fw_spec(m, base), {variant, workers});
 }
 
 }  // namespace rdp::dp

@@ -1,27 +1,19 @@
-// Data-flow (CnC) implementation of 2-way R-DP Floyd-Warshall APSP.
+// Data-flow (CnC) execution of 2-way R-DP Floyd-Warshall APSP.
 //
 // GE's boolean-item scheme (ge_cnc) is safe because a GE tile is never
 // written again after it is read. FW is different: every tile is rewritten
 // at every pivot round, so signalling booleans over a shared table would
-// allow a round-(K+1) writer to race with round-K readers (a write-after-
-// read hazard the paper's Listing 5 does not need to handle for GE). We
-// therefore use *value-passing* items — the canonical single-assignment CnC
-// formulation: item (I,J,K) holds an immutable copy of tile (I,J) after its
-// round-K update. This is deterministic by construction and race-free.
-//
-// Task (I,J,K), kind = classify(I,J,K):
-//   A: x = FW(prev)                        with prev = item (K,K,K-1)
-//   B: x[i][j] = min(x, u[i][k] + x[k][j])  u = item (K,K,K)
-//   C: x[i][j] = min(x, x[i][k] + v[k][j])  v = item (K,K,K)
-//   D: x[i][j] = min(x, u[i][k] + v[k][j])  u = (I,K,K), v = (K,J,K)
-// The environment seeds items (I,J,-1) from the input matrix and gathers
-// items (I,J,T-1) into the result.
+// allow a round-(K+1) writer to race with round-K readers. The FW
+// recurrence spec (dp/spec/specs.hpp) therefore declares itself
+// value-passing, and the data-flow backend (exec/backend.hpp) runs it over
+// immutable tile-snapshot items — the canonical single-assignment CnC
+// formulation: item (I,J,K) holds a copy of tile (I,J) after its round-K
+// update; the environment seeds items (I,J,-1) and gathers items (I,J,T-1).
 #pragma once
 
 #include <cstddef>
 
-#include "dp/common.hpp"
-#include "dp/ge_cnc.hpp"  // cnc_variant, cnc_run_info
+#include "dp/spec/spec.hpp"  // cnc_variant, cnc_run_info
 #include "support/matrix.hpp"
 
 namespace rdp::dp {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "dp/ge_cnc.hpp"
 #include "dp/kernels.hpp"
-#include "forkjoin/task_group.hpp"
+#include "dp/spec/specs.hpp"
+#include "exec/backend.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
 
@@ -42,92 +44,13 @@ void ge_base_kernel(double* c, std::size_t n, std::size_t i0, std::size_t j0,
 
 void ge_loop_serial(matrix<double>& m) {
   RDP_REQUIRE(m.rows() == m.cols());
-  // Identical to ge_base_kernel over the whole matrix — one code path keeps
-  // the floating-point evaluation order of all variants aligned.
-  ge_base_kernel(m.data(), m.rows(), 0, 0, 0, m.rows());
+  // One whole-matrix "tile" through the kernel dispatch — one code path
+  // keeps the floating-point evaluation order of all variants aligned, and
+  // RDP_KERNELS governs the looping baseline too.
+  ge_kernel(m.data(), m.rows(), 0, 0, 0, m.rows());
 }
 
 namespace {
-
-/// Recursive 2-way divide-&-conquer skeleton for GE (Fig. 2 / Listing 3).
-/// Regions are (row-origin xi, col-origin xj, pivot-range origin xk, size s)
-/// on the full n×n table. Invariants: A has xi==xj==xk; B has xi==xk;
-/// C has xj==xk; D none. `Spawner` abstracts serial vs fork-join execution
-/// of each parallel stage.
-struct ge_recursion {
-  double* c;
-  std::size_t n;
-  std::size_t base;
-  forkjoin::worker_pool* pool;  // nullptr => serial
-
-  /// Run a stage of independent calls: serially, or as forked tasks with a
-  /// join — the join is precisely the artificial barrier of §III-B.
-  template <class... Fns>
-  void stage(Fns&&... fns) {
-    if (pool == nullptr) {
-      (fns(), ...);
-    } else {
-      forkjoin::task_group g(*pool);
-      (g.spawn(std::forward<Fns>(fns)), ...);
-      g.wait();
-    }
-  }
-
-  void funcA(std::size_t d, std::size_t s) {
-    if (s <= base) {
-      ge_kernel(c, n, d, d, d, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    funcA(d, h);
-    stage([&] { funcB(d, d + h, d, h); }, [&] { funcC(d + h, d, d, h); });
-    funcD(d + h, d + h, d, h);
-    funcA(d + h, h);
-  }
-
-  void funcB(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    RDP_ASSERT(xi == xk);
-    if (s <= base) {
-      ge_kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    stage([&] { funcB(xi, xj, xk, h); }, [&] { funcB(xi, xj + h, xk, h); });
-    stage([&] { funcD(xi + h, xj, xk, h); },
-          [&] { funcD(xi + h, xj + h, xk, h); });
-    stage([&] { funcB(xi + h, xj, xk + h, h); },
-          [&] { funcB(xi + h, xj + h, xk + h, h); });
-  }
-
-  void funcC(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    RDP_ASSERT(xj == xk);
-    if (s <= base) {
-      ge_kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    stage([&] { funcC(xi, xj, xk, h); }, [&] { funcC(xi + h, xj, xk, h); });
-    stage([&] { funcD(xi, xj + h, xk, h); },
-          [&] { funcD(xi + h, xj + h, xk, h); });
-    stage([&] { funcC(xi, xj + h, xk + h, h); },
-          [&] { funcC(xi + h, xj + h, xk + h, h); });
-  }
-
-  void funcD(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    if (s <= base) {
-      ge_kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / 2;
-    stage([&] { funcD(xi, xj, xk, h); }, [&] { funcD(xi, xj + h, xk, h); },
-          [&] { funcD(xi + h, xj, xk, h); },
-          [&] { funcD(xi + h, xj + h, xk, h); });
-    stage([&] { funcD(xi, xj, xk + h, h); },
-          [&] { funcD(xi, xj + h, xk + h, h); },
-          [&] { funcD(xi + h, xj, xk + h, h); },
-          [&] { funcD(xi + h, xj + h, xk + h, h); });
-  }
-};
 
 void check_rdp_preconditions(const matrix<double>& m, std::size_t base) {
   RDP_REQUIRE(m.rows() == m.cols());
@@ -140,15 +63,20 @@ void check_rdp_preconditions(const matrix<double>& m, std::size_t base) {
 
 void ge_rdp_serial(matrix<double>& m, std::size_t base) {
   check_rdp_preconditions(m, base);
-  ge_recursion rec{m.data(), m.rows(), base, nullptr};
-  rec.funcA(0, m.rows());
+  exec::run_serial(*make_ge_spec(m, base));
 }
 
 void ge_rdp_forkjoin(matrix<double>& m, std::size_t base,
                      forkjoin::worker_pool& pool) {
   check_rdp_preconditions(m, base);
-  ge_recursion rec{m.data(), m.rows(), base, &pool};
-  pool.run([&] { rec.funcA(0, m.rows()); });
+  exec::run_forkjoin(*make_ge_spec(m, base), pool);
+}
+
+cnc_run_info ge_cnc(matrix<double>& m, std::size_t base, cnc_variant variant,
+                    unsigned workers, bool pin_tiles) {
+  check_rdp_preconditions(m, base);
+  return exec::run_dataflow(*make_ge_spec(m, base),
+                            {variant, workers, pin_tiles});
 }
 
 }  // namespace rdp::dp

@@ -1,54 +1,19 @@
-// Data-flow (CnC) implementation of 2-way R-DP Gaussian Elimination —
-// the design of the paper's §III-C (Listings 4 and 5).
+// Data-flow (CnC) execution of 2-way R-DP Gaussian Elimination — the
+// design of the paper's §III-C (Listings 4 and 5).
 //
-// Graph shape: four step collections (functions A, B, C, D), four tag
-// collections (one prescribing each step collection), four item collections
-// (funcX_outputs: tile3 -> bool, marking "tile (I,J) finished its update
-// with pivot block K"). Non-base tags recursively expand into child tags;
-// base tags perform blocking gets on their read/write-write dependencies,
-// run the base kernel on the shared DP table, and put their output item.
-//
-// Variants (§III-D / §IV-B):
-//   native — spawn steps at prescription; unmet gets abort + re-execute.
-//   tuner  — pre-scheduling tuner: steps declare their dependencies and are
-//            dispatched only when all of them are available.
-//   manual — all base-case tags are enumerated (pre-declared) up-front by
-//            the environment instead of through recursive expansion, with
-//            the pre-scheduling tuner deciding when each may run.
+// The graph itself is no longer hand-written: the GE recurrence spec
+// (dp/spec/specs.hpp) supplies the tag expansion, dependency function and
+// get-counts, and the generic data-flow backend (exec/backend.hpp) lowers
+// it onto the CnC runtime. cnc_variant / cnc_run_info live in
+// dp/spec/spec.hpp; this header re-exports them for existing consumers.
 #pragma once
 
 #include <cstddef>
 
-#include "cnc/context.hpp"
-#include "dp/common.hpp"
+#include "dp/spec/spec.hpp"  // cnc_variant, cnc_run_info
 #include "support/matrix.hpp"
 
 namespace rdp::dp {
-
-/// The data-flow execution variants of §III-D / §IV-B. `nonblocking` is the
-/// alternative get protocol the paper also evaluated ("profitable only for
-/// smaller block sizes"): a step polls its inputs with try_get and, when
-/// any is missing, requeues its own tag through the scheduler's FIFO path
-/// instead of parking on a waiter list.
-enum class cnc_variant { native, tuner, manual, nonblocking };
-
-constexpr const char* to_string(cnc_variant v) {
-  switch (v) {
-    case cnc_variant::native: return "CnC";
-    case cnc_variant::tuner: return "CnC_tuner";
-    case cnc_variant::manual: return "CnC_manual";
-    case cnc_variant::nonblocking: return "CnC_nonblocking";
-  }
-  return "?";
-}
-
-/// Outcome counters of one data-flow run (from the context's stats).
-struct cnc_run_info {
-  cnc::context_stats stats;
-  /// Items still held by the collections when the run finished — 0 when
-  /// get-count garbage collection reclaimed everything (FW tuner/manual).
-  std::uint64_t items_live_at_end = 0;
-};
 
 /// Run GE on the data-flow runtime. `m` is updated in place; results are
 /// bit-identical to ge_loop_serial. Requires power-of-two n and base.

@@ -229,6 +229,80 @@ void fw_base_kernel_blocked(double* c, std::size_t n, std::size_t i0,
   fw_reference_order_simd(c, n, i0, j0, k0, b);
 }
 
+// ---------------------------------------------------- FW (tile items) ----
+
+// The contiguous-tile variant of the FW update used by the value-passing
+// data-flow graph. Same two regimes (and the same bit-exactness arguments)
+// as fw_base_kernel_blocked, but aliasing is decided by pointer identity:
+// u == x / v == x is exactly the A/B/C-kind overlap of the strided kernel.
+namespace {
+
+RDP_KERNEL_CLONES
+void fw_tile_minplus(double* __restrict x, const double* __restrict u,
+                     const double* __restrict v, std::size_t b) {
+  for (std::size_t i = 0; i < b; i += k_fw_ri) {
+    for (std::size_t j = 0; j < b; j += k_fw_rj) {
+      double acc[k_fw_ri][k_fw_rj];
+      for (std::size_t r = 0; r < k_fw_ri; ++r)
+#pragma omp simd
+        for (std::size_t q = 0; q < k_fw_rj; ++q)
+          acc[r][q] = x[(i + r) * b + j + q];
+      for (std::size_t k = 0; k < b; ++k) {
+        const double* __restrict row_k = v + k * b + j;
+        for (std::size_t r = 0; r < k_fw_ri; ++r) {
+          const double via = u[(i + r) * b + k];
+#pragma omp simd
+          for (std::size_t q = 0; q < k_fw_rj; ++q)
+            acc[r][q] = std::min(acc[r][q], via + row_k[q]);
+        }
+      }
+      for (std::size_t r = 0; r < k_fw_ri; ++r)
+#pragma omp simd
+        for (std::size_t q = 0; q < k_fw_rj; ++q)
+          x[(i + r) * b + j + q] = acc[r][q];
+    }
+  }
+}
+
+RDP_KERNEL_CLONES
+void fw_tile_reference_simd(double* x, const double* u, const double* v,
+                            std::size_t b) {
+  // Reference loop order; the inner loop is safe to vectorize even when
+  // v == x and the pivot row is the row being updated: lane j reads its
+  // own element before writing it, exactly like the scalar loop.
+  for (std::size_t k = 0; k < b; ++k) {
+    const double* row_k = v + k * b;
+    for (std::size_t i = 0; i < b; ++i) {
+      double* row_i = x + i * b;
+      const double via = u[i * b + k];
+#pragma omp simd
+      for (std::size_t j = 0; j < b; ++j)
+        row_i[j] = std::min(row_i[j], via + row_k[j]);
+    }
+  }
+}
+
+}  // namespace
+
+void fw_tile_kernel_scalar(double* x, const double* u, const double* v,
+                           std::size_t b) {
+  for (std::size_t k = 0; k < b; ++k)
+    for (std::size_t i = 0; i < b; ++i) {
+      const double via = u[i * b + k];
+      for (std::size_t j = 0; j < b; ++j)
+        x[i * b + j] = std::min(x[i * b + j], via + v[k * b + j]);
+    }
+}
+
+void fw_tile_kernel_blocked(double* x, const double* u, const double* v,
+                            std::size_t b) {
+  if (u != x && v != x && b % k_fw_ri == 0 && b % k_fw_rj == 0) {
+    fw_tile_minplus(x, u, v, b);
+    return;
+  }
+  fw_tile_reference_simd(x, u, v, b);
+}
+
 // ------------------------------------------------------------------ SW ----
 
 // Per output row the reference recurrence
@@ -305,6 +379,14 @@ void sw_kernel(std::int32_t* s, std::size_t ld, std::string_view a,
     sw_base_kernel_blocked(s, ld, a, b, p, i0, j0, bsz);
   else
     sw_base_kernel(s, ld, a, b, p, i0, j0, bsz);
+}
+
+void fw_tile_kernel(double* x, const double* u, const double* v,
+                    std::size_t b) {
+  if (active_kernel_impl() == kernel_impl::blocked)
+    fw_tile_kernel_blocked(x, u, v, b);
+  else
+    fw_tile_kernel_scalar(x, u, v, b);
 }
 
 }  // namespace rdp::dp

@@ -55,6 +55,24 @@ void ge_base_kernel_blocked(double* c, std::size_t n, std::size_t i0,
 void fw_base_kernel_blocked(double* c, std::size_t n, std::size_t i0,
                             std::size_t j0, std::size_t k0, std::size_t b);
 
+/// Blocked FW min-plus update of one contiguous b×b tile (row-major,
+/// leading dimension b — the item value of the value-passing data-flow
+/// graph):
+///     x[i][j] = min(x[i][j], u[i][k] + v[k][j]),  k outer
+/// with u = x for A/C-kind tiles and v = x for A/B-kind tiles (the caller
+/// passes x itself). Tiles with u and v both distinct from x (the D kind)
+/// use the GEMM-style register tile with k innermost — min is exact
+/// (order-free over an ascending chain), so the result is bit-identical.
+/// Aliased tiles keep the reference loop order with a vectorized inner
+/// loop.
+void fw_tile_kernel_blocked(double* x, const double* u, const double* v,
+                            std::size_t b);
+
+/// Scalar reference for the contiguous-tile FW update (the exact loop
+/// order of the value-passing data-flow formulation).
+void fw_tile_kernel_scalar(double* x, const double* u, const double* v,
+                           std::size_t b);
+
 /// Blocked SW tile fill. Per output row, the anti-diagonal-safe two-pass
 /// formulation: a vectorizable pass computes e[j] = max(0, diag, up) from
 /// the (already final) previous row, then a short scalar scan resolves the
@@ -74,5 +92,7 @@ void fw_kernel(double* c, std::size_t n, std::size_t i0, std::size_t j0,
 void sw_kernel(std::int32_t* s, std::size_t ld, std::string_view a,
                std::string_view b, const sw_params& p, std::size_t i0,
                std::size_t j0, std::size_t bsz);
+void fw_tile_kernel(double* x, const double* u, const double* v,
+                    std::size_t b);
 
 }  // namespace rdp::dp

@@ -1,0 +1,250 @@
+#include "dp/registry.hpp"
+
+#include "dp/fw.hpp"
+#include "dp/fw_cnc.hpp"
+#include "dp/ge.hpp"
+#include "dp/ge_cnc.hpp"
+#include "dp/rway.hpp"
+#include "dp/sw_cnc.hpp"
+#include "dp/tiled.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "support/assertions.hpp"
+#include "support/math_utils.hpp"
+
+namespace rdp::dp {
+
+const char* to_string(benchmark_id b) noexcept {
+  switch (b) {
+    case benchmark_id::ge: return "GE";
+    case benchmark_id::sw: return "SW";
+    case benchmark_id::fw: return "FW";
+  }
+  return "?";
+}
+
+const char* to_string(backend_kind b) noexcept {
+  switch (b) {
+    case backend_kind::serial: return "serial";
+    case backend_kind::forkjoin: return "forkjoin";
+    case backend_kind::tiled: return "tiled";
+    case backend_kind::dataflow: return "dataflow";
+    case backend_kind::rway: return "rway";
+  }
+  return "?";
+}
+
+problem_ref ge_problem(matrix<double>& m) {
+  return {benchmark_id::ge, &m, nullptr, {}, {}, nullptr};
+}
+
+problem_ref fw_problem(matrix<double>& m) {
+  return {benchmark_id::fw, &m, nullptr, {}, {}, nullptr};
+}
+
+problem_ref sw_problem(matrix<std::int32_t>& s, std::string_view a,
+                       std::string_view b, const sw_params& p) {
+  return {benchmark_id::sw, nullptr, &s, a, b, &p};
+}
+
+std::size_t problem_size(const problem_ref& p) {
+  return p.bm == benchmark_id::sw ? p.a.size() : p.table->rows();
+}
+
+namespace {
+
+// ---- precondition predicates --------------------------------------------
+
+bool supports_pow2(std::size_t n, std::size_t base) {
+  return is_pow2(n) && is_pow2(base) && base > 0 && base <= n;
+}
+
+bool supports_tiled(std::size_t n, std::size_t base) {
+  return base > 0 && n % base == 0;
+}
+
+bool supports_rway(std::size_t n, std::size_t base, std::size_t r) {
+  if (base == 0 || n < base) return false;
+  std::size_t s = n;
+  while (s > base) {
+    if (s % r != 0) return false;
+    s /= r;
+  }
+  return s == base;
+}
+
+bool supports_r2(std::size_t n, std::size_t base) {
+  return supports_rway(n, base, 2);
+}
+bool supports_r4(std::size_t n, std::size_t base) {
+  return supports_rway(n, base, 4);
+}
+
+// ---- runners -------------------------------------------------------------
+
+/// Run `fn(pool)` on the caller's pool, or a transient one of opts.workers.
+template <class Fn>
+void with_pool(const run_options& opts, Fn&& fn) {
+  if (opts.pool != nullptr) {
+    fn(*opts.pool);
+    return;
+  }
+  forkjoin::worker_pool pool(opts.workers);
+  fn(pool);
+}
+
+run_outcome run_serial_v(const variant& self, const problem_ref& p,
+                         const run_options& opts) {
+  (void)self;
+  switch (p.bm) {
+    case benchmark_id::ge: ge_rdp_serial(*p.table, opts.base); break;
+    case benchmark_id::fw: fw_rdp_serial(*p.table, opts.base); break;
+    case benchmark_id::sw:
+      sw_rdp_serial(*p.sw_table, p.a, p.b, *p.params, opts.base);
+      break;
+  }
+  return {};
+}
+
+run_outcome run_forkjoin_v(const variant& self, const problem_ref& p,
+                           const run_options& opts) {
+  (void)self;
+  with_pool(opts, [&](forkjoin::worker_pool& pool) {
+    switch (p.bm) {
+      case benchmark_id::ge: ge_rdp_forkjoin(*p.table, opts.base, pool); break;
+      case benchmark_id::fw: fw_rdp_forkjoin(*p.table, opts.base, pool); break;
+      case benchmark_id::sw:
+        sw_rdp_forkjoin(*p.sw_table, p.a, p.b, *p.params, opts.base, pool);
+        break;
+    }
+  });
+  return {};
+}
+
+run_outcome run_tiled_v(const variant& self, const problem_ref& p,
+                        const run_options& opts) {
+  (void)self;
+  with_pool(opts, [&](forkjoin::worker_pool& pool) {
+    switch (p.bm) {
+      case benchmark_id::ge: ge_tiled_forkjoin(*p.table, opts.base, pool); break;
+      case benchmark_id::fw: fw_tiled_forkjoin(*p.table, opts.base, pool); break;
+      case benchmark_id::sw:
+        sw_tiled_forkjoin(*p.sw_table, p.a, p.b, *p.params, opts.base, pool);
+        break;
+    }
+  });
+  return {};
+}
+
+cnc_variant mode_to_variant(std::string_view mode) {
+  if (mode == "native") return cnc_variant::native;
+  if (mode == "tuner") return cnc_variant::tuner;
+  if (mode == "manual") return cnc_variant::manual;
+  if (mode == "nonblocking") return cnc_variant::nonblocking;
+  RDP_REQUIRE_MSG(false, "unknown data-flow mode");
+  return cnc_variant::native;
+}
+
+run_outcome run_dataflow_v(const variant& self, const problem_ref& p,
+                           const run_options& opts) {
+  const cnc_variant mode = mode_to_variant(self.mode);
+  run_outcome out;
+  out.used_dataflow = true;
+  switch (p.bm) {
+    case benchmark_id::ge:
+      out.info = ge_cnc(*p.table, opts.base, mode, opts.workers,
+                        opts.pin_tiles);
+      break;
+    case benchmark_id::fw:
+      out.info = fw_cnc(*p.table, opts.base, mode, opts.workers);
+      break;
+    case benchmark_id::sw:
+      out.info = sw_cnc(*p.sw_table, p.a, p.b, *p.params, opts.base, mode,
+                        opts.workers);
+      break;
+  }
+  return out;
+}
+
+run_outcome run_rway_v(const variant& self, const problem_ref& p,
+                       const run_options& opts) {
+  const std::size_t r = self.mode == "r4" ? 4 : 2;
+  with_pool(opts, [&](forkjoin::worker_pool& pool) {
+    switch (p.bm) {
+      case benchmark_id::ge:
+        ge_rdp_rway_forkjoin(*p.table, opts.base, r, pool);
+        break;
+      case benchmark_id::fw:
+        fw_rdp_rway_forkjoin(*p.table, opts.base, r, pool);
+        break;
+      case benchmark_id::sw:
+        sw_rdp_rway_forkjoin(*p.sw_table, p.a, p.b, *p.params, opts.base, r,
+                             pool);
+        break;
+    }
+  });
+  return {};
+}
+
+std::vector<variant> build_registry() {
+  std::vector<variant> rows;
+  for (const benchmark_id bm :
+       {benchmark_id::ge, benchmark_id::sw, benchmark_id::fw}) {
+    rows.push_back({bm, backend_kind::serial, "", "serial",  //
+                    &supports_pow2, &run_serial_v});
+    rows.push_back({bm, backend_kind::forkjoin, "", "forkjoin",
+                    &supports_pow2, &run_forkjoin_v});
+    rows.push_back({bm, backend_kind::tiled, "", "tiled",  //
+                    &supports_tiled, &run_tiled_v});
+    rows.push_back({bm, backend_kind::dataflow, "native", "dataflow:native",
+                    &supports_pow2, &run_dataflow_v});
+    rows.push_back({bm, backend_kind::dataflow, "tuner", "dataflow:tuner",
+                    &supports_pow2, &run_dataflow_v});
+    rows.push_back({bm, backend_kind::dataflow, "manual", "dataflow:manual",
+                    &supports_pow2, &run_dataflow_v});
+    rows.push_back({bm, backend_kind::dataflow, "nonblocking",
+                    "dataflow:nonblocking", &supports_pow2, &run_dataflow_v});
+    rows.push_back({bm, backend_kind::rway, "r2", "rway:r2",  //
+                    &supports_r2, &run_rway_v});
+    rows.push_back({bm, backend_kind::rway, "r4", "rway:r4",  //
+                    &supports_r4, &run_rway_v});
+  }
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<variant>& registry() {
+  static const std::vector<variant> rows = build_registry();
+  return rows;
+}
+
+std::vector<const variant*> variants_for(benchmark_id bm) {
+  std::vector<const variant*> out;
+  for (const variant& v : registry())
+    if (v.bm == bm) out.push_back(&v);
+  return out;
+}
+
+const variant* find_variant(benchmark_id bm, std::string_view impl) {
+  for (const variant& v : registry())
+    if (v.bm == bm && v.label == impl) return &v;
+  return nullptr;
+}
+
+std::string trace_phase_label(const variant& v) {
+  if (v.backend == backend_kind::dataflow)
+    return to_string(mode_to_variant(v.mode));
+  return std::string(v.label);
+}
+
+std::string impl_help() {
+  std::string out;
+  for (const variant& v : registry()) {
+    if (v.bm != benchmark_id::ge) continue;  // labels repeat per benchmark
+    if (!out.empty()) out += ", ";
+    out += v.label;
+  }
+  return out;
+}
+
+}  // namespace rdp::dp

@@ -1,0 +1,108 @@
+// Runtime variant registry: every (benchmark × executor backend × mode)
+// combination the repo can run, as data.
+//
+// Benches and tests used to hard-code the variant list ("oracle, rdp-serial,
+// forkjoin, tiled, CnC, CnC_tuner, ...") in half a dozen places; each new
+// backend meant touching all of them. The registry enumerates the pairs
+// once — (benchmark, backend[:mode]) → runner — so consumers iterate it
+// (equivalence tests, smoke benches) or resolve one entry from a CLI
+// `--impl=backend[:mode]` string. Every entry is behavior-preserving with
+// the per-benchmark entry points it wraps (ge_rdp_serial, ge_cnc, ...):
+// same precondition checks, bit-identical outputs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dp/spec/spec.hpp"  // cnc_run_info
+#include "dp/sw.hpp"
+#include "support/matrix.hpp"
+
+namespace rdp::forkjoin {
+class worker_pool;
+}
+
+namespace rdp::dp {
+
+enum class benchmark_id : std::uint8_t { ge, sw, fw };
+enum class backend_kind : std::uint8_t {
+  serial,    ///< depth-first 2-way recursion on one thread
+  forkjoin,  ///< 2-way recursion with task_group stages
+  tiled,     ///< blocked rounds / tile wavefronts with barriers
+  dataflow,  ///< CnC graph (modes: native, tuner, manual, nonblocking)
+  rway,      ///< parametric r-way recursion (modes: r2, r4)
+};
+
+const char* to_string(benchmark_id b) noexcept;
+const char* to_string(backend_kind b) noexcept;
+
+/// Non-owning reference to one benchmark's problem data. GE/FW use `table`;
+/// SW uses `sw_table` + the sequences + scoring params.
+struct problem_ref {
+  benchmark_id bm;
+  matrix<double>* table = nullptr;
+  matrix<std::int32_t>* sw_table = nullptr;
+  std::string_view a, b;
+  const sw_params* params = nullptr;
+};
+
+problem_ref ge_problem(matrix<double>& m);
+problem_ref fw_problem(matrix<double>& m);
+problem_ref sw_problem(matrix<std::int32_t>& s, std::string_view a,
+                       std::string_view b, const sw_params& p);
+
+/// Problem size n of a reference (table side / sequence length).
+std::size_t problem_size(const problem_ref& p);
+
+struct run_options {
+  std::size_t base = 64;
+  /// Worker count for parallel backends (and the data-flow context).
+  unsigned workers = 4;
+  /// Pool for the fork-join/tiled/r-way backends; when null each run owns a
+  /// transient pool of `workers` threads. The data-flow backend always owns
+  /// its context pool.
+  forkjoin::worker_pool* pool = nullptr;
+  /// compute_on tile pinning (data-flow GE only; ignored elsewhere).
+  bool pin_tiles = false;
+};
+
+struct run_outcome {
+  /// True when `info` carries data-flow run counters.
+  bool used_dataflow = false;
+  cnc_run_info info{};
+};
+
+/// One runnable registry entry.
+struct variant {
+  benchmark_id bm;
+  backend_kind backend;
+  std::string_view mode;   ///< "" for modeless backends
+  std::string_view label;  ///< "serial", "dataflow:tuner", "rway:r2", ...
+  /// Whether (n, base) satisfies this backend's preconditions.
+  bool (*supports)(std::size_t n, std::size_t base);
+  run_outcome (*run)(const variant& self, const problem_ref& p,
+                     const run_options& opts);
+};
+
+/// All registered variants (3 benchmarks × 9 backend[:mode] entries).
+const std::vector<variant>& registry();
+
+/// The registry rows of one benchmark, in registration order.
+std::vector<const variant*> variants_for(benchmark_id bm);
+
+/// Resolve "backend[:mode]" (e.g. "forkjoin", "dataflow:tuner") for a
+/// benchmark; nullptr when unknown.
+const variant* find_variant(benchmark_id bm, std::string_view impl);
+
+/// Comma-separated list of every backend[:mode] label (for --help text and
+/// docs — always in sync with the registry).
+std::string impl_help();
+
+/// Display name of a variant for obs/trace phase labels. Data-flow rows
+/// keep the paper's series names ("CnC", "CnC_tuner", ...); every other
+/// backend is labelled by its registry label.
+std::string trace_phase_label(const variant& v);
+
+}  // namespace rdp::dp

@@ -1,148 +1,12 @@
 #include "dp/rway.hpp"
 
-#include <functional>
-#include <vector>
-
-#include "dp/fw.hpp"
-#include "dp/ge.hpp"
-#include "dp/kernels.hpp"
-#include "forkjoin/task_group.hpp"
+#include "dp/spec/specs.hpp"
+#include "exec/backend.hpp"
 #include "support/assertions.hpp"
 
 namespace rdp::dp {
 
 namespace {
-
-using kernel_fn = void (*)(double*, std::size_t, std::size_t, std::size_t,
-                           std::size_t, std::size_t);
-
-/// Generic r-way recursion over (row origin, col origin, pivot origin,
-/// size). `triangular` encodes GE's guards (regions with block index <= kk
-/// need no update at pivot round kk); FW updates every block every round.
-struct rway_recursion {
-  double* c;
-  std::size_t n;
-  std::size_t base;
-  std::size_t r;
-  kernel_fn kernel;
-  bool triangular;
-  forkjoin::worker_pool* pool;  // nullptr => serial
-
-  using thunk = std::function<void()>;
-
-  void stage(std::vector<thunk>& fns) {
-    if (fns.empty()) return;
-    if (pool == nullptr || fns.size() == 1) {
-      for (auto& f : fns) f();
-    } else {
-      forkjoin::task_group g(*pool);
-      for (auto& f : fns) g.spawn(std::move(f));
-      g.wait();
-    }
-    fns.clear();
-  }
-
-  void funcA(std::size_t d, std::size_t s) {
-    if (s <= base) {
-      kernel(c, n, d, d, d, s);
-      return;
-    }
-    RDP_REQUIRE_MSG(s % r == 0, "size must be base * r^L");
-    const std::size_t h = s / r;
-    std::vector<thunk> fns;
-    for (std::size_t kk = 0; kk < r; ++kk) {
-      const std::size_t dk = d + kk * h;
-      funcA(dk, h);
-      // Row band (B) and column band (C) of this pivot round in parallel.
-      for (std::size_t jj = 0; jj < r; ++jj) {
-        if (jj == kk || (triangular && jj < kk)) continue;
-        fns.push_back([this, dk, dj = d + jj * h, h] { funcB(dk, dj, dk, h); });
-      }
-      for (std::size_t ii = 0; ii < r; ++ii) {
-        if (ii == kk || (triangular && ii < kk)) continue;
-        fns.push_back([this, di = d + ii * h, dk, h] { funcC(di, dk, dk, h); });
-      }
-      stage(fns);
-      // Remainder (D) blocks, all independent.
-      for (std::size_t ii = 0; ii < r; ++ii) {
-        if (ii == kk || (triangular && ii < kk)) continue;
-        for (std::size_t jj = 0; jj < r; ++jj) {
-          if (jj == kk || (triangular && jj < kk)) continue;
-          fns.push_back([this, di = d + ii * h, dj = d + jj * h, dk, h] {
-            funcD(di, dj, dk, h);
-          });
-        }
-      }
-      stage(fns);
-    }
-  }
-
-  void funcB(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    RDP_ASSERT(xi == xk);
-    if (s <= base) {
-      kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / r;
-    std::vector<thunk> fns;
-    for (std::size_t kk = 0; kk < r; ++kk) {
-      const std::size_t k0 = xk + kk * h;
-      for (std::size_t jj = 0; jj < r; ++jj)
-        fns.push_back([this, k0, dj = xj + jj * h, h] { funcB(k0, dj, k0, h); });
-      stage(fns);
-      for (std::size_t ii = 0; ii < r; ++ii) {
-        if (ii == kk || (triangular && ii < kk)) continue;
-        for (std::size_t jj = 0; jj < r; ++jj)
-          fns.push_back([this, di = xi + ii * h, dj = xj + jj * h, k0, h] {
-            funcD(di, dj, k0, h);
-          });
-      }
-      stage(fns);
-    }
-  }
-
-  void funcC(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    RDP_ASSERT(xj == xk);
-    if (s <= base) {
-      kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / r;
-    std::vector<thunk> fns;
-    for (std::size_t kk = 0; kk < r; ++kk) {
-      const std::size_t k0 = xk + kk * h;
-      for (std::size_t ii = 0; ii < r; ++ii)
-        fns.push_back([this, di = xi + ii * h, k0, h] { funcC(di, k0, k0, h); });
-      stage(fns);
-      for (std::size_t jj = 0; jj < r; ++jj) {
-        if (jj == kk || (triangular && jj < kk)) continue;
-        for (std::size_t ii = 0; ii < r; ++ii)
-          fns.push_back([this, di = xi + ii * h, dj = xj + jj * h, k0, h] {
-            funcD(di, dj, k0, h);
-          });
-      }
-      stage(fns);
-    }
-  }
-
-  void funcD(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
-    if (s <= base) {
-      kernel(c, n, xi, xj, xk, s);
-      return;
-    }
-    const std::size_t h = s / r;
-    std::vector<thunk> fns;
-    for (std::size_t kk = 0; kk < r; ++kk) {
-      const std::size_t k0 = xk + kk * h;
-      for (std::size_t ii = 0; ii < r; ++ii)
-        for (std::size_t jj = 0; jj < r; ++jj)
-          fns.push_back([this, di = xi + ii * h, dj = xj + jj * h, k0, h] {
-            funcD(di, dj, k0, h);
-          });
-      stage(fns);
-    }
-  }
-};
 
 void check_rway(const matrix<double>& m, std::size_t base, std::size_t r) {
   RDP_REQUIRE(m.rows() == m.cols());
@@ -154,80 +18,6 @@ void check_rway(const matrix<double>& m, std::size_t base, std::size_t r) {
   }
   RDP_REQUIRE_MSG(s == base, "problem size must be base * r^L");
 }
-
-void run_rway(matrix<double>& m, std::size_t base, std::size_t r,
-              kernel_fn kernel, bool triangular,
-              forkjoin::worker_pool* pool) {
-  check_rway(m, base, r);
-  rway_recursion rec{m.data(), m.rows(), base, r, kernel, triangular, pool};
-  if (pool != nullptr) {
-    pool->run([&] { rec.funcA(0, m.rows()); });
-  } else {
-    rec.funcA(0, m.rows());
-  }
-}
-
-}  // namespace
-
-void ge_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r) {
-  run_rway(c, base, r, &ge_kernel, /*triangular=*/true, nullptr);
-}
-
-void ge_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
-                          forkjoin::worker_pool& pool) {
-  run_rway(c, base, r, &ge_kernel, /*triangular=*/true, &pool);
-}
-
-void fw_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r) {
-  run_rway(c, base, r, &fw_kernel, /*triangular=*/false, nullptr);
-}
-
-void fw_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
-                          forkjoin::worker_pool& pool) {
-  run_rway(c, base, r, &fw_kernel, /*triangular=*/false, &pool);
-}
-
-namespace {
-
-/// r-way SW recursion: quadrants executed along 2r-1 anti-diagonals.
-struct sw_rway_recursion {
-  std::int32_t* table;
-  std::size_t ld;
-  std::string_view a;
-  std::string_view b;
-  const sw_params& p;
-  std::size_t base;
-  std::size_t r;
-  forkjoin::worker_pool* pool;
-
-  void fill(std::size_t i0, std::size_t j0, std::size_t s) {
-    if (s <= base) {
-      sw_kernel(table, ld, a, b, p, i0, j0, s);
-      return;
-    }
-    RDP_REQUIRE_MSG(s % r == 0, "size must be base * r^L");
-    const std::size_t h = s / r;
-    for (std::size_t d = 0; d <= 2 * (r - 1); ++d) {
-      // Quadrants (ii, jj) with ii + jj == d are mutually independent.
-      if (pool == nullptr) {
-        for (std::size_t ii = 0; ii < r; ++ii) {
-          if (d < ii || d - ii >= r) continue;
-          fill(i0 + ii * h, j0 + (d - ii) * h, h);
-        }
-      } else {
-        forkjoin::task_group g(*pool);
-        for (std::size_t ii = 0; ii < r; ++ii) {
-          if (d < ii || d - ii >= r) continue;
-          const std::size_t jj = d - ii;
-          g.spawn([this, di = i0 + ii * h, dj = j0 + jj * h, h] {
-            fill(di, dj, h);
-          });
-        }
-        g.wait();
-      }
-    }
-  }
-};
 
 void check_sw_rway(const matrix<std::int32_t>& s, std::string_view a,
                    std::string_view b, std::size_t base, std::size_t r) {
@@ -245,12 +35,33 @@ void check_sw_rway(const matrix<std::int32_t>& s, std::string_view a,
 
 }  // namespace
 
+void ge_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r) {
+  check_rway(c, base, r);
+  exec::run_rway(*make_ge_spec(c, base), r, nullptr);
+}
+
+void ge_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
+                          forkjoin::worker_pool& pool) {
+  check_rway(c, base, r);
+  exec::run_rway(*make_ge_spec(c, base), r, &pool);
+}
+
+void fw_rdp_rway_serial(matrix<double>& c, std::size_t base, std::size_t r) {
+  check_rway(c, base, r);
+  exec::run_rway(*make_fw_spec(c, base), r, nullptr);
+}
+
+void fw_rdp_rway_forkjoin(matrix<double>& c, std::size_t base, std::size_t r,
+                          forkjoin::worker_pool& pool) {
+  check_rway(c, base, r);
+  exec::run_rway(*make_fw_spec(c, base), r, &pool);
+}
+
 void sw_rdp_rway_serial(matrix<std::int32_t>& s, std::string_view a,
                         std::string_view b, const sw_params& p,
                         std::size_t base, std::size_t r) {
   check_sw_rway(s, a, b, base, r);
-  sw_rway_recursion rec{s.data(), s.cols(), a, b, p, base, r, nullptr};
-  rec.fill(0, 0, a.size());
+  exec::run_rway(*make_sw_spec(s, a, b, p, base), r, nullptr);
 }
 
 void sw_rdp_rway_forkjoin(matrix<std::int32_t>& s, std::string_view a,
@@ -258,8 +69,7 @@ void sw_rdp_rway_forkjoin(matrix<std::int32_t>& s, std::string_view a,
                           std::size_t base, std::size_t r,
                           forkjoin::worker_pool& pool) {
   check_sw_rway(s, a, b, base, r);
-  sw_rway_recursion rec{s.data(), s.cols(), a, b, p, base, r, &pool};
-  pool.run([&] { rec.fill(0, 0, a.size()); });
+  exec::run_rway(*make_sw_spec(s, a, b, p, base), r, &pool);
 }
 
 }  // namespace rdp::dp

@@ -1,0 +1,40 @@
+// Spec factories for the paper's three benchmarks. Each returns a cheap
+// view over the caller's problem data implementing dp::recurrence, ready
+// for any src/exec backend. The spec encodes the recurrence only; the
+// public per-benchmark entry points (ge.hpp/sw.hpp/fw.hpp/tiled.hpp/
+// rway.hpp) keep their original precondition checks and hand the spec to
+// the chosen backend.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+
+#include "dp/spec/spec.hpp"
+#include "dp/sw.hpp"  // sw_params
+#include "support/matrix.hpp"
+
+namespace rdp::dp {
+
+/// Gaussian Elimination: abcd_triangular over an n×n table updated in
+/// place; boolean signalling items (a GE tile is never written after it is
+/// read). Requires base to divide m.rows().
+std::unique_ptr<recurrence> make_ge_spec(matrix<double>& m,
+                                         std::size_t base);
+
+/// Smith-Waterman: wavefront over the (n+1)×(n+1) scoring table (equal
+/// length sequences); boolean signalling items (each tile written once).
+std::unique_ptr<recurrence> make_sw_spec(matrix<std::int32_t>& s,
+                                         std::string_view a,
+                                         std::string_view b,
+                                         const sw_params& p,
+                                         std::size_t base);
+
+/// Floyd-Warshall APSP: abcd_full over an n×n table. In-place hooks drive
+/// serial/fork-join/tiled/r-way; the data-flow lowering is value-passing
+/// (every tile is rewritten every pivot round, so signalling booleans over
+/// a shared table would race — see the spec's comments).
+std::unique_ptr<recurrence> make_fw_spec(matrix<double>& m,
+                                         std::size_t base);
+
+}  // namespace rdp::dp

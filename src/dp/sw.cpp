@@ -4,7 +4,9 @@
 #include <vector>
 
 #include "dp/kernels.hpp"
-#include "forkjoin/task_group.hpp"
+#include "dp/spec/specs.hpp"
+#include "dp/sw_cnc.hpp"
+#include "exec/backend.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
 
@@ -30,6 +32,13 @@ void sw_base_kernel(std::int32_t* s, std::size_t ld, std::string_view a,
 void sw_loop_serial(matrix<std::int32_t>& s, std::string_view a,
                     std::string_view b, const sw_params& p) {
   RDP_REQUIRE(s.rows() == a.size() + 1 && s.cols() == b.size() + 1);
+  if (a.size() == b.size() && a.size() > 0) {
+    // Square table: one whole-table "tile" through the kernel dispatch, so
+    // RDP_KERNELS governs the looping baseline too (identical cell values —
+    // integer arithmetic, same recurrences).
+    sw_kernel(s.data(), s.cols(), a, b, p, 0, 0, a.size());
+    return;
+  }
   // Row-by-row fill; unlike the square tile kernel this handles
   // rectangular tables (unequal-length sequences).
   const std::size_t ld = s.cols();
@@ -49,37 +58,6 @@ void sw_loop_serial(matrix<std::int32_t>& s, std::string_view a,
 
 namespace {
 
-struct sw_recursion {
-  std::int32_t* s;
-  std::size_t ld;
-  std::string_view a;
-  std::string_view b;
-  const sw_params& p;
-  std::size_t base;
-  forkjoin::worker_pool* pool;  // nullptr => serial
-
-  void fill(std::size_t i0, std::size_t j0, std::size_t sz) {
-    if (sz <= base) {
-      sw_kernel(s, ld, a, b, p, i0, j0, sz);
-      return;
-    }
-    const std::size_t h = sz / 2;
-    fill(i0, j0, h);  // X00
-    if (pool == nullptr) {
-      fill(i0, j0 + h, h);  // X01
-      fill(i0 + h, j0, h);  // X10
-    } else {
-      // The joins here are the artificial dependencies: X11 of one quadrant
-      // cannot overlap with X00 of a sibling on the same anti-diagonal.
-      forkjoin::task_group g(*pool);
-      g.spawn([&] { fill(i0, j0 + h, h); });
-      g.spawn([&] { fill(i0 + h, j0, h); });
-      g.wait();
-    }
-    fill(i0 + h, j0 + h, h);  // X11
-  }
-};
-
 void check_sw_preconditions(const matrix<std::int32_t>& s, std::string_view a,
                             std::string_view b, std::size_t base) {
   RDP_REQUIRE(s.rows() == a.size() + 1 && s.cols() == b.size() + 1);
@@ -94,16 +72,22 @@ void check_sw_preconditions(const matrix<std::int32_t>& s, std::string_view a,
 void sw_rdp_serial(matrix<std::int32_t>& s, std::string_view a,
                    std::string_view b, const sw_params& p, std::size_t base) {
   check_sw_preconditions(s, a, b, base);
-  sw_recursion rec{s.data(), s.cols(), a, b, p, base, nullptr};
-  rec.fill(0, 0, a.size());
+  exec::run_serial(*make_sw_spec(s, a, b, p, base));
 }
 
 void sw_rdp_forkjoin(matrix<std::int32_t>& s, std::string_view a,
                      std::string_view b, const sw_params& p, std::size_t base,
                      forkjoin::worker_pool& pool) {
   check_sw_preconditions(s, a, b, base);
-  sw_recursion rec{s.data(), s.cols(), a, b, p, base, &pool};
-  pool.run([&] { rec.fill(0, 0, a.size()); });
+  exec::run_forkjoin(*make_sw_spec(s, a, b, p, base), pool);
+}
+
+cnc_run_info sw_cnc(matrix<std::int32_t>& s, std::string_view a,
+                    std::string_view b, const sw_params& p, std::size_t base,
+                    cnc_variant variant, unsigned workers) {
+  check_sw_preconditions(s, a, b, base);
+  return exec::run_dataflow(*make_sw_spec(s, a, b, p, base),
+                            {variant, workers});
 }
 
 std::int32_t sw_linear_space_score(std::string_view a, std::string_view b,

@@ -1,24 +1,17 @@
-// Data-flow (CnC) implementation of Smith-Waterman local alignment.
+// Data-flow (CnC) execution of Smith-Waterman local alignment.
 //
 // The true dependency structure is the wavefront: tile (I,J) of the scoring
 // table needs only its west (I,J-1), north (I-1,J) and north-west (I-1,J-1)
-// neighbours. Each tile is written exactly once, so (unlike FW) a shared
-// table with boolean signalling items is race-free — the same scheme the
-// paper's Listing 4/5 uses for GE.
-//
-// Non-base tags recursively split into their four quadrant tags (the
-// control analogue of R(X): R00, R01, R10, R11); base tags block on their
-// up-to-three neighbour items, run the tile kernel and publish their item.
-// The data-flow version therefore executes tiles along anti-diagonals with
-// no barrier between wavefronts — the parallelism the fork-join joins
-// destroy (§IV-B).
+// neighbours; the data-flow version executes tiles along anti-diagonals
+// with no barrier between wavefronts — the parallelism the fork-join joins
+// destroy (§IV-B). The recurrence spec lives in dp/spec/specs.hpp; the
+// generic data-flow backend (exec/backend.hpp) lowers it onto the runtime.
 #pragma once
 
 #include <cstddef>
 #include <string_view>
 
-#include "dp/common.hpp"
-#include "dp/ge_cnc.hpp"  // cnc_variant, cnc_run_info
+#include "dp/spec/spec.hpp"  // cnc_variant, cnc_run_info
 #include "dp/sw.hpp"
 #include "support/matrix.hpp"
 

@@ -1,97 +1,32 @@
 #include "dp/tiled.hpp"
 
-#include <vector>
-
-#include "dp/fw.hpp"
-#include "dp/ge.hpp"
-#include "dp/kernels.hpp"
-#include "forkjoin/task_group.hpp"
+#include "dp/spec/specs.hpp"
+#include "exec/backend.hpp"
 #include "support/assertions.hpp"
 
 namespace rdp::dp {
 
-namespace {
-
-void check_tiled(std::size_t n, std::size_t rows, std::size_t cols,
-                 std::size_t base) {
-  RDP_REQUIRE(rows == cols && rows == n);
-  RDP_REQUIRE_MSG(base > 0 && n % base == 0, "base must divide n");
-}
-
-using kernel_fn = void (*)(double*, std::size_t, std::size_t, std::size_t,
-                           std::size_t, std::size_t);
-
-/// Shared round structure of blocked GE and blocked FW. `triangular`
-/// restricts each round's row/column/remainder sweeps to blocks past the
-/// pivot (GE's guards); FW sweeps every block every round.
-void blocked_rounds(double* c, std::size_t n, std::size_t b, kernel_fn kernel,
-                    bool triangular, forkjoin::worker_pool& pool) {
-  const std::size_t t = n / b;
-  pool.run([&] {
-    for (std::size_t k = 0; k < t; ++k) {
-      kernel(c, n, k * b, k * b, k * b, b);  // A: pivot block
-      {
-        forkjoin::task_group g(pool);  // B row band ∥ C column band
-        for (std::size_t j = 0; j < t; ++j) {
-          if (j == k || (triangular && j < k)) continue;
-          g.spawn([=] { kernel(c, n, k * b, j * b, k * b, b); });
-          g.spawn([=] { kernel(c, n, j * b, k * b, k * b, b); });
-        }
-        g.wait();  // round barrier
-      }
-      {
-        forkjoin::task_group g(pool);  // D remainder sweep
-        for (std::size_t i = 0; i < t; ++i) {
-          if (i == k || (triangular && i < k)) continue;
-          for (std::size_t j = 0; j < t; ++j) {
-            if (j == k || (triangular && j < k)) continue;
-            g.spawn([=] { kernel(c, n, i * b, j * b, k * b, b); });
-          }
-        }
-        g.wait();  // round barrier
-      }
-    }
-  });
-}
-
-}  // namespace
-
 void ge_tiled_forkjoin(matrix<double>& c, std::size_t base,
                        forkjoin::worker_pool& pool) {
-  check_tiled(c.rows(), c.rows(), c.cols(), base);
-  blocked_rounds(c.data(), c.rows(), base, &ge_kernel,
-                 /*triangular=*/true, pool);
+  RDP_REQUIRE(c.rows() == c.cols());
+  RDP_REQUIRE_MSG(base > 0 && c.rows() % base == 0, "base must divide n");
+  exec::run_tiled(*make_ge_spec(c, base), pool);
 }
 
 void fw_tiled_forkjoin(matrix<double>& c, std::size_t base,
                        forkjoin::worker_pool& pool) {
-  check_tiled(c.rows(), c.rows(), c.cols(), base);
-  blocked_rounds(c.data(), c.rows(), base, &fw_kernel,
-                 /*triangular=*/false, pool);
+  RDP_REQUIRE(c.rows() == c.cols());
+  RDP_REQUIRE_MSG(base > 0 && c.rows() % base == 0, "base must divide n");
+  exec::run_tiled(*make_fw_spec(c, base), pool);
 }
 
 void sw_tiled_forkjoin(matrix<std::int32_t>& s, std::string_view a,
                        std::string_view b, const sw_params& p,
                        std::size_t base, forkjoin::worker_pool& pool) {
   RDP_REQUIRE(s.rows() == a.size() + 1 && s.cols() == b.size() + 1);
-  RDP_REQUIRE_MSG(a.size() == b.size() && a.size() % base == 0,
+  RDP_REQUIRE_MSG(a.size() == b.size() && base > 0 && a.size() % base == 0,
                   "tiled SW needs equal-length sequences divisible by base");
-  const std::size_t t = a.size() / base;
-  const std::size_t ld = s.cols();
-  std::int32_t* tbl = s.data();
-  pool.run([&] {
-    for (std::size_t d = 0; d <= 2 * (t - 1); ++d) {
-      forkjoin::task_group g(pool);
-      for (std::size_t i = 0; i < t; ++i) {
-        if (d < i || d - i >= t) continue;
-        const std::size_t j = d - i;
-        g.spawn([=] {
-          sw_kernel(tbl, ld, a, b, p, i * base, j * base, base);
-        });
-      }
-      g.wait();  // one barrier per wavefront (the paper's footnote 6)
-    }
-  });
+  exec::run_tiled(*make_sw_spec(s, a, b, p, base), pool);
 }
 
 }  // namespace rdp::dp

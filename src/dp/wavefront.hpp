@@ -16,17 +16,21 @@
 //     p.run_rdp_forkjoin(base, pool);      // fork-join (joins and all)
 //     p.run_cnc(base, variant, workers);   // data-flow tile wavefront
 //
+// Every model is a src/exec backend over one recurrence spec: the adapter
+// below describes the tile wavefront (split rule, neighbour dependencies,
+// consumer counts) and the backends do the scheduling.
+//
 // Boundary row/column values are configurable (zero for local alignment,
 // i / j for edit distance, gap·i for global alignment).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
-#include "cnc/cnc.hpp"
 #include "dp/common.hpp"
-#include "dp/ge_cnc.hpp"  // cnc_variant, cnc_run_info
-#include "forkjoin/task_group.hpp"
+#include "dp/spec/spec.hpp"
+#include "exec/backend.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
 #include "support/matrix.hpp"
@@ -76,129 +80,76 @@ public:
   /// problems only (like the paper's benchmarks).
   void run_rdp_serial(std::size_t base) {
     check_square_pow2(base);
-    rdp_fill(0, 0, rows_, base, nullptr);
+    spec_adapter spec(*this, base);
+    exec::run_serial(spec);
   }
   void run_rdp_forkjoin(std::size_t base, forkjoin::worker_pool& pool) {
     check_square_pow2(base);
-    pool.run([&] { rdp_fill(0, 0, rows_, base, &pool); });
+    spec_adapter spec(*this, base);
+    exec::run_forkjoin(spec, pool);
   }
 
   /// Data-flow tile wavefront on the CnC runtime (all four variants).
   cnc_run_info run_cnc(std::size_t base, cnc_variant variant,
                        unsigned workers) {
     check_square_pow2(base);
-    wf_context ctx(*this, base, variant, workers);
-    const auto t = static_cast<std::int32_t>(rows_ / base);
-    if (variant == cnc_variant::manual) {
-      const auto b32 = static_cast<std::int32_t>(base);
-      for (std::int32_t i = 0; i < t; ++i)
-        for (std::int32_t j = 0; j < t; ++j) ctx.tags.put({i, j, 0, b32});
-    } else {
-      ctx.tags.put({0, 0, 0, static_cast<std::int32_t>(rows_)});
-    }
-    ctx.wait();
-    return cnc_run_info{ctx.stats(), ctx.done.size()};
+    spec_adapter spec(*this, base);
+    return exec::run_dataflow(spec, {variant, workers});
   }
 
 private:
-  // ---- fork-join recursion -------------------------------------------
-  void rdp_fill(std::size_t i0, std::size_t j0, std::size_t sz,
-                std::size_t base, forkjoin::worker_pool* pool) {
-    if (sz <= base) {
-      fill_tile(i0, j0, sz, sz);
-      return;
+  /// The wavefront recurrence spec over this problem's tiles — identical
+  /// shape to the SW spec (dp/spec/sw_spec.cpp), with the cell functor
+  /// behind fill_tile as the base-case kernel.
+  struct spec_adapter final : recurrence {
+    wavefront_problem& p;
+    std::size_t base_sz;
+
+    spec_adapter(wavefront_problem& prob, std::size_t b)
+        : p(prob), base_sz(b) {}
+
+    const char* name() const override { return "wavefront"; }
+    structure_kind structure() const override {
+      return structure_kind::wavefront;
     }
-    const std::size_t h = sz / 2;
-    rdp_fill(i0, j0, h, base, pool);
-    if (pool == nullptr) {
-      rdp_fill(i0, j0 + h, h, base, pool);
-      rdp_fill(i0 + h, j0, h, base, pool);
-    } else {
-      forkjoin::task_group g(*pool);
-      g.spawn([=, this] { rdp_fill(i0, j0 + h, h, base, pool); });
-      g.spawn([=, this] { rdp_fill(i0 + h, j0, h, base, pool); });
-      g.wait();
-    }
-    rdp_fill(i0 + h, j0 + h, h, base, pool);
-  }
+    std::size_t size() const override { return p.rows_; }
+    std::size_t base() const override { return base_sz; }
 
-  // ---- data-flow context ----------------------------------------------
-  struct wf_step;
-  struct wf_context : cnc::context<wf_context> {
-    wavefront_problem& problem;
-    std::size_t base;
-    std::int32_t n_tiles;
-    bool nonblocking;
-    bool collect;
-
-    cnc::step_collection<wf_context, wf_step, tile4> steps;
-    cnc::tag_collection<tile4> tags{*this, "wf_tags", false};
-    cnc::item_collection<tile3, bool> done{*this, "wf_done"};
-
-    wf_context(wavefront_problem& p, std::size_t base_, cnc_variant variant,
-               unsigned workers)
-        : cnc::context<wf_context>(workers), problem(p), base(base_),
-          n_tiles(static_cast<std::int32_t>(p.rows_ / base_)),
-          nonblocking(variant == cnc_variant::nonblocking),
-          collect(variant == cnc_variant::tuner ||
-                  variant == cnc_variant::manual),
-          steps(*this, "wf_step", wf_step{},
-                (variant == cnc_variant::native ||
-                 variant == cnc_variant::nonblocking)
-                    ? cnc::schedule_policy::spawn_immediately
-                    : cnc::schedule_policy::preschedule) {
-      tags.prescribe(steps);
+    split_plan split(const tile4& t) const override {
+      const std::int32_t h = t.b / 2;
+      const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j;
+      split_plan plan;
+      plan.stage({{i2, j2, 0, h}});
+      plan.stage({{i2, j2 + 1, 0, h}, {i2 + 1, j2, 0, h}});
+      plan.stage({{i2 + 1, j2 + 1, 0, h}});
+      return plan;
     }
 
-    std::uint32_t get_count_for(std::int32_t i, std::int32_t j) const {
-      if (!collect) return 0;
+    void depends(const tile3& t, const dep_sink& need) const override {
+      if (t.i > 0 && t.j > 0) need({t.i - 1, t.j - 1, 0});
+      if (t.i > 0) need({t.i - 1, t.j, 0});
+      if (t.j > 0) need({t.i, t.j - 1, 0});
+    }
+
+    std::uint32_t consumer_count(const tile3& t) const override {
+      const auto n_tiles = static_cast<std::int32_t>(p.rows_ / base_sz);
       std::uint32_t gets = 0;
-      if (i + 1 < n_tiles) ++gets;
-      if (j + 1 < n_tiles) ++gets;
-      if (i + 1 < n_tiles && j + 1 < n_tiles) ++gets;
+      if (t.i + 1 < n_tiles) ++gets;
+      if (t.j + 1 < n_tiles) ++gets;
+      if (t.i + 1 < n_tiles && t.j + 1 < n_tiles) ++gets;
       return gets;
     }
-  };
 
-  struct wf_step {
-    int execute(const tile4& t, wf_context& ctx) const {
-      if (static_cast<std::size_t>(t.b) > ctx.base) {
-        const std::int32_t h = t.b / 2;
-        const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j;
-        ctx.tags.put({i2, j2, 0, h});
-        ctx.tags.put({i2, j2 + 1, 0, h});
-        ctx.tags.put({i2 + 1, j2, 0, h});
-        ctx.tags.put({i2 + 1, j2 + 1, 0, h});
-        return 0;
-      }
-      bool v = false;
-      if (ctx.nonblocking) {
-        const bool ready =
-            (t.i == 0 || t.j == 0 ||
-             ctx.done.try_get({t.i - 1, t.j - 1, 0}, v)) &&
-            (t.i == 0 || ctx.done.try_get({t.i - 1, t.j, 0}, v)) &&
-            (t.j == 0 || ctx.done.try_get({t.i, t.j - 1, 0}, v));
-        if (!ready) {
-          ctx.steps.respawn(t);
-          return 0;
-        }
-      } else {
-        if (t.i > 0 && t.j > 0) ctx.done.get({t.i - 1, t.j - 1, 0}, v);
-        if (t.i > 0) ctx.done.get({t.i - 1, t.j, 0}, v);
-        if (t.j > 0) ctx.done.get({t.i, t.j - 1, 0}, v);
-      }
-      ctx.problem.fill_tile(t.i * ctx.base, t.j * ctx.base, ctx.base,
-                            ctx.base);
-      ctx.done.put({t.i, t.j, 0}, true, ctx.get_count_for(t.i, t.j));
-      return 0;
+    void enumerate_base(const tag_sink& emit) const override {
+      const auto n_tiles = static_cast<std::int32_t>(p.rows_ / base_sz);
+      const auto b = static_cast<std::int32_t>(base_sz);
+      for (std::int32_t i = 0; i < n_tiles; ++i)
+        for (std::int32_t j = 0; j < n_tiles; ++j) emit({i, j, 0, b});
     }
 
-    void depends(const tile4& t, wf_context& ctx,
-                 cnc::dependency_collector& dc) const {
-      if (static_cast<std::size_t>(t.b) > ctx.base) return;
-      if (t.i > 0 && t.j > 0) dc.require(ctx.done, {t.i - 1, t.j - 1, 0});
-      if (t.i > 0) dc.require(ctx.done, {t.i - 1, t.j, 0});
-      if (t.j > 0) dc.require(ctx.done, {t.i, t.j - 1, 0});
+    void run_base(const tile4& t) override {
+      const auto b = static_cast<std::size_t>(t.b);
+      p.fill_tile(t.i * b, t.j * b, b, b);
     }
   };
 

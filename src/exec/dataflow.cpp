@@ -1,0 +1,202 @@
+// Data-flow lowering: generate a CnC graph from a recurrence spec.
+//
+// One step collection, one tag collection, one item collection — the task
+// kind is derived from the tag coordinates (classify), so per-kind
+// collections would partition the very same key space without changing any
+// counter: tags are still put exactly once each (memoisation off), item
+// keys of different kinds never collide, and all context_stats counters are
+// context-level. Collection names derive from the spec
+// ("<name>_step/_tags/_items"), which is what the obs/trace labels show.
+//
+// Non-base tags expand into their children in split_plan's flattened order
+// (equal to the retired per-benchmark tag-emission order). Base tags get
+// their dependencies in depends() emission order — blocking gets for the
+// native/tuner/manual variants, try_get polling with short-circuit plus
+// respawn for the nonblocking variant — then run the base kernel (token
+// graphs) or compute a fresh tile from the read values (value-passing
+// graphs) and put their output item with the spec's consumer count when
+// get-count GC is enabled (preschedule tuners only).
+#include "exec/backend.hpp"
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+#include "cnc/cnc.hpp"
+#include "dp/common.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp::exec {
+
+namespace {
+
+template <class Value>
+struct df_context;
+
+template <class Value>
+struct df_step {
+  int execute(const dp::tile4& t, df_context<Value>& ctx) const;
+  void depends(const dp::tile4& t, df_context<Value>& ctx,
+               cnc::dependency_collector& dc) const;
+  /// Owner-computes placement (§V): base tasks only — expansion steps are
+  /// cheap and benefit from running wherever they were prescribed.
+  int compute_on(const dp::tile4& t, df_context<Value>& ctx) const {
+    if (!ctx.pin || !ctx.rec.is_base(t)) return -1;
+    return static_cast<int>(
+        dp::mix64((static_cast<std::uint64_t>(
+                       static_cast<std::uint32_t>(t.i)) << 32) |
+                  static_cast<std::uint32_t>(t.j)) &
+        0x7FFFFFFF);
+  }
+};
+
+template <class Value>
+struct df_context : cnc::context<df_context<Value>> {
+  dp::recurrence& rec;
+  bool nonblocking = false;  // poll-and-requeue instead of blocking gets
+  bool collect = false;      // get-count GC (single-execution tuners only)
+  bool pin = false;          // compute_on owner-computes placement
+
+  cnc::step_collection<df_context, df_step<Value>, dp::tile4> steps;
+  // Recursive expansion puts each tag exactly once -> memoisation off.
+  cnc::tag_collection<dp::tile4> tags;
+  cnc::item_collection<dp::tile3, Value> items;
+
+  df_context(dp::recurrence& r, cnc::schedule_policy policy, unsigned workers)
+      : cnc::context<df_context<Value>>(workers), rec(r),
+        steps(*this, std::string(r.name()) + "_step", df_step<Value>{},
+              policy),
+        tags(*this, std::string(r.name()) + "_tags", false),
+        items(*this, std::string(r.name()) + "_items") {
+    tags.prescribe(steps);
+  }
+
+  std::uint32_t count_for(const dp::tile3& t) const {
+    return collect ? rec.consumer_count(t) : 0;
+  }
+};
+
+/// Up to 4 dependency keys per base task (GE's D kind: the write-write
+/// predecessor plus the A, B and C pivot reads).
+struct dep_list {
+  dp::tile3 keys[4];
+  std::size_t count = 0;
+  void operator()(const dp::tile3& k) {
+    RDP_REQUIRE(count < 4);
+    keys[count++] = k;
+  }
+};
+
+template <class Value>
+int df_step<Value>::execute(const dp::tile4& t,
+                            df_context<Value>& ctx) const {
+  if (!ctx.rec.is_base(t)) {
+    const dp::split_plan plan = ctx.rec.split(t);
+    for (std::size_t c = 0; c < plan.child_count; ++c)
+      ctx.tags.put(plan.children[c]);
+    return 0;
+  }
+
+  const dp::tile3 coord{t.i, t.j, t.k};
+  dep_list deps;
+  ctx.rec.depends(coord, dp::dep_sink(deps));
+
+  Value vals[4] = {};
+  if (ctx.nonblocking) {
+    // Poll every input in order, short-circuiting on the first miss, and
+    // requeue this tag through the scheduler's FIFO path when unready.
+    bool ready = true;
+    for (std::size_t d = 0; ready && d < deps.count; ++d)
+      ready = ctx.items.try_get(deps.keys[d], vals[d]);
+    if (!ready) {
+      ctx.steps.respawn(t);
+      return 0;
+    }
+  } else {
+    for (std::size_t d = 0; d < deps.count; ++d)
+      ctx.items.get(deps.keys[d], vals[d]);
+  }
+
+  if constexpr (std::is_same_v<Value, bool>) {
+    ctx.rec.run_base(t);
+    ctx.items.put(coord, true, ctx.count_for(coord));
+  } else {
+    Value out = ctx.rec.run_base_value(coord, vals);
+    ctx.items.put(coord, std::move(out), ctx.count_for(coord));
+  }
+  return 0;
+}
+
+template <class Value>
+void df_step<Value>::depends(const dp::tile4& t, df_context<Value>& ctx,
+                             cnc::dependency_collector& dc) const {
+  if (!ctx.rec.is_base(t)) return;
+  auto require = [&](const dp::tile3& key) { dc.require(ctx.items, key); };
+  ctx.rec.depends({t.i, t.j, t.k}, dp::dep_sink(require));
+}
+
+/// value_store over the value-passing context's item collection, for the
+/// spec's environment-side seed (before any tag) and gather (after wait).
+struct df_value_store final : dp::value_store {
+  df_context<dp::tile_value>& ctx;
+
+  explicit df_value_store(df_context<dp::tile_value>& c) : ctx(c) {}
+
+  void put(const dp::tile3& key, dp::tile_value v) override {
+    ctx.items.put(key, std::move(v), ctx.count_for(key));
+  }
+  dp::tile_value get(const dp::tile3& key) override {
+    dp::tile_value out;
+    ctx.items.get(key, out);  // environment get: helps the pool, counted
+    return out;
+  }
+};
+
+template <class Value>
+dp::cnc_run_info run_df(dp::recurrence& rec, const dataflow_options& opts) {
+  const cnc::schedule_policy policy =
+      (opts.variant == dp::cnc_variant::native ||
+       opts.variant == dp::cnc_variant::nonblocking)
+          ? cnc::schedule_policy::spawn_immediately
+          : cnc::schedule_policy::preschedule;
+  df_context<Value> ctx(rec, policy, opts.workers);
+  ctx.nonblocking = opts.variant == dp::cnc_variant::nonblocking;
+  // Get-count GC requires every consumer to run its gets exactly once:
+  // true for the preschedule tuners, not for abort-and-re-execute (native)
+  // or poll-and-requeue (nonblocking) execution.
+  ctx.collect = opts.variant == dp::cnc_variant::tuner ||
+                opts.variant == dp::cnc_variant::manual;
+  ctx.pin = opts.pin_tiles;
+
+  if constexpr (std::is_same_v<Value, dp::tile_value>) {
+    df_value_store store(ctx);
+    rec.seed_values(store);
+  }
+
+  if (opts.variant == dp::cnc_variant::manual) {
+    // Manual pre-scheduling (§III-D): enumerate every base task up front;
+    // the tuner dispatches each one when its inputs exist.
+    auto emit = [&](const dp::tile4& tag) { ctx.tags.put(tag); };
+    rec.enumerate_base(dp::tag_sink(emit));
+  } else {
+    ctx.tags.put(rec.root());
+  }
+  ctx.wait();
+
+  if constexpr (std::is_same_v<Value, dp::tile_value>) {
+    df_value_store store(ctx);
+    rec.gather_values(store);
+  }
+  return dp::cnc_run_info{ctx.stats(), ctx.items.size()};
+}
+
+}  // namespace
+
+dp::cnc_run_info run_dataflow(dp::recurrence& rec,
+                              const dataflow_options& opts) {
+  return rec.value_passing() ? run_df<dp::tile_value>(rec, opts)
+                             : run_df<bool>(rec, opts);
+}
+
+}  // namespace rdp::exec

@@ -1,0 +1,49 @@
+// Serial and fork-join lowerings: walk the spec's split tree; run each
+// stage's children inline (serial, or a single child) or as forked tasks
+// with a join. The flattened child order of split_plan is the serial
+// execution order, so both lowerings reproduce the hand-written recursion
+// structs they replaced exactly.
+#include "exec/backend.hpp"
+
+#include "forkjoin/task_group.hpp"
+
+namespace rdp::exec {
+
+namespace {
+
+void run_tile(dp::recurrence& rec, const dp::tile4& t,
+              forkjoin::worker_pool* pool) {
+  if (rec.is_base(t)) {
+    rec.run_base(t);
+    return;
+  }
+  const dp::split_plan plan = rec.split(t);
+  for (std::size_t s = 0; s < plan.stage_count; ++s) {
+    const std::size_t begin = plan.stage_begin(s);
+    const std::size_t end = plan.stage_end[s];
+    if (pool == nullptr || end - begin == 1) {
+      for (std::size_t c = begin; c < end; ++c)
+        run_tile(rec, plan.children[c], pool);
+    } else {
+      // The join below is precisely the artificial barrier of §III-B.
+      forkjoin::task_group g(*pool);
+      for (std::size_t c = begin; c < end; ++c)
+        g.spawn([&rec, child = plan.children[c], pool] {
+          run_tile(rec, child, pool);
+        });
+      g.wait();
+    }
+  }
+}
+
+}  // namespace
+
+void run_serial(dp::recurrence& rec) {
+  run_tile(rec, rec.root(), nullptr);
+}
+
+void run_forkjoin(dp::recurrence& rec, forkjoin::worker_pool& pool) {
+  pool.run([&] { run_tile(rec, rec.root(), &pool); });
+}
+
+}  // namespace rdp::exec

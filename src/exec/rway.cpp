@@ -1,0 +1,216 @@
+// Parametric r-way lowering (§I-A): a shallower recursion with wider
+// parallel stages and fewer joins per level. r = 2 recovers the 2-way
+// schedule; r = n/base degenerates to the tiled schedule. abcd structures
+// use the generic A/B/C/D stage recursion; wavefront structures execute
+// their r×r quadrants along 2r-1 anti-diagonals per level.
+#include "exec/backend.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "forkjoin/task_group.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp::exec {
+
+namespace {
+
+/// Generic r-way recursion over (row origin, col origin, pivot origin,
+/// size) in element coordinates. Base regions hand off to run_base in tile
+/// coordinates: every origin is a multiple of the current size, so the
+/// division is exact.
+struct rway_recursion {
+  dp::recurrence& rec;
+  std::size_t base;
+  std::size_t r;
+  bool triangular;
+  forkjoin::worker_pool* pool;  // nullptr => serial
+
+  using thunk = std::function<void()>;
+
+  void run_base(std::size_t xi, std::size_t xj, std::size_t xk,
+                std::size_t s) {
+    rec.run_base({static_cast<std::int32_t>(xi / s),
+                  static_cast<std::int32_t>(xj / s),
+                  static_cast<std::int32_t>(xk / s),
+                  static_cast<std::int32_t>(s)});
+  }
+
+  void stage(std::vector<thunk>& fns) {
+    if (fns.empty()) return;
+    if (pool == nullptr || fns.size() == 1) {
+      for (auto& f : fns) f();
+    } else {
+      forkjoin::task_group g(*pool);
+      for (auto& f : fns) g.spawn(std::move(f));
+      g.wait();
+    }
+    fns.clear();
+  }
+
+  void funcA(std::size_t d, std::size_t s) {
+    if (s <= base) {
+      run_base(d, d, d, s);
+      return;
+    }
+    RDP_REQUIRE_MSG(s % r == 0, "size must be base * r^L");
+    const std::size_t h = s / r;
+    std::vector<thunk> fns;
+    for (std::size_t kk = 0; kk < r; ++kk) {
+      const std::size_t dk = d + kk * h;
+      funcA(dk, h);
+      // Row band (B) and column band (C) of this pivot round in parallel.
+      for (std::size_t jj = 0; jj < r; ++jj) {
+        if (jj == kk || (triangular && jj < kk)) continue;
+        fns.push_back([this, dk, dj = d + jj * h, h] { funcB(dk, dj, dk, h); });
+      }
+      for (std::size_t ii = 0; ii < r; ++ii) {
+        if (ii == kk || (triangular && ii < kk)) continue;
+        fns.push_back([this, di = d + ii * h, dk, h] { funcC(di, dk, dk, h); });
+      }
+      stage(fns);
+      // Remainder (D) blocks, all independent.
+      for (std::size_t ii = 0; ii < r; ++ii) {
+        if (ii == kk || (triangular && ii < kk)) continue;
+        for (std::size_t jj = 0; jj < r; ++jj) {
+          if (jj == kk || (triangular && jj < kk)) continue;
+          fns.push_back([this, di = d + ii * h, dj = d + jj * h, dk, h] {
+            funcD(di, dj, dk, h);
+          });
+        }
+      }
+      stage(fns);
+    }
+  }
+
+  void funcB(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
+    RDP_ASSERT(xi == xk);
+    if (s <= base) {
+      run_base(xi, xj, xk, s);
+      return;
+    }
+    const std::size_t h = s / r;
+    std::vector<thunk> fns;
+    for (std::size_t kk = 0; kk < r; ++kk) {
+      const std::size_t k0 = xk + kk * h;
+      for (std::size_t jj = 0; jj < r; ++jj)
+        fns.push_back([this, k0, dj = xj + jj * h, h] { funcB(k0, dj, k0, h); });
+      stage(fns);
+      for (std::size_t ii = 0; ii < r; ++ii) {
+        if (ii == kk || (triangular && ii < kk)) continue;
+        for (std::size_t jj = 0; jj < r; ++jj)
+          fns.push_back([this, di = xi + ii * h, dj = xj + jj * h, k0, h] {
+            funcD(di, dj, k0, h);
+          });
+      }
+      stage(fns);
+    }
+  }
+
+  void funcC(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
+    RDP_ASSERT(xj == xk);
+    if (s <= base) {
+      run_base(xi, xj, xk, s);
+      return;
+    }
+    const std::size_t h = s / r;
+    std::vector<thunk> fns;
+    for (std::size_t kk = 0; kk < r; ++kk) {
+      const std::size_t k0 = xk + kk * h;
+      for (std::size_t ii = 0; ii < r; ++ii)
+        fns.push_back([this, di = xi + ii * h, k0, h] { funcC(di, k0, k0, h); });
+      stage(fns);
+      for (std::size_t jj = 0; jj < r; ++jj) {
+        if (jj == kk || (triangular && jj < kk)) continue;
+        for (std::size_t ii = 0; ii < r; ++ii)
+          fns.push_back([this, di = xi + ii * h, dj = xj + jj * h, k0, h] {
+            funcD(di, dj, k0, h);
+          });
+      }
+      stage(fns);
+    }
+  }
+
+  void funcD(std::size_t xi, std::size_t xj, std::size_t xk, std::size_t s) {
+    if (s <= base) {
+      run_base(xi, xj, xk, s);
+      return;
+    }
+    const std::size_t h = s / r;
+    std::vector<thunk> fns;
+    for (std::size_t kk = 0; kk < r; ++kk) {
+      const std::size_t k0 = xk + kk * h;
+      for (std::size_t ii = 0; ii < r; ++ii)
+        for (std::size_t jj = 0; jj < r; ++jj)
+          fns.push_back([this, di = xi + ii * h, dj = xj + jj * h, k0, h] {
+            funcD(di, dj, k0, h);
+          });
+      stage(fns);
+    }
+  }
+};
+
+/// r-way wavefront recursion: quadrants executed along 2r-1 anti-diagonals.
+struct rway_wavefront {
+  dp::recurrence& rec;
+  std::size_t base;
+  std::size_t r;
+  forkjoin::worker_pool* pool;
+
+  void fill(std::size_t i0, std::size_t j0, std::size_t s) {
+    if (s <= base) {
+      rec.run_base({static_cast<std::int32_t>(i0 / s),
+                    static_cast<std::int32_t>(j0 / s), 0,
+                    static_cast<std::int32_t>(s)});
+      return;
+    }
+    RDP_REQUIRE_MSG(s % r == 0, "size must be base * r^L");
+    const std::size_t h = s / r;
+    for (std::size_t d = 0; d <= 2 * (r - 1); ++d) {
+      // Quadrants (ii, jj) with ii + jj == d are mutually independent.
+      if (pool == nullptr) {
+        for (std::size_t ii = 0; ii < r; ++ii) {
+          if (d < ii || d - ii >= r) continue;
+          fill(i0 + ii * h, j0 + (d - ii) * h, h);
+        }
+      } else {
+        forkjoin::task_group g(*pool);
+        for (std::size_t ii = 0; ii < r; ++ii) {
+          if (d < ii || d - ii >= r) continue;
+          const std::size_t jj = d - ii;
+          g.spawn([this, di = i0 + ii * h, dj = j0 + jj * h, h] {
+            fill(di, dj, h);
+          });
+        }
+        g.wait();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void run_rway(dp::recurrence& rec, std::size_t r,
+              forkjoin::worker_pool* pool) {
+  RDP_REQUIRE_MSG(r >= 2, "r-way recursion needs r >= 2");
+  const std::size_t n = rec.size();
+  if (rec.structure() == dp::structure_kind::wavefront) {
+    rway_wavefront rw{rec, rec.base(), r, pool};
+    if (pool != nullptr) {
+      pool->run([&] { rw.fill(0, 0, n); });
+    } else {
+      rw.fill(0, 0, n);
+    }
+    return;
+  }
+  rway_recursion rw{rec, rec.base(), r,
+                    rec.structure() == dp::structure_kind::abcd_triangular,
+                    pool};
+  if (pool != nullptr) {
+    pool->run([&] { rw.funcA(0, n); });
+  } else {
+    rw.funcA(0, n);
+  }
+}
+
+}  // namespace rdp::exec

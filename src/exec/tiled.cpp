@@ -1,0 +1,87 @@
+// Blocked-loop lowering: the pre-R-DP state of the art (refs [7-10]).
+// Iterative round/wavefront schedules with barrier-level synchronisation
+// between phases, driven purely by the spec's structure_kind and base-case
+// kernel — no recursion, so split() is never consulted.
+#include "exec/backend.hpp"
+
+#include "forkjoin/task_group.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp::exec {
+
+namespace {
+
+/// Shared round structure of blocked GE and blocked FW: for each pivot
+/// block K: A(K,K); {B row band ∥ C column band}; all D(I,J) in parallel.
+/// `triangular` restricts each round's sweeps to blocks past the pivot
+/// (GE's guards); FW sweeps every block every round.
+void blocked_rounds(dp::recurrence& rec, bool triangular,
+                    forkjoin::worker_pool& pool) {
+  const auto t =
+      static_cast<std::int32_t>(rec.size() / rec.base());
+  const auto b = static_cast<std::int32_t>(rec.base());
+  pool.run([&] {
+    for (std::int32_t k = 0; k < t; ++k) {
+      rec.run_base({k, k, k, b});  // A: pivot block
+      {
+        forkjoin::task_group g(pool);  // B row band ∥ C column band
+        for (std::int32_t j = 0; j < t; ++j) {
+          if (j == k || (triangular && j < k)) continue;
+          g.spawn([&rec, k, j, b] { rec.run_base({k, j, k, b}); });
+          g.spawn([&rec, k, j, b] { rec.run_base({j, k, k, b}); });
+        }
+        g.wait();  // round barrier
+      }
+      {
+        forkjoin::task_group g(pool);  // D remainder sweep
+        for (std::int32_t i = 0; i < t; ++i) {
+          if (i == k || (triangular && i < k)) continue;
+          for (std::int32_t j = 0; j < t; ++j) {
+            if (j == k || (triangular && j < k)) continue;
+            g.spawn([&rec, i, j, k, b] { rec.run_base({i, j, k, b}); });
+          }
+        }
+        g.wait();  // round barrier
+      }
+    }
+  });
+}
+
+/// Tiled wavefront: one barrier per anti-diagonal of tiles (the paper's
+/// footnote 6).
+void wavefront_rounds(dp::recurrence& rec, forkjoin::worker_pool& pool) {
+  const auto t =
+      static_cast<std::int32_t>(rec.size() / rec.base());
+  const auto b = static_cast<std::int32_t>(rec.base());
+  pool.run([&] {
+    for (std::int32_t d = 0; d <= 2 * (t - 1); ++d) {
+      forkjoin::task_group g(pool);
+      for (std::int32_t i = 0; i < t; ++i) {
+        if (d < i || d - i >= t) continue;
+        const std::int32_t j = d - i;
+        g.spawn([&rec, i, j, b] { rec.run_base({i, j, 0, b}); });
+      }
+      g.wait();  // one barrier per wavefront
+    }
+  });
+}
+
+}  // namespace
+
+void run_tiled(dp::recurrence& rec, forkjoin::worker_pool& pool) {
+  RDP_REQUIRE_MSG(rec.base() > 0 && rec.size() % rec.base() == 0,
+                  "base must divide n");
+  switch (rec.structure()) {
+    case dp::structure_kind::abcd_triangular:
+      blocked_rounds(rec, /*triangular=*/true, pool);
+      break;
+    case dp::structure_kind::abcd_full:
+      blocked_rounds(rec, /*triangular=*/false, pool);
+      break;
+    case dp::structure_kind::wavefront:
+      wavefront_rounds(rec, pool);
+      break;
+  }
+}
+
+}  // namespace rdp::exec

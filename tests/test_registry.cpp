@@ -1,0 +1,130 @@
+// Registry-driven cross-backend equivalence: every variant the registry
+// advertises must produce a bit-identical table to the serial 2-way R-DP
+// backend, for every benchmark, across randomized sizes and base cases.
+// This is the property the whole spec/executor refactor is built on — one
+// recurrence spec, many lowerings, no numerical drift — and it runs under
+// the TSan/UBSan presets (LABELS runtime).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dp/dp.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace rdp;
+using namespace rdp::dp;
+
+/// The sweep: power-of-two sizes with every power-of-two base, so each
+/// (n, base) pair exercises as many registry rows as possible (rway:r4
+/// joins whenever n/base is a power of 4).
+struct sweep_point {
+  std::size_t n, base;
+};
+
+std::vector<sweep_point> sweep_points() {
+  std::vector<sweep_point> pts;
+  for (std::size_t n : {16u, 32u, 128u})
+    for (std::size_t base = 4; base <= n; base *= 2)
+      pts.push_back({n, base});
+  return pts;
+}
+
+run_options options_for(std::size_t base, forkjoin::worker_pool& pool) {
+  run_options opts;
+  opts.base = base;
+  opts.workers = 3;  // deliberately != tile counts, to shake out races
+  opts.pool = &pool;
+  return opts;
+}
+
+/// Runs every non-serial variant of `bm` at one sweep point and compares
+/// the produced table against the serial run, bit for bit.
+template <class Table, class Reset>
+void check_point(benchmark_id bm, const problem_ref& prob,
+                 const run_options& opts, Table& table, const Reset& reset) {
+  const std::size_t n = problem_size(prob);
+  const variant* serial = find_variant(bm, "serial");
+  ASSERT_NE(serial, nullptr);
+  ASSERT_TRUE(serial->supports(n, opts.base));
+  reset();
+  serial->run(*serial, prob, opts);
+  const Table expected = table;
+
+  std::size_t ran = 0;
+  for (const variant* v : variants_for(bm)) {
+    if (v == serial || !v->supports(n, opts.base)) continue;
+    reset();
+    const run_outcome outcome = v->run(*v, prob, opts);
+    EXPECT_EQ(table, expected)
+        << to_string(bm) << " × " << v->label << " diverged at n=" << n
+        << ", base=" << opts.base;
+    if (outcome.used_dataflow) {
+      // Data-flow rows must have actually built a CnC graph.
+      EXPECT_GT(outcome.info.stats.steps_executed, 0u) << v->label;
+    }
+    ++ran;
+  }
+  // serial + forkjoin + tiled + 4 dataflow modes + rway:r2 always apply on
+  // a power-of-two sweep point; rway:r4 joins when n/base is a power of 4.
+  EXPECT_GE(ran, 7u) << "registry lost variants at n=" << n
+                     << ", base=" << opts.base;
+}
+
+TEST(RegistryShape, AdvertisesEveryBackendPerBenchmark) {
+  for (benchmark_id bm : {benchmark_id::ge, benchmark_id::sw,
+                          benchmark_id::fw}) {
+    const auto rows = variants_for(bm);
+    ASSERT_EQ(rows.size(), 9u) << to_string(bm);
+    // Labels resolve back to their own row, and are unique per benchmark.
+    for (const variant* v : rows)
+      EXPECT_EQ(find_variant(bm, v->label), v) << v->label;
+  }
+  EXPECT_EQ(registry().size(), 27u);
+  EXPECT_EQ(find_variant(benchmark_id::ge, "no-such-backend"), nullptr);
+  EXPECT_NE(impl_help().find("dataflow:tuner"), std::string::npos);
+}
+
+TEST(RegistryEquivalence, GeAllVariantsMatchSerial) {
+  forkjoin::worker_pool pool(3);
+  xoshiro256 gen(42);
+  for (const sweep_point pt : sweep_points()) {
+    auto input = make_diag_dominant(pt.n, gen.next());
+    auto m = input;
+    check_point(benchmark_id::ge, ge_problem(m),
+                options_for(pt.base, pool), m, [&] { m = input; });
+  }
+}
+
+TEST(RegistryEquivalence, SwAllVariantsMatchSerial) {
+  forkjoin::worker_pool pool(3);
+  for (const sweep_point pt : sweep_points()) {
+    const auto a = make_dna(pt.n, 7 + pt.n);
+    const auto b = make_dna(pt.n, 8 + pt.base);
+    const sw_params p;
+    matrix<std::int32_t> s(pt.n + 1, pt.n + 1, 0);
+    check_point(benchmark_id::sw, sw_problem(s, a, b, p),
+                options_for(pt.base, pool), s, [&] {
+                  s = matrix<std::int32_t>(pt.n + 1, pt.n + 1, 0);
+                });
+  }
+}
+
+TEST(RegistryEquivalence, FwAllVariantsMatchSerial) {
+  forkjoin::worker_pool pool(3);
+  for (const sweep_point pt : sweep_points()) {
+    auto input = make_digraph(pt.n, 0.3, 5 + pt.base, 1e9);
+    for (std::size_t i = 0; i < input.size(); ++i)
+      input.data()[i] = static_cast<double>(
+          static_cast<long long>(input.data()[i]));
+    auto m = input;
+    check_point(benchmark_id::fw, fw_problem(m),
+                options_for(pt.base, pool), m, [&] { m = input; });
+  }
+}
+
+}  // namespace
