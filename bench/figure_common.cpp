@@ -30,12 +30,28 @@ namespace rdp::bench {
 
 namespace {
 
-constexpr sim::exec_variant k_variants[] = {
-    sim::exec_variant::cnc_native,
-    sim::exec_variant::cnc_tuner,
-    sim::exec_variant::cnc_manual,
-    sim::exec_variant::omp_tasking,
-};
+dp::benchmark_id to_benchmark_id(sim::benchmark bm) {
+  switch (bm) {
+    case sim::benchmark::ge: return dp::benchmark_id::ge;
+    case sim::benchmark::sw: return dp::benchmark_id::sw;
+    case sim::benchmark::fw: return dp::benchmark_id::fw;
+  }
+  return dp::benchmark_id::ge;
+}
+
+/// The simulated series, derived from the registry's sim:* rows so the
+/// figure sweeps and the equivalence/verification gates can never disagree
+/// about which variants exist or what they are called. The sweep prices
+/// DAGs at figure scale (n up to 16K), so it calls the simulator directly
+/// instead of through variant::run — the registry runner also fills the
+/// table with the serial reference for the bit-exactness gate, which at
+/// these sizes would dwarf the simulation itself.
+std::vector<const dp::variant*> sim_series(dp::benchmark_id bm) {
+  std::vector<const dp::variant*> out;
+  for (const dp::variant* v : dp::variants_for(bm))
+    if (v->backend == dp::backend_kind::sim) out.push_back(v);
+  return out;
+}
 
 /// Base-size range of one panel, mirroring the paper's per-panel x-axes.
 std::vector<std::size_t> panel_bases(std::size_t n, std::size_t min_base,
@@ -143,15 +159,6 @@ struct trace_options {
 /// The phases a --trace capture runs when --impl is not given: the paper's
 /// fork-join vs Native-CnC vs Tuner-CnC comparison.
 constexpr const char* k_default_impls = "forkjoin,dataflow:native,dataflow:tuner";
-
-dp::benchmark_id to_benchmark_id(sim::benchmark bm) {
-  switch (bm) {
-    case sim::benchmark::ge: return dp::benchmark_id::ge;
-    case sim::benchmark::sw: return dp::benchmark_id::sw;
-    case sim::benchmark::fw: return dp::benchmark_id::fw;
-  }
-  return dp::benchmark_id::ge;
-}
 
 /// Resolve a comma-separated --impl list against the variant registry.
 /// Returns an empty vector (after printing the valid labels) on a bad name.
@@ -436,10 +443,17 @@ int run_figure_bench(int argc, const char* const* argv,
     }
   }
 
+  const std::vector<const dp::variant*> series =
+      sim_series(to_benchmark_id(opts.bm));
+  std::string series_names;
+  for (const dp::variant* v : series) {
+    if (!series_names.empty()) series_names += ", ";
+    series_names += sim::to_string(dp::sim_mode_to_exec(v->mode));
+  }
   std::cout << "=== " << opts.figure_name << " ===\n"
             << "machine: " << opts.machine.name << " (" << opts.machine.cores
             << " cores)   benchmark: " << sim::to_string(opts.bm) << "\n"
-            << "series: CnC, CnC_tuner, CnC_manual, OpenMP"
+            << "series: " << series_names
             << (opts.with_estimated ? ", Estimated" : "") << "\n"
             << "(simulated execution times — shapes, not absolute seconds;"
                " see EXPERIMENTS.md)\n\n";
@@ -454,14 +468,16 @@ int run_figure_bench(int argc, const char* const* argv,
   for (std::size_t n : panels) {
     const auto bases = panel_bases(n, opts.min_base, full);
     std::cout << (n / 1024) << "K Matrix\n";
-    std::vector<std::string> header = {"Base Size", "CnC", "CnC_tuner",
-                                       "CnC_manual", "OpenMP"};
+    std::vector<std::string> header = {"Base Size"};
+    for (const dp::variant* v : series)
+      header.push_back(sim::to_string(dp::sim_mode_to_exec(v->mode)));
     if (opts.with_estimated) header.push_back("Estimated");
     table_printer table(header);
 
     for (std::size_t base : bases) {
       std::vector<std::string> row = {std::to_string(base)};
-      for (sim::exec_variant v : k_variants) {
+      for (const dp::variant* sv : series) {
+        const sim::exec_variant v = dp::sim_mode_to_exec(sv->mode);
         const auto r = sim::simulate_variant(opts.bm, v, n, base,
                                              opts.machine);
         row.push_back(table_printer::num(r.seconds));

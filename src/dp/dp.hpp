@@ -14,5 +14,6 @@
 #include "dp/spec/specs.hpp"  // IWYU pragma: export
 #include "dp/sw.hpp"          // IWYU pragma: export
 #include "dp/sw_cnc.hpp"      // IWYU pragma: export
-#include "dp/tiled.hpp"       // IWYU pragma: export
-#include "dp/wavefront.hpp"   // IWYU pragma: export
+#include "dp/tiled.hpp"          // IWYU pragma: export
+#include "dp/verify/verify.hpp"  // IWYU pragma: export
+#include "dp/wavefront.hpp"      // IWYU pragma: export

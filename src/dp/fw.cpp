@@ -13,7 +13,8 @@ namespace rdp::dp {
 
 void fw_base_kernel(double* c, std::size_t n, std::size_t i0, std::size_t j0,
                     std::size_t k0, std::size_t b) {
-  RDP_ASSERT(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  RDP_REQUIRE_MSG(i0 + b <= n && j0 + b <= n && k0 + b <= n,
+                  "base tile exceeds the table");
   for (std::size_t k = k0; k < k0 + b; ++k) {
     const double* row_k = c + k * n;
     for (std::size_t i = i0; i < i0 + b; ++i) {

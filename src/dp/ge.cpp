@@ -24,7 +24,8 @@ namespace rdp::dp {
 
 void ge_base_kernel(double* c, std::size_t n, std::size_t i0, std::size_t j0,
                     std::size_t k0, std::size_t b) {
-  RDP_ASSERT(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  RDP_REQUIRE_MSG(i0 + b <= n && j0 + b <= n && k0 + b <= n,
+                  "base tile exceeds the table");
   const std::size_t k_end = std::min(k0 + b, n - 1);
   for (std::size_t k = k0; k < k_end; ++k) {
     const double pivot = c[k * n + k];

@@ -145,7 +145,10 @@ void ge_reference_order_simd(double* c, std::size_t n, std::size_t i0,
 
 void ge_base_kernel_blocked(double* c, std::size_t n, std::size_t i0,
                             std::size_t j0, std::size_t k0, std::size_t b) {
-  RDP_ASSERT(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  // Spec-boundary input (the tile a spec's split/enumerate emitted):
+  // always-on, or a broken spec scribbles out of bounds in Release.
+  RDP_REQUIRE_MSG(i0 + b <= n && j0 + b <= n && k0 + b <= n,
+                  "base tile exceeds the table");
   if (i0 >= k0 + b && j0 >= k0 + b && b % k_ge_rj == 0 && b <= k_ge_kmax) {
     ge_dtile(c, n, i0, j0, k0, b);
     return;
@@ -219,7 +222,8 @@ void fw_reference_order_simd(double* c, std::size_t n, std::size_t i0,
 
 void fw_base_kernel_blocked(double* c, std::size_t n, std::size_t i0,
                             std::size_t j0, std::size_t k0, std::size_t b) {
-  RDP_ASSERT(i0 + b <= n && j0 + b <= n && k0 + b <= n);
+  RDP_REQUIRE_MSG(i0 + b <= n && j0 + b <= n && k0 + b <= n,
+                  "base tile exceeds the table");
   const bool rows_alias = i0 < k0 + b && k0 < i0 + b;
   const bool cols_alias = j0 < k0 + b && k0 < j0 + b;
   if (!rows_alias && !cols_alias && b % k_fw_ri == 0 && b % k_fw_rj == 0) {
@@ -345,7 +349,8 @@ void sw_base_kernel_blocked(std::int32_t* s, std::size_t ld,
                             std::string_view a, std::string_view b,
                             const sw_params& p, std::size_t i0,
                             std::size_t j0, std::size_t bsz) {
-  RDP_ASSERT(i0 + bsz <= a.size() && j0 + bsz <= b.size());
+  RDP_REQUIRE_MSG(i0 + bsz <= a.size() && j0 + bsz <= b.size(),
+                  "base tile exceeds the sequences");
   // Scratch for the lane-independent pass; per-thread so concurrent base
   // tasks never share it.
   thread_local std::vector<std::int32_t> scratch;

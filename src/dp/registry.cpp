@@ -5,9 +5,12 @@
 #include "dp/ge.hpp"
 #include "dp/ge_cnc.hpp"
 #include "dp/rway.hpp"
+#include "dp/spec/specs.hpp"
 #include "dp/sw_cnc.hpp"
 #include "dp/tiled.hpp"
+#include "dp/verify/verify.hpp"
 #include "forkjoin/worker_pool.hpp"
+#include "sim/experiment.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
 
@@ -29,8 +32,27 @@ const char* to_string(backend_kind b) noexcept {
     case backend_kind::tiled: return "tiled";
     case backend_kind::dataflow: return "dataflow";
     case backend_kind::rway: return "rway";
+    case backend_kind::sim: return "sim";
   }
   return "?";
+}
+
+sim::benchmark to_sim_benchmark(benchmark_id bm) noexcept {
+  switch (bm) {
+    case benchmark_id::ge: return sim::benchmark::ge;
+    case benchmark_id::sw: return sim::benchmark::sw;
+    case benchmark_id::fw: return sim::benchmark::fw;
+  }
+  return sim::benchmark::ge;
+}
+
+sim::exec_variant sim_mode_to_exec(std::string_view mode) {
+  if (mode == "cnc") return sim::exec_variant::cnc_native;
+  if (mode == "tuner") return sim::exec_variant::cnc_tuner;
+  if (mode == "manual") return sim::exec_variant::cnc_manual;
+  if (mode == "omp") return sim::exec_variant::omp_tasking;
+  RDP_REQUIRE_MSG(false, "unknown sim mode");
+  return sim::exec_variant::cnc_native;
 }
 
 problem_ref ge_problem(matrix<double>& m) {
@@ -165,6 +187,27 @@ run_outcome run_dataflow_v(const variant& self, const problem_ref& p,
   return out;
 }
 
+/// sim:* rows join the registry so the simulated fig4–fig9 series pass
+/// through the same equivalence and verification gates as real backends:
+/// the serial reference fills the table (simulation never changes outputs,
+/// so the bit-exactness check holds trivially and meaningfully — a sim row
+/// that corrupted the table would fail it), then the DES prices the
+/// requested variant's schedule on the chosen machine profile.
+run_outcome run_sim_v(const variant& self, const problem_ref& p,
+                      const run_options& opts) {
+  run_outcome out = run_serial_v(self, p, opts);
+  const sim::machine_profile machine =
+      opts.sim_machine != nullptr ? *opts.sim_machine : sim::epyc64();
+  const sim::variant_result r =
+      sim::simulate_variant(to_sim_benchmark(p.bm), sim_mode_to_exec(self.mode),
+                            problem_size(p), opts.base, machine);
+  out.simulated = true;
+  out.sim_seconds = r.seconds;
+  out.sim_utilization = r.utilization;
+  out.sim_base_tasks = r.base_tasks;
+  return out;
+}
+
 run_outcome run_rway_v(const variant& self, const problem_ref& p,
                        const run_options& opts) {
   const std::size_t r = self.mode == "r4" ? 4 : 2;
@@ -185,7 +228,39 @@ run_outcome run_rway_v(const variant& self, const problem_ref& p,
   return {};
 }
 
+#ifndef NDEBUG
+/// Debug builds cross-check every registered spec with dp::verify_spec on a
+/// small instance the first time the registry is built, so a spec edit that
+/// breaks the depends/consumer_count/enumerate_base agreement fails at
+/// registration with a report — not mid-graph as a hang or a leak. The
+/// specs run over scratch data (verify drives gather_values destructively
+/// for value-passing specs).
+void verify_registered_specs() {
+  constexpr std::size_t n = 16, base = 4;
+  {
+    matrix<double> m(n, n, 1.0);
+    const verify_report r = verify_spec(*make_ge_spec(m, base));
+    RDP_REQUIRE_MSG(r.ok(), r.summary());
+  }
+  {
+    const std::string a(n, 'A'), b(n, 'C');
+    matrix<std::int32_t> s(n + 1, n + 1, 0);
+    const sw_params p;
+    const verify_report r = verify_spec(*make_sw_spec(s, a, b, p, base));
+    RDP_REQUIRE_MSG(r.ok(), r.summary());
+  }
+  {
+    matrix<double> m(n, n, 1.0);
+    const verify_report r = verify_spec(*make_fw_spec(m, base));
+    RDP_REQUIRE_MSG(r.ok(), r.summary());
+  }
+}
+#endif
+
 std::vector<variant> build_registry() {
+#ifndef NDEBUG
+  verify_registered_specs();
+#endif
   std::vector<variant> rows;
   for (const benchmark_id bm :
        {benchmark_id::ge, benchmark_id::sw, benchmark_id::fw}) {
@@ -207,6 +282,15 @@ std::vector<variant> build_registry() {
                     &supports_r2, &run_rway_v});
     rows.push_back({bm, backend_kind::rway, "r4", "rway:r4",  //
                     &supports_r4, &run_rway_v});
+    // Simulated schedules (fig4–fig9 series), in the paper's series order.
+    rows.push_back({bm, backend_kind::sim, "cnc", "sim:cnc",  //
+                    &supports_pow2, &run_sim_v});
+    rows.push_back({bm, backend_kind::sim, "tuner", "sim:tuner",
+                    &supports_pow2, &run_sim_v});
+    rows.push_back({bm, backend_kind::sim, "manual", "sim:manual",
+                    &supports_pow2, &run_sim_v});
+    rows.push_back({bm, backend_kind::sim, "omp", "sim:omp",  //
+                    &supports_pow2, &run_sim_v});
   }
   return rows;
 }
@@ -234,6 +318,8 @@ const variant* find_variant(benchmark_id bm, std::string_view impl) {
 std::string trace_phase_label(const variant& v) {
   if (v.backend == backend_kind::dataflow)
     return to_string(mode_to_variant(v.mode));
+  if (v.backend == backend_kind::sim)
+    return std::string("sim:") + sim::to_string(sim_mode_to_exec(v.mode));
   return std::string(v.label);
 }
 

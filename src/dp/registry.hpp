@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +25,12 @@ namespace rdp::forkjoin {
 class worker_pool;
 }
 
+namespace rdp::sim {
+enum class benchmark;
+enum class exec_variant;
+struct machine_profile;
+}  // namespace rdp::sim
+
 namespace rdp::dp {
 
 enum class benchmark_id : std::uint8_t { ge, sw, fw };
@@ -33,6 +40,9 @@ enum class backend_kind : std::uint8_t {
   tiled,     ///< blocked rounds / tile wavefronts with barriers
   dataflow,  ///< CnC graph (modes: native, tuner, manual, nonblocking)
   rway,      ///< parametric r-way recursion (modes: r2, r4)
+  sim,       ///< discrete-event simulated schedule (modes: cnc, tuner,
+             ///< manual, omp); the table itself is computed by the serial
+             ///< reference so outputs stay bit-identical
 };
 
 const char* to_string(benchmark_id b) noexcept;
@@ -66,12 +76,22 @@ struct run_options {
   forkjoin::worker_pool* pool = nullptr;
   /// compute_on tile pinning (data-flow GE only; ignored elsewhere).
   bool pin_tiles = false;
+  /// Machine profile for sim:* rows; when null they price the schedule on
+  /// sim::epyc64(). Ignored by every real backend.
+  const sim::machine_profile* sim_machine = nullptr;
 };
 
 struct run_outcome {
   /// True when `info` carries data-flow run counters.
   bool used_dataflow = false;
   cnc_run_info info{};
+  /// True for sim:* rows: the table was filled by the serial reference
+  /// (simulation never changes outputs) and the fields below carry the
+  /// discrete-event prediction for the requested variant.
+  bool simulated = false;
+  double sim_seconds = 0;       ///< predicted wall-clock
+  double sim_utilization = 0;   ///< busy / (cores × makespan)
+  std::uint64_t sim_base_tasks = 0;
 };
 
 /// One runnable registry entry.
@@ -86,7 +106,9 @@ struct variant {
                      const run_options& opts);
 };
 
-/// All registered variants (3 benchmarks × 9 backend[:mode] entries).
+/// All registered variants (3 benchmarks × 13 backend[:mode] entries).
+/// Debug builds cross-check every spec with dp::verify_spec on a small
+/// instance the first time this is called (see registry.cpp).
 const std::vector<variant>& registry();
 
 /// The registry rows of one benchmark, in registration order.
@@ -101,8 +123,16 @@ const variant* find_variant(benchmark_id bm, std::string_view impl);
 std::string impl_help();
 
 /// Display name of a variant for obs/trace phase labels. Data-flow rows
-/// keep the paper's series names ("CnC", "CnC_tuner", ...); every other
-/// backend is labelled by its registry label.
+/// keep the paper's series names ("CnC", "CnC_tuner", ...); sim rows get
+/// "sim:" + the simulator's series name; every other backend is labelled
+/// by its registry label.
 std::string trace_phase_label(const variant& v);
+
+/// Map a sim:* row's mode string ("cnc", "tuner", "manual", "omp") onto
+/// the simulator's execution variant. Throws contract_error otherwise.
+sim::exec_variant sim_mode_to_exec(std::string_view mode);
+
+/// The simulator's benchmark enum for a registry benchmark.
+sim::benchmark to_sim_benchmark(benchmark_id bm) noexcept;
 
 }  // namespace rdp::dp

@@ -92,6 +92,9 @@ class fw_spec final : public recurrence {
     }
   }
 
+  /// D tasks carry the widest fan-in: round-(K-1) snapshot + C + B reads.
+  std::size_t max_dependencies() const override { return 3; }
+
   /// Exact consumer count of the snapshot produced for key t (seed keys
   /// have k == -1). Every non-final snapshot feeds its round-(k+1)
   /// successor; pivot-round outputs additionally feed the round's readers

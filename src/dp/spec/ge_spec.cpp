@@ -91,6 +91,9 @@ class ge_spec final : public recurrence {
     }
   }
 
+  /// D tasks carry the widest fan-in: write-write + A + B + C reads.
+  std::size_t max_dependencies() const override { return 4; }
+
   /// Exact consumer count of each output item (get-count GC):
   ///   A(K,K,K): (T-1-K) B readers + (T-1-K) C readers + (T-1-K)^2 D readers
   ///   B(K,J,K): (T-1-K) D readers;  C(I,K,K): (T-1-K) D readers

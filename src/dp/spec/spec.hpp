@@ -12,8 +12,10 @@
 //     order equals the data-flow tag emission order, so one plan drives
 //     serial execution, task_group spawn/wait AND recursive CnC tag
 //     expansion. (This equality is a property of the A/B/C/D and wavefront
-//     decompositions, checked case-by-case against the retired
-//     hand-written code — see DESIGN.md §10.)
+//     decompositions — checked mechanically by dp::verify_spec
+//     (dp/verify/verify.hpp), which walks split() from root() and requires
+//     the flattened order to satisfy every depends() edge and each stage's
+//     children to be mutually independent; see DESIGN.md §11.)
 //   * the true-dependency function of a base tile (the depends() logic
 //     formerly buried in each *_cnc.cpp), emitted in the exact get order
 //     of the retired implementations: write-write predecessor first, then
@@ -88,6 +90,13 @@ constexpr const char* to_string(structure_kind s) {
   return "?";
 }
 
+/// Hard capacity executors may size fixed per-step dependency buffers
+/// from. A spec whose max_dependencies() exceeds this is rejected when the
+/// data-flow graph is built (and by dp::verify_spec) — recurrences with
+/// unbounded fan-in (Parenthesization-class, >O(1) dependencies per tile)
+/// need a different lowering, not a silently-overflowing buffer.
+inline constexpr std::size_t max_dependency_capacity = 8;
+
 /// The staged children of one non-base tag. Children within a stage are
 /// independent (fork-join runs them under one task_group); stages run in
 /// order. FW's funcA has the most stages (6) and children (8).
@@ -100,10 +109,15 @@ struct split_plan {
   std::uint8_t child_count = 0;
   std::uint8_t stage_count = 0;
 
-  /// Append one stage of independent children.
+  /// Append one stage of independent children. Always-on bounds check:
+  /// split() input comes from spec implementations outside this file, and a
+  /// Release-compiled-out check here is the exact silent-corruption pattern
+  /// the dep_list overflow shipped with (a 9th child would overwrite
+  /// stage_end and scramble every later stage boundary).
   void stage(std::initializer_list<tile4> ts) {
-    RDP_ASSERT(stage_count < max_stages &&
-               child_count + ts.size() <= max_children);
+    RDP_REQUIRE_MSG(stage_count < max_stages &&
+                        child_count + ts.size() <= max_children,
+                    "split_plan overflow: too many stages or children");
     for (const tile4& t : ts) children[child_count++] = t;
     stage_end[stage_count++] = child_count;
   }
@@ -196,6 +210,16 @@ class recurrence {
   /// data-flow base step performs its gets: the write-write predecessor of
   /// this tile first, then the read dependencies.
   virtual void depends(const tile3& t, const dep_sink& need) const = 0;
+
+  /// Upper bound on how many keys depends() may emit for one base tile.
+  /// Executors size per-step dependency buffers from this instead of a
+  /// hard-coded literal; dp::verify_spec checks the observed maximum fan-in
+  /// never exceeds it, and the data-flow lowering rejects a spec whose
+  /// bound exceeds max_dependency_capacity at graph build. The default is
+  /// the historical 4 (GE's D kind: write-write + A + B + C), so a future
+  /// wider spec must declare itself or fail with a clear message instead of
+  /// corrupting a ready count mid-graph.
+  virtual std::size_t max_dependencies() const { return 4; }
 
   /// Exact number of gets that will consume the item produced for t
   /// (get-count garbage collection). 0 means "keep forever" — used for the

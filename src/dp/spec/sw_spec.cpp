@@ -50,6 +50,9 @@ class sw_spec final : public recurrence {
     if (t.j > 0) need({t.i, t.j - 1, 0});
   }
 
+  /// At most the three wavefront neighbours (north-west, north, west).
+  std::size_t max_dependencies() const override { return 3; }
+
   /// Consumers of tile (I,J): its east, south and south-east neighbours
   /// (those inside the tiling). Zero (the bottom-right tile) keeps it.
   std::uint32_t consumer_count(const tile3& t) const override {

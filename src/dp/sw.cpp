@@ -15,7 +15,8 @@ namespace rdp::dp {
 void sw_base_kernel(std::int32_t* s, std::size_t ld, std::string_view a,
                     std::string_view b, const sw_params& p, std::size_t i0,
                     std::size_t j0, std::size_t bsz) {
-  RDP_ASSERT(i0 + bsz <= a.size() && j0 + bsz <= b.size());
+  RDP_REQUIRE_MSG(i0 + bsz <= a.size() && j0 + bsz <= b.size(),
+                  "base tile exceeds the sequences");
   for (std::size_t i = i0 + 1; i <= i0 + bsz; ++i) {
     const char ai = a[i - 1];
     const std::int32_t* above = s + (i - 1) * ld;

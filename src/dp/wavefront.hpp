@@ -66,7 +66,10 @@ public:
   /// Fill one tile: rows [i0+1, i0+1+bi), cols [j0+1, j0+1+bj).
   void fill_tile(std::size_t i0, std::size_t j0, std::size_t bi,
                  std::size_t bj) {
-    RDP_ASSERT(i0 + bi <= rows_ && j0 + bj <= cols_);
+    // Spec-boundary input: tiles arrive from the adapter's split rule,
+    // so the bounds check stays on in Release (see DESIGN.md §11).
+    RDP_REQUIRE_MSG(i0 + bi <= rows_ && j0 + bj <= cols_,
+                    "tile exceeds the table");
     for (std::size_t i = i0 + 1; i <= i0 + bi; ++i)
       for (std::size_t j = j0 + 1; j <= j0 + bj; ++j)
         table_(i, j) = cell_(table_(i - 1, j - 1), table_(i - 1, j),
@@ -130,6 +133,8 @@ private:
       if (t.i > 0) need({t.i - 1, t.j, 0});
       if (t.j > 0) need({t.i, t.j - 1, 0});
     }
+
+    std::size_t max_dependencies() const override { return 3; }
 
     std::uint32_t consumer_count(const tile3& t) const override {
       const auto n_tiles = static_cast<std::int32_t>(p.rows_ / base_sz);

@@ -63,12 +63,23 @@ struct df_context : cnc::context<df_context<Value>> {
   cnc::tag_collection<dp::tile4> tags;
   cnc::item_collection<dp::tile3, Value> items;
 
+  /// Per-spec dependency fan-in bound, checked once against the fixed
+  /// buffer capacity at graph build (see dep_list below).
+  std::size_t max_deps = 0;
+
   df_context(dp::recurrence& r, cnc::schedule_policy policy, unsigned workers)
       : cnc::context<df_context<Value>>(workers), rec(r),
         steps(*this, std::string(r.name()) + "_step", df_step<Value>{},
               policy),
         tags(*this, std::string(r.name()) + "_tags", false),
-        items(*this, std::string(r.name()) + "_items") {
+        items(*this, std::string(r.name()) + "_items"),
+        max_deps(r.max_dependencies()) {
+    RDP_REQUIRE_MSG(
+        max_deps <= dp::max_dependency_capacity,
+        std::string(r.name()) +
+            ": max_dependencies() exceeds the executor dependency-buffer "
+            "capacity (dp::max_dependency_capacity) — this recurrence "
+            "class needs a wider lowering");
     tags.prescribe(steps);
   }
 
@@ -77,13 +88,21 @@ struct df_context : cnc::context<df_context<Value>> {
   }
 };
 
-/// Up to 4 dependency keys per base task (GE's D kind: the write-write
-/// predecessor plus the A, B and C pivot reads).
+/// Dependency keys of one base task. Capacity comes from the spec layer
+/// (dp::max_dependency_capacity), the enforced bound from the spec itself
+/// (recurrence::max_dependencies(), cross-checked against the real fan-in
+/// by dp::verify_spec) — this used to be a hard-coded 4, and a spec that
+/// outgrew it silently corrupted the step's ready count in Release.
 struct dep_list {
-  dp::tile3 keys[4];
+  dp::tile3 keys[dp::max_dependency_capacity];
   std::size_t count = 0;
+  std::size_t limit;
+
+  explicit dep_list(std::size_t lim) : limit(lim) {}
   void operator()(const dp::tile3& k) {
-    RDP_REQUIRE(count < 4);
+    RDP_REQUIRE_MSG(count < limit,
+                    "base task emits more dependency keys than the spec's "
+                    "max_dependencies() declares");
     keys[count++] = k;
   }
 };
@@ -99,13 +118,20 @@ int df_step<Value>::execute(const dp::tile4& t,
   }
 
   const dp::tile3 coord{t.i, t.j, t.k};
-  dep_list deps;
+  dep_list deps(ctx.max_deps);
   ctx.rec.depends(coord, dp::dep_sink(deps));
 
-  Value vals[4] = {};
+  Value vals[dp::max_dependency_capacity] = {};
   if (ctx.nonblocking) {
     // Poll every input in order, short-circuiting on the first miss, and
-    // requeue this tag through the scheduler's FIFO path when unready.
+    // requeue this tag through the scheduler's FIFO path when unready. A
+    // respawned attempt re-polls inputs that already hit earlier — safe
+    // for get-count accounting only because try_get never consumes a
+    // declared get (item_collection counts blocking gets exclusively) AND
+    // ctx.collect is never enabled for this variant (see run_df); either
+    // property alone prevents a retry from double-decrementing a consumer
+    // count and freeing an item early.
+    RDP_ASSERT(!ctx.collect);
     bool ready = true;
     for (std::size_t d = 0; ready && d < deps.count; ++d)
       ready = ctx.items.try_get(deps.keys[d], vals[d]);

@@ -465,6 +465,27 @@ TEST(Cnc, GetCountZeroMeansKeepForever) {
   EXPECT_TRUE(ctx.data.contains(0));
 }
 
+TEST(Cnc, TryGetNeverConsumesDeclaredGets) {
+  // The nonblocking data-flow variant re-polls inputs it already saw every
+  // time a respawned step runs again; that is only safe for get-count
+  // accounting because try_get is count-neutral (exec/dataflow.cpp relies
+  // on this — a counting poll would double-decrement and free items early).
+  gc_ctx ctx;
+  ctx.data.put(0, 42, /*get_count=*/2);
+  int v = 0;
+  for (int poll = 0; poll < 8; ++poll) {
+    v = 0;
+    EXPECT_TRUE(ctx.data.try_get(0, v));
+    EXPECT_EQ(v, 42);
+  }
+  EXPECT_TRUE(ctx.data.contains(0));  // eight polls consumed nothing
+  ctx.data.get(0, v);
+  EXPECT_TRUE(ctx.data.contains(0));  // one declared get left
+  ctx.data.get(0, v);
+  EXPECT_FALSE(ctx.data.contains(0));  // the second counted get collects
+  ctx.wait();
+}
+
 TEST(Cnc, EnvironmentGetsCountTowardsCollection) {
   gc_ctx ctx;
   ctx.data.put(0, 7, /*get_count=*/2);

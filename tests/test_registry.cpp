@@ -67,26 +67,37 @@ void check_point(benchmark_id bm, const problem_ref& prob,
       // Data-flow rows must have actually built a CnC graph.
       EXPECT_GT(outcome.info.stats.steps_executed, 0u) << v->label;
     }
+    if (v->backend == backend_kind::sim) {
+      // sim rows fill the table via the serial reference (checked above)
+      // and must carry a non-trivial discrete-event prediction.
+      EXPECT_TRUE(outcome.simulated) << v->label;
+      EXPECT_GT(outcome.sim_seconds, 0.0) << v->label;
+      EXPECT_GT(outcome.sim_base_tasks, 0u) << v->label;
+    } else {
+      EXPECT_FALSE(outcome.simulated) << v->label;
+    }
     ++ran;
   }
-  // serial + forkjoin + tiled + 4 dataflow modes + rway:r2 always apply on
-  // a power-of-two sweep point; rway:r4 joins when n/base is a power of 4.
-  EXPECT_GE(ran, 7u) << "registry lost variants at n=" << n
-                     << ", base=" << opts.base;
+  // serial + forkjoin + tiled + 4 dataflow modes + rway:r2 + 4 sim modes
+  // always apply on a power-of-two sweep point; rway:r4 joins when n/base
+  // is a power of 4.
+  EXPECT_GE(ran, 11u) << "registry lost variants at n=" << n
+                      << ", base=" << opts.base;
 }
 
 TEST(RegistryShape, AdvertisesEveryBackendPerBenchmark) {
   for (benchmark_id bm : {benchmark_id::ge, benchmark_id::sw,
                           benchmark_id::fw}) {
     const auto rows = variants_for(bm);
-    ASSERT_EQ(rows.size(), 9u) << to_string(bm);
+    ASSERT_EQ(rows.size(), 13u) << to_string(bm);
     // Labels resolve back to their own row, and are unique per benchmark.
     for (const variant* v : rows)
       EXPECT_EQ(find_variant(bm, v->label), v) << v->label;
   }
-  EXPECT_EQ(registry().size(), 27u);
+  EXPECT_EQ(registry().size(), 39u);
   EXPECT_EQ(find_variant(benchmark_id::ge, "no-such-backend"), nullptr);
   EXPECT_NE(impl_help().find("dataflow:tuner"), std::string::npos);
+  EXPECT_NE(impl_help().find("sim:omp"), std::string::npos);
 }
 
 TEST(RegistryEquivalence, GeAllVariantsMatchSerial) {

@@ -1,0 +1,388 @@
+// Tests for the spec consistency validator (dp/verify).
+//
+// Two halves:
+//   * positive — every real spec verifies clean across the (n, base) sweep,
+//     with the graph statistics the specs are known to produce;
+//   * negative — mutant specs, each wrapping the real GE spec with exactly
+//     one seeded inconsistency, must be rejected with the *right* failure
+//     kind. A validator that flags mutants for the wrong reason would pass
+//     a weaker version of these tests, so each mutant asserts its specific
+//     kind, not just !ok().
+//
+// The file also carries the get-count accounting regressions for the
+// data-flow variants (which modes may garbage-collect items, and what must
+// stay live), since verify_spec's consumer-count check is only meaningful
+// if the executors honour the counted semantics.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dp/dp.hpp"
+#include "support/math_utils.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace rdp;
+using namespace rdp::dp;
+
+// ------------------------------------------------------------ positives ----
+
+verify_report verify_ge(std::size_t n, std::size_t base,
+                        verify_options opts = {}) {
+  matrix<double> m(n, n, 1.0);
+  return verify_spec(*make_ge_spec(m, base), opts);
+}
+
+TEST(SpecVerify, AllSpecsConsistentAcrossSweep) {
+  for (const std::size_t n : {16u, 32u, 64u}) {
+    for (std::size_t base = 4; base <= n; base *= 2) {
+      {
+        const verify_report r = verify_ge(n, base);
+        EXPECT_TRUE(r.ok()) << r.summary();
+        EXPECT_EQ(r.base_tasks, r.items_produced);  // GE: no env seeds
+        EXPECT_LE(r.max_fan_in, r.declared_max_fan_in) << r.summary();
+      }
+      {
+        const std::string a(n, 'A'), c(n, 'C');
+        const sw_params p;
+        matrix<std::int32_t> s(n + 1, n + 1, 0);
+        const verify_report r = verify_spec(*make_sw_spec(s, a, c, p, base));
+        EXPECT_TRUE(r.ok()) << r.summary();
+        EXPECT_EQ(r.base_tasks, n / base * (n / base));
+      }
+      {
+        matrix<double> m(n, n, 1.0);
+        const verify_report r = verify_spec(*make_fw_spec(m, base));
+        EXPECT_TRUE(r.ok()) << r.summary();
+        // FW is value-passing: the environment seeds the round -1 tiles
+        // and gathers the final round.
+        EXPECT_EQ(r.environment_seeds, n / base * (n / base));
+        EXPECT_EQ(r.environment_gets, n / base * (n / base));
+      }
+    }
+  }
+}
+
+TEST(SpecVerify, NonPow2TiledConfigVerifiesWithSplitDisabled) {
+  // n=96 is divisible by pow2 bases but not itself a power of two: only the
+  // tiled backend runs it, and the 2-way split rule does not apply. The
+  // graph-side checks (edges, counts, orphans) still do.
+  verify_options opts;
+  opts.check_split = false;
+  const verify_report r = verify_ge(96, 8, opts);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_GT(r.dependency_edges, 0u);
+}
+
+TEST(SpecVerify, ReportStatisticsMatchKnownGeGraph) {
+  // GE at n=16, base=4 has T=4 tile rounds: 30 base tasks, fan-in 4 (the D
+  // kind: write-write predecessor + A + B + C), one final item kept.
+  const verify_report r = verify_ge(16, 4);
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.base_tasks, 30u);
+  EXPECT_EQ(r.items_produced, 30u);
+  EXPECT_EQ(r.max_fan_in, 4u);
+  EXPECT_EQ(r.declared_max_fan_in, 4u);
+  EXPECT_EQ(r.spec_name, "GE");
+  EXPECT_NE(r.summary().find("OK"), std::string::npos);
+}
+
+// -------------------------------------------------------------- mutants ----
+
+/// Forwarding decorator over a real spec: each mutant overrides exactly one
+/// hook to plant one inconsistency, so the expected failure kind is
+/// unambiguous.
+class spec_mutant : public recurrence {
+ public:
+  explicit spec_mutant(std::unique_ptr<recurrence> inner)
+      : inner_(std::move(inner)) {}
+
+  const char* name() const override { return inner_->name(); }
+  structure_kind structure() const override { return inner_->structure(); }
+  std::size_t size() const override { return inner_->size(); }
+  std::size_t base() const override { return inner_->base(); }
+  split_plan split(const tile4& t) const override { return inner_->split(t); }
+  void depends(const tile3& t, const dep_sink& need) const override {
+    inner_->depends(t, need);
+  }
+  std::size_t max_dependencies() const override {
+    return inner_->max_dependencies();
+  }
+  std::uint32_t consumer_count(const tile3& t) const override {
+    return inner_->consumer_count(t);
+  }
+  void enumerate_base(const tag_sink& emit) const override {
+    inner_->enumerate_base(emit);
+  }
+  void run_base(const tile4& t) override { inner_->run_base(t); }
+
+ protected:
+  std::unique_ptr<recurrence> inner_;
+};
+
+/// A GE base tile whose output is consumed at least once (so dropping an
+/// edge or miscounting it is observable): the first round's A tile.
+constexpr tile3 k_victim{0, 0, 0};
+
+std::unique_ptr<recurrence> ge16() {
+  static matrix<double> m(16, 16, 1.0);  // verify never runs kernels
+  return make_ge_spec(m, 4);
+}
+
+/// Drops every dependency edge pointing at the victim item. The victim's
+/// consumer_count still declares the old out-degree, so get-count GC would
+/// wait for gets that never come: a leak the validator must report as a
+/// consumer-count mismatch.
+struct missing_edge_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  void depends(const tile3& t, const dep_sink& need) const override {
+    auto filter = [&](const tile3& k) {
+      if (!(k == k_victim)) need(k);
+    };
+    dep_sink sink(filter);
+    inner_->depends(t, sink);
+  }
+};
+
+TEST(SpecVerifyMutants, MissingDependencyEdgeIsCaught) {
+  missing_edge_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has(verify_failure_kind::consumer_count_mismatch))
+      << r.summary();
+}
+
+/// Declares one extra consumer for the victim: GC keeps the item past its
+/// real last get (leak).
+struct overcount_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  std::uint32_t consumer_count(const tile3& t) const override {
+    return inner_->consumer_count(t) + (t == k_victim ? 1 : 0);
+  }
+};
+
+/// Declares one consumer too few: GC frees the item while a counted get is
+/// still outstanding (use-after-free).
+struct undercount_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  std::uint32_t consumer_count(const tile3& t) const override {
+    const std::uint32_t real = inner_->consumer_count(t);
+    return t == k_victim && real > 0 ? real - 1 : real;
+  }
+};
+
+TEST(SpecVerifyMutants, OverAndUnderCountedConsumersAreCaught) {
+  {
+    overcount_mutant mutant(ge16());
+    const verify_report r = verify_spec(mutant);
+    EXPECT_TRUE(r.has(verify_failure_kind::consumer_count_mismatch))
+        << r.summary();
+    EXPECT_EQ(r.count(verify_failure_kind::consumer_count_mismatch), 1u);
+  }
+  {
+    undercount_mutant mutant(ge16());
+    const verify_report r = verify_spec(mutant);
+    EXPECT_TRUE(r.has(verify_failure_kind::consumer_count_mismatch))
+        << r.summary();
+  }
+}
+
+/// Emits the first base tag twice: manual pre-declaration would run the
+/// step twice and hit a dynamic-single-assignment violation on its put.
+struct duplicate_tag_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  void enumerate_base(const tag_sink& emit) const override {
+    bool first = true;
+    tile4 dup{};
+    auto dup_sink = [&](const tile4& t) {
+      if (first) {
+        dup = t;
+        first = false;
+      }
+      emit(t);
+    };
+    tag_sink sink(dup_sink);
+    inner_->enumerate_base(sink);
+    if (!first) emit(dup);
+  }
+};
+
+TEST(SpecVerifyMutants, DuplicateBaseTagIsCaught) {
+  duplicate_tag_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_TRUE(r.has(verify_failure_kind::duplicate_base_tag)) << r.summary();
+}
+
+/// Adds a dependency on a key nothing produces: a blocking get parks
+/// forever, the nonblocking variant respawns forever.
+struct orphan_dep_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  void depends(const tile3& t, const dep_sink& need) const override {
+    inner_->depends(t, need);
+    if (t == k_victim) need({t.i, t.j, 99});
+  }
+};
+
+TEST(SpecVerifyMutants, UnproducedDependencyKeyIsCaught) {
+  orphan_dep_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_TRUE(r.has(verify_failure_kind::unproduced_dependency))
+      << r.summary();
+}
+
+/// Drops the last stage of the root's split: part of the enumerate_base set
+/// becomes unreachable from root().
+struct dropped_stage_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  split_plan split(const tile4& t) const override {
+    split_plan plan = inner_->split(t);
+    if (static_cast<std::size_t>(t.b) == size() && plan.stage_count > 1) {
+      split_plan clipped;
+      clipped.children = plan.children;
+      clipped.stage_count = static_cast<std::uint8_t>(plan.stage_count - 1);
+      for (std::size_t s = 0; s < clipped.stage_count; ++s)
+        clipped.stage_end[s] = plan.stage_end[s];
+      clipped.child_count = plan.stage_end[clipped.stage_count - 1];
+      return clipped;
+    }
+    return plan;
+  }
+};
+
+TEST(SpecVerifyMutants, DroppedSplitStageIsCaught) {
+  dropped_stage_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_TRUE(r.has(verify_failure_kind::split_base_mismatch)) << r.summary();
+}
+
+/// Swaps the first two stages of the root split: the flattened order now
+/// runs dependents before their producers.
+struct swapped_stage_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  split_plan split(const tile4& t) const override {
+    split_plan plan = inner_->split(t);
+    if (static_cast<std::size_t>(t.b) != size() || plan.stage_count < 2)
+      return plan;
+    split_plan swapped;
+    const std::size_t s0_end = plan.stage_end[0];
+    const std::size_t s1_end = plan.stage_end[1];
+    // Stage 1's children first, then stage 0's, then the rest unchanged.
+    std::vector<tile4> order;
+    for (std::size_t c = s0_end; c < s1_end; ++c)
+      order.push_back(plan.children[c]);
+    const std::size_t new_s0_end = order.size();
+    for (std::size_t c = 0; c < s0_end; ++c) order.push_back(plan.children[c]);
+    for (std::size_t c = s1_end; c < plan.child_count; ++c)
+      order.push_back(plan.children[c]);
+    for (std::size_t i = 0; i < order.size(); ++i)
+      swapped.children[i] = order[i];
+    swapped.child_count = plan.child_count;
+    swapped.stage_count = plan.stage_count;
+    swapped.stage_end = plan.stage_end;
+    swapped.stage_end[0] = static_cast<std::uint8_t>(new_s0_end);
+    return swapped;
+  }
+};
+
+TEST(SpecVerifyMutants, SwappedSplitStagesAreCaught) {
+  swapped_stage_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_TRUE(r.has(verify_failure_kind::stage_order_violation))
+      << r.summary();
+}
+
+/// Understates the dependency bound executors size buffers from (the
+/// shipped dep_list overflow: GE D tiles emit 4 keys).
+struct narrow_fanin_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  std::size_t max_dependencies() const override { return 2; }
+};
+
+TEST(SpecVerifyMutants, FanInExceedingDeclaredBoundIsCaught) {
+  narrow_fanin_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_TRUE(r.has(verify_failure_kind::fan_in_exceeds_declared))
+      << r.summary();
+  const verify_report clean = verify_spec(*ge16());
+  EXPECT_FALSE(clean.has(verify_failure_kind::fan_in_exceeds_declared));
+}
+
+TEST(SpecVerifyMutants, IssueListTruncatesButKeepsStatistics) {
+  // Overstate every count: one mismatch per produced item, far over a
+  // 4-issue cap. The statistics must still cover the whole graph.
+  struct all_wrong_mutant : spec_mutant {
+    using spec_mutant::spec_mutant;
+    std::uint32_t consumer_count(const tile3& t) const override {
+      return inner_->consumer_count(t) + 7;
+    }
+  };
+  all_wrong_mutant mutant(ge16());
+  verify_options opts;
+  opts.max_issues = 4;
+  const verify_report r = verify_spec(mutant, opts);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_EQ(r.issues.size(), 4u);
+  EXPECT_EQ(r.base_tasks, 30u);
+  EXPECT_NE(r.summary().find("4+ issue(s)"), std::string::npos)
+      << r.summary();
+}
+
+// ------------------------------------------- get-count GC regressions ----
+
+/// Which items may stay live after a data-flow run is a direct consequence
+/// of the consumer counts verify_spec checks: the single-execution tuners
+/// garbage-collect every item whose declared gets all happen, while the
+/// native/nonblocking modes never enable collection (abort/re-execute and
+/// poll-retry would double-count gets).
+TEST(SpecVerifyRuntime, GetCountCollectionMatchesCountedConsumers) {
+  const std::size_t n = 32, base = 8;
+  xoshiro256 gen(7);
+  run_options opts;
+  opts.base = base;
+  opts.workers = 3;
+
+  const auto input = make_diag_dominant(n, gen.next());
+  {
+    // Tuner (GC on): everything is reclaimed except GE's one count-0 item
+    // (the final A output, declared "keep forever").
+    auto m = input;
+    const variant* v = find_variant(benchmark_id::ge, "dataflow:tuner");
+    ASSERT_NE(v, nullptr);
+    const run_outcome out = v->run(*v, ge_problem(m), opts);
+    EXPECT_EQ(out.info.items_live_at_end, 1u);
+  }
+  {
+    // Nonblocking (GC off): every base task's item stays live — a
+    // double-decrement from respawned steps re-polling try_get would have
+    // collected some of them.
+    auto m = input;
+    const variant* v =
+        find_variant(benchmark_id::ge, "dataflow:nonblocking");
+    ASSERT_NE(v, nullptr);
+    const run_outcome out = v->run(*v, ge_problem(m), opts);
+    matrix<double> expect_table = input;
+    ge_rdp_serial(expect_table, base);
+    EXPECT_EQ(m, expect_table);
+    const verify_report rep = verify_ge(n, base);
+    EXPECT_EQ(out.info.items_live_at_end, rep.base_tasks);
+  }
+  {
+    // FW tuner: value-passing with environment gather gets counted, so
+    // every single item (seeds included) is reclaimed.
+    auto fw_input = make_digraph(n, 0.3, 5, 1e9);
+    for (std::size_t i = 0; i < fw_input.size(); ++i)
+      fw_input.data()[i] = static_cast<double>(
+          static_cast<long long>(fw_input.data()[i]));
+    const variant* v = find_variant(benchmark_id::fw, "dataflow:tuner");
+    ASSERT_NE(v, nullptr);
+    const run_outcome out = v->run(*v, fw_problem(fw_input), opts);
+    EXPECT_EQ(out.info.items_live_at_end, 0u);
+  }
+}
+
+}  // namespace
