@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Metrics-overhead gate: compare two micro_runtimes JSON outputs.
+
+    check_overhead.py BASE.json CAND.json [BASE2.json CAND2.json ...]
+                      [--tol=0.02]
+
+BASELINE is the metrics-compiled-out build (-DRDP_METRICS=OFF), CANDIDATE
+the default build with the always-on metrics substrate. Benchmarks are
+matched by name; per-benchmark overhead is (candidate - baseline)/baseline
+on the MINIMUM real time across repetitions. The minimum, not the median:
+on a shared CI runner individual repetitions absorb scheduler interference
+worth far more than the substrate costs, and that interference is strictly
+additive — the fastest repetition is the least-disturbed measurement of
+the actual code. The gate is then on the geometric mean of the
+per-benchmark time ratios, which damps whatever jitter survives.
+
+Machine state also drifts *between* whole-process runs (frequency
+scaling, a neighbour's build job), so the recommended protocol is
+interleaved rounds — off, on, off, on — passed as alternating
+BASE/CAND path pairs; each side takes its minimum across rounds.
+
+Exit codes: 0 within tolerance, 1 overhead above tolerance, 2 usage/IO.
+"""
+
+import json
+import math
+import sys
+
+
+def load_times(path):
+    """benchmark name -> fastest real time (ns) across repetitions."""
+    with open(path) as f:
+        doc = json.load(f)
+    plain, medians = {}, {}
+    for b in doc.get("benchmarks", []):
+        name = b.get("run_name", b["name"])
+        if b.get("run_type") == "aggregate":
+            if b.get("aggregate_name") == "median":
+                medians[name] = float(b["real_time"])
+        else:
+            # Several repetitions share one run_name: keep the minimum.
+            t = float(b["real_time"])
+            plain[name] = min(t, plain.get(name, t))
+    # Median aggregates are only the fallback for aggregates-only output.
+    out = dict(medians)
+    out.update(plain)
+    return out
+
+
+def main(argv):
+    tol = 0.02
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--tol="):
+            tol = float(arg.split("=", 1)[1])
+        elif arg.startswith("-"):
+            print(__doc__, file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) < 2 or len(paths) % 2 != 0:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    def merge_min(acc, times):
+        for name, t in times.items():
+            acc[name] = min(t, acc.get(name, t))
+        return acc
+
+    base, cand = {}, {}
+    try:
+        for i in range(0, len(paths), 2):
+            merge_min(base, load_times(paths[i]))
+            merge_min(cand, load_times(paths[i + 1]))
+    except (OSError, ValueError, KeyError) as e:
+        print(f"check_overhead: {e}", file=sys.stderr)
+        return 2
+
+    common = sorted(set(base) & set(cand))
+    if not common:
+        print("check_overhead: no common benchmarks", file=sys.stderr)
+        return 2
+
+    log_sum = 0.0
+    print(f"{'benchmark':<44} {'off(ns)':>12} {'on(ns)':>12} {'delta':>8}")
+    for name in common:
+        ratio = cand[name] / base[name]
+        log_sum += math.log(ratio)
+        print(f"{name:<44} {base[name]:>12.1f} {cand[name]:>12.1f} "
+              f"{(ratio - 1) * 100:>+7.2f}%")
+    gmean = math.exp(log_sum / len(common))
+    overhead = gmean - 1.0
+    print(f"\ngeometric-mean overhead over {len(common)} benchmark(s): "
+          f"{overhead * 100:+.2f}% (tolerance {tol * 100:.1f}%)")
+    if overhead > tol:
+        print("FAIL: metrics overhead exceeds tolerance", file=sys.stderr)
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,7 +16,9 @@
 #include "forkjoin/worker_pool.hpp"
 #include "obs/analyze.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "obs/perf_counters.hpp"
+#include "obs/report.hpp"
 #include "obs/sampler.hpp"
 #include "obs/summary.hpp"
 #include "obs/tracer.hpp"
@@ -149,12 +151,32 @@ void run_on_pool(forkjoin::worker_pool& pool, Fn&& fn) {
 struct trace_options {
   std::string chrome_path;  // --trace: Chrome trace_event JSON
   std::string raw_path;     // --trace-raw: lossless format for trace_analyze
+  std::string report_path;  // --report: structured run-report JSON
   std::string base;         // --base: integer | "auto" | "" (figure default)
   std::string impls;        // --impl: comma-separated registry labels
   bool counters = false;    // --counters: per-phase PMU readings
   bool analyze = false;     // --analyze: in-process work/span analysis
+  int reps = 3;             // --reps: wall-clock repetitions per report entry
   unsigned workers = 4;
 };
+
+/// perf_sample → the report's PMU block (values plus per-event validity).
+obs::report_pmu to_report_pmu(obs::perf_backend backend,
+                              const obs::perf_sample& s) {
+  obs::report_pmu p;
+  p.backend = to_string(backend);
+  p.cycles = s.cycles.value;
+  p.cycles_valid = s.cycles.valid;
+  p.instructions = s.instructions.value;
+  p.instructions_valid = s.instructions.valid;
+  p.l1d_misses = s.l1d_misses.value;
+  p.l1d_valid = s.l1d_misses.valid;
+  p.llc_misses = s.llc_misses.value;
+  p.llc_valid = s.llc_misses.valid;
+  p.task_clock_ns = s.task_clock_ns.value;
+  p.task_clock_valid = s.task_clock_ns.valid;
+  return p;
+}
 
 /// The phases a --trace capture runs when --impl is not given: the paper's
 /// fork-join vs Native-CnC vs Tuner-CnC comparison.
@@ -191,11 +213,19 @@ std::vector<const dp::variant*> resolve_impls(dp::benchmark_id bm,
 /// paper's series names). Pool-backed backends get their own pool so the
 /// trace shows worker-local spawns and steals; the data-flow/serial rows
 /// run on the context's own threads.
+///
+/// With `report` != nullptr each variant also becomes one report_entry:
+/// the metrics registry is reset before the phase and snapshotted after,
+/// the body runs `reps` times (reset between repetitions) with per-rep
+/// wall clocks, and the phase's PMU reading and tracer drop delta ride
+/// along. Without a report the body runs once, exactly as before.
 void run_trace_phases(const std::vector<const dp::variant*>& phases,
                       const std::string& tag, std::size_t base,
                       unsigned workers, counter_log* pmu,
                       const std::function<void()>& reset,
-                      const dp::problem_ref& prob) {
+                      const dp::problem_ref& prob,
+                      const std::string& bench_name, int reps,
+                      obs::run_report* report) {
   const std::size_t n = dp::problem_size(prob);
   for (const dp::variant* v : phases) {
     if (!v->supports(n, base)) {
@@ -203,7 +233,6 @@ void run_trace_phases(const std::vector<const dp::variant*>& phases,
                 << n << ", base=" << base << ")\n";
       continue;
     }
-    reset();
     dp::run_options ropt;
     ropt.base = base;
     ropt.workers = workers;
@@ -211,15 +240,46 @@ void run_trace_phases(const std::vector<const dp::variant*>& phases,
     const bool pool_backed = v->backend == dp::backend_kind::forkjoin ||
                              v->backend == dp::backend_kind::tiled ||
                              v->backend == dp::backend_kind::rway;
+
+    const int rep_count = report != nullptr && reps > 1 ? reps : 1;
+    std::vector<double> wall;
+    const std::uint64_t dropped_before = obs::tracer::instance().dropped();
+    if (report != nullptr) obs::metrics_registry::instance().reset();
+    // Per-repetition timing wraps each run (not the whole traced phase, so
+    // the sampler's trailing idle window never lands in the wall clock).
+    auto timed_reps = [&](const std::function<void()>& run_once) {
+      for (int r = 0; r < rep_count; ++r) {
+        reset();
+        stopwatch sw;
+        run_once();
+        wall.push_back(sw.seconds() * 1e3);
+      }
+    };
     if (pool_backed) {
       forkjoin::worker_pool pool(workers);
       ropt.pool = &pool;
       traced_phase(label, &pool, pmu, [&] {
-        run_on_pool(pool, [&] { v->run(*v, prob, ropt); });
+        timed_reps([&] { run_on_pool(pool, [&] { v->run(*v, prob, ropt); }); });
       });
     } else {
       traced_phase(label, nullptr, pmu,
-                   [&] { v->run(*v, prob, ropt); });
+                   [&] { timed_reps([&] { v->run(*v, prob, ropt); }); });
+    }
+    if (report != nullptr) {
+      obs::report_entry e;
+      e.benchmark = bench_name;
+      e.impl = v->label;
+      e.n = n;
+      e.base = base;
+      e.workers = workers;
+      e.wall_ms = std::move(wall);
+      e.metrics = obs::metrics_registry::instance().snapshot();
+      e.trace_dropped = obs::tracer::instance().dropped() - dropped_before;
+      if (pmu != nullptr && !pmu->rows.empty()) {
+        e.has_pmu = true;
+        e.pmu = to_report_pmu(pmu->counters.backend(), pmu->rows.back().second);
+      }
+      report->entries.push_back(std::move(e));
     }
   }
 }
@@ -237,15 +297,20 @@ std::size_t resolve_trace_base(const trace_options& topt,
   return base;
 }
 
-/// The --trace path: real (not simulated) laptop-scale executions of the
-/// figure's benchmark, one phase per execution model, recorded by rdp::obs.
+/// The --trace / --report path: real (not simulated) laptop-scale executions
+/// of the figure's benchmark, one phase per execution model, recorded by
+/// rdp::obs. A --report without --trace/--trace-raw skips the tracer session
+/// entirely (the metrics registry is always on), so report timings never pay
+/// for event recording they do not use.
 int run_trace_capture(const figure_options& opts, const trace_options& topt) {
+  const bool tracing = !topt.chrome_path.empty() || !topt.raw_path.empty();
 #ifdef RDP_TRACE_DISABLED
-  std::cerr << "--trace requires the library to be built with RDP_TRACE=ON "
-               "(this build has the tracer compiled out)\n";
-  (void)opts, (void)topt;
-  return 2;
-#else
+  if (tracing) {
+    std::cerr << "--trace requires the library to be built with RDP_TRACE=ON "
+                 "(this build has the tracer compiled out)\n";
+    return 2;
+  }
+#endif
   const unsigned workers = topt.workers;
   // PMU events must exist before the first pool spawns its workers (see
   // counter_log); null when not requested so the capture stays untouched.
@@ -258,10 +323,21 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
   if (impls.empty()) return 2;
 
   auto& t = obs::tracer::instance();
-  t.set_thread_label("environment");
-  t.start();
+  if (tracing) {
+    t.set_thread_label("environment");
+    t.start();
+  }
 
-  std::cout << "=== " << opts.figure_name << " — trace capture ===\n"
+  obs::run_report report;
+  report.tool = opts.figure_name;
+  report.git_sha = obs::build_git_sha();
+  report.repetitions =
+      static_cast<std::uint32_t>(topt.reps > 1 ? topt.reps : 1);
+  obs::run_report* report_ptr =
+      topt.report_path.empty() ? nullptr : &report;
+
+  std::cout << "=== " << opts.figure_name << " — "
+            << (tracing ? "trace capture" : "measured report") << " ===\n"
             << "real execution, " << workers
             << " workers, laptop-scale inputs (shapes, not the paper's "
                "sizes)\n\n";
@@ -278,7 +354,8 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
       const auto input = make_diag_dominant(n, 1);
       auto m = input;
       run_trace_phases(impls, tag, base, workers, pmu.get(),
-                       [&] { m = input; }, dp::ge_problem(m));
+                       [&] { m = input; }, dp::ge_problem(m),
+                       sim::to_string(opts.bm), topt.reps, report_ptr);
       break;
     }
     case sim::benchmark::sw: {
@@ -293,7 +370,8 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
       matrix<std::int32_t> s(n + 1, n + 1, 0);
       run_trace_phases(impls, tag, base, workers, pmu.get(),
                        [&] { s = matrix<std::int32_t>(n + 1, n + 1, 0); },
-                       dp::sw_problem(s, a, b, p));
+                       dp::sw_problem(s, a, b, p),
+                       sim::to_string(opts.bm), topt.reps, report_ptr);
       break;
     }
     case sim::benchmark::fw: {
@@ -308,18 +386,24 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
             static_cast<long long>(input.data()[i]));
       auto m = input;
       run_trace_phases(impls, tag, base, workers, pmu.get(),
-                       [&] { m = input; }, dp::fw_problem(m));
+                       [&] { m = input; }, dp::fw_problem(m),
+                       sim::to_string(opts.bm), topt.reps, report_ptr);
       break;
     }
   }
 
-  t.stop();
-  const auto events = t.collect();
-  const auto phases = obs::summarize(events, t);
-  obs::print_summary(std::cout, phases);
-  if (t.dropped() > 0)
-    std::cout << "(" << t.dropped()
-              << " events dropped — full per-thread buffers)\n";
+  std::vector<obs::event> events;
+  if (tracing) {
+    t.stop();
+    events = t.collect();
+    const auto phases = obs::summarize(events, t);
+    obs::print_summary(std::cout, phases, t.dropped());
+    if (t.dropped() > 0)
+      std::cerr << "warning: trace lossy — " << t.dropped()
+                << " event(s) dropped (full per-thread ring buffers); "
+                   "summary counts and work/span reconstruction "
+                   "undercount\n";
+  }
   const auto arena = forkjoin::arena_stats_snapshot();
   std::cout << "task arena: "
             << (arena.freelist_allocs + arena.slab_allocs) << " allocs ("
@@ -358,13 +442,18 @@ int run_trace_capture(const figure_options& opts, const trace_options& topt) {
     std::cout << "wrote raw trace (" << events.size() << " events) to "
               << topt.raw_path << " (analyze with bench/trace_analyze)\n";
   }
+  if (report_ptr != nullptr) {
+    obs::write_report_file(topt.report_path, report);
+    std::cout << "wrote run report (" << report.entries.size()
+              << " entries, " << report.repetitions << " reps each) to "
+              << topt.report_path << " (diff with bench/report_compare)\n";
+  }
   return 0;
-#endif
 }
 
-/// --trace / --trace-raw destinations are validated before the (minutes
-/// long) capture runs, not after: probe by opening in append mode, which
-/// creates a missing file but clobbers nothing.
+/// --trace / --trace-raw / --report destinations are validated before the
+/// (minutes long) capture runs, not after: probe by opening in append mode,
+/// which creates a missing file but clobbers nothing.
 bool probe_writable(const std::string& path) {
   std::ofstream probe(path, std::ios::app);
   return static_cast<bool>(probe);
@@ -402,6 +491,15 @@ int run_figure_bench(int argc, const char* const* argv,
   cli.add_string("trace-raw", &topt.raw_path,
                  "also/instead write the lossless raw trace here (input "
                  "format of bench/trace_analyze)");
+  std::int64_t reps = 3;
+  cli.add_string("report", &topt.report_path,
+                 "run the benchmark for real (one entry per --impl variant) "
+                 "and write a structured run report — schema-versioned JSON "
+                 "with wall-clock repetitions, the metrics-registry "
+                 "snapshot, and PMU readings — to this path (diff two with "
+                 "bench/report_compare)");
+  cli.add_int("reps", &reps,
+              "wall-clock repetitions per --report entry (default 3)");
   cli.add_flag("counters", &topt.counters,
                "read PMU counters (perf_event_open) per traced phase; "
                "degrades to software or null counting where unavailable");
@@ -421,17 +519,40 @@ int run_figure_bench(int argc, const char* const* argv,
     return 2;
   }
   topt.workers = static_cast<unsigned>(trace_workers);
+  if (reps < 1) {
+    std::cerr << "--reps must be at least 1\n";
+    return 2;
+  }
+  topt.reps = static_cast<int>(reps);
 
-  const bool capture = !topt.chrome_path.empty() || !topt.raw_path.empty();
-  if ((topt.counters || topt.analyze) && !capture) {
+  const bool tracing = !topt.chrome_path.empty() || !topt.raw_path.empty();
+  const bool capture = tracing || !topt.report_path.empty();
+  if ((topt.counters || topt.analyze) && !tracing) {
     std::cerr << "--counters/--analyze need a capture run: pass --trace=FILE "
                  "or --trace-raw=FILE\n";
     return 2;
   }
-  for (const std::string* p : {&topt.chrome_path, &topt.raw_path}) {
-    if (!p->empty() && !probe_writable(*p)) {
-      std::cerr << "trace destination is not writable: " << *p << "\n";
+  // Output destinations are validated before the (minutes long) run, and
+  // must be pairwise distinct: two writers at the same path would silently
+  // clobber each other at the end of the capture.
+  const std::vector<std::pair<const char*, const std::string*>> outputs = {
+      {"--trace", &topt.chrome_path},
+      {"--trace-raw", &topt.raw_path},
+      {"--report", &topt.report_path}};
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    const auto& [flag, p] = outputs[i];
+    if (p->empty()) continue;
+    if (!probe_writable(*p)) {
+      std::cerr << flag << " destination is not writable: " << *p << "\n";
       return 2;
+    }
+    for (std::size_t j = i + 1; j < outputs.size(); ++j) {
+      if (!outputs[j].second->empty() && *outputs[j].second == *p) {
+        std::cerr << flag << " and " << outputs[j].first
+                  << " name the same destination (" << *p
+                  << "); each output needs its own file\n";
+        return 2;
+      }
     }
   }
   if (capture) {

@@ -6,14 +6,26 @@
 // The default (n=128, base=8) keeps every backend in play: power-of-two for
 // the 2-way/data-flow rows, divisible for tiled, and 128 = 8·4² so even
 // rway:r4 runs.
+//
+// With --report=FILE the same registry sweep is also *measured*: every
+// non-simulated variant (serial included — it is the --normalize anchor of
+// bench/report_compare) runs --reps timed repetitions with a fresh
+// metrics-registry window, and the result is written as a structured run
+// report. This is the producer half of the CI perf gate.
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "dp/dp.hpp"
 #include "forkjoin/worker_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "support/assertions.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
+#include "support/stopwatch.hpp"
 
 namespace {
 
@@ -30,9 +42,25 @@ void report(benchmark_id bm, const variant& v, bool ok) {
 
 /// Run every registry variant of `bm` and compare against the serial row.
 /// `reset` restores the input, `run_serial_ref` fills the oracle once.
+/// Comma-separated substring filter for the measurement pass ("" = all).
+bool label_selected(std::string_view label, const std::string& csv) {
+  if (csv.empty()) return true;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string part = csv.substr(
+        pos, comma == std::string::npos ? csv.size() - pos : comma - pos);
+    if (!part.empty() && label.find(part) != std::string::npos) return true;
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return false;
+}
+
 template <class Table, class Reset>
 void smoke(benchmark_id bm, const problem_ref& prob, const run_options& opts,
-           Table& table, const Reset& reset) {
+           Table& table, const Reset& reset, int reps,
+           rdp::obs::run_report* rep, const std::string& measure_impls) {
   const std::size_t n = problem_size(prob);
   const variant* serial = find_variant(bm, "serial");
   RDP_REQUIRE(serial != nullptr && serial->supports(n, opts.base));
@@ -51,21 +79,82 @@ void smoke(benchmark_id bm, const problem_ref& prob, const run_options& opts,
     v->run(*v, prob, opts);
     report(bm, *v, table == oracle);
   }
+
+  if (rep == nullptr) return;
+  // Measurement pass, after correctness: timed repetitions per variant with
+  // a metrics window per entry. Simulated rows are skipped (their wall time
+  // is the serial reference fill, not an execution model).
+  for (const variant* v : variants_for(bm)) {
+    if (v->backend == backend_kind::sim) continue;
+    if (!v->supports(n, opts.base)) continue;
+    // Serial always rides along: it is report_compare's --normalize anchor.
+    if (v->label != "serial" && !label_selected(v->label, measure_impls))
+      continue;
+    // Advance the pool's publish baseline past anything accrued before this
+    // window, then zero the registry: the window sees only its own deltas.
+    if (opts.pool != nullptr) opts.pool->publish_metrics();
+    obs::metrics_registry::instance().reset();
+    std::vector<double> wall;
+    for (int r = 0; r < reps; ++r) {
+      reset();
+      stopwatch sw;
+      v->run(*v, prob, opts);
+      wall.push_back(sw.seconds() * 1e3);
+    }
+    obs::report_entry e;
+    e.benchmark = to_string(bm);
+    e.impl = v->label;
+    e.n = n;
+    e.base = opts.base;
+    e.workers = opts.workers;
+    e.wall_ms = std::move(wall);
+    // The pool stays alive across entries: fold its counters into the
+    // registry before reading this entry's window.
+    if (opts.pool != nullptr) opts.pool->publish_metrics();
+    e.metrics = obs::metrics_registry::instance().snapshot();
+    rep->entries.push_back(std::move(e));
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::int64_t n = 128, base = 8, workers = 4;
+  std::int64_t n = 128, base = 8, workers = 4, reps = 3;
+  std::string report_path, measure_impls;
   cli_parser cli("Variant-registry smoke check: every backend vs serial");
   cli.add_int("n", &n, "problem size (default 128)");
   cli.add_int("base", &base, "base-case size (default 8)");
   cli.add_int("workers", &workers, "worker threads (default 4)");
+  cli.add_string("report", &report_path,
+                 "also measure every non-simulated variant and write a "
+                 "structured run report (JSON) here — the input of "
+                 "bench/report_compare and the CI perf gate");
+  cli.add_int("reps", &reps,
+              "wall-clock repetitions per --report entry (default 3)");
+  cli.add_string("impl", &measure_impls,
+                 "comma-separated label substrings selecting which variants "
+                 "the --report measurement pass times (default: all; the "
+                 "correctness sweep always covers everything, and serial is "
+                 "always measured as the --normalize anchor)");
   try {
     if (!cli.parse(argc, argv)) return 0;
   } catch (const std::exception& e) {
     std::cerr << e.what() << "\n";
     return 2;
+  }
+  if (reps < 1) {
+    std::cerr << "--reps must be at least 1\n";
+    return 2;
+  }
+  if (!report_path.empty()) {
+    // Validate the destination before the run, not after (append-mode probe
+    // creates a missing file but clobbers nothing).
+    std::ofstream probe(report_path, std::ios::app);
+    if (!probe) {
+      std::cerr << "--report destination is not writable: " << report_path
+                << "\n";
+      return 2;
+    }
   }
 
   std::cout << "registry: " << registry().size() << " variants ("
@@ -77,10 +166,18 @@ int main(int argc, char** argv) {
   opts.workers = static_cast<unsigned>(workers);
   opts.pool = &pool;
 
+  obs::run_report run_rep;
+  run_rep.tool = "registry_smoke";
+  run_rep.git_sha = obs::build_git_sha();
+  run_rep.repetitions = static_cast<std::uint32_t>(reps);
+  obs::run_report* rep = report_path.empty() ? nullptr : &run_rep;
+  const int rep_count = static_cast<int>(reps);
+
   {
     auto m = make_diag_dominant(static_cast<std::size_t>(n), 1);
     const auto input = m;
-    smoke(benchmark_id::ge, ge_problem(m), opts, m, [&] { m = input; });
+    smoke(benchmark_id::ge, ge_problem(m), opts, m, [&] { m = input; },
+          rep_count, rep, measure_impls);
   }
   {
     const auto a = make_dna(static_cast<std::size_t>(n), 7);
@@ -88,14 +185,16 @@ int main(int argc, char** argv) {
     const sw_params p;
     matrix<std::int32_t> s(n + 1, n + 1, 0);
     smoke(benchmark_id::sw, sw_problem(s, a, b, p), opts, s,
-          [&] { s = matrix<std::int32_t>(n + 1, n + 1, 0); });
+          [&] { s = matrix<std::int32_t>(n + 1, n + 1, 0); }, rep_count, rep,
+          measure_impls);
   }
   {
     auto m = make_digraph(static_cast<std::size_t>(n), 0.3, 5, 1e9);
     for (std::size_t i = 0; i < m.size(); ++i)
       m.data()[i] = static_cast<double>(static_cast<long long>(m.data()[i]));
     const auto input = m;
-    smoke(benchmark_id::fw, fw_problem(m), opts, m, [&] { m = input; });
+    smoke(benchmark_id::fw, fw_problem(m), opts, m, [&] { m = input; },
+          rep_count, rep, measure_impls);
   }
 
   if (g_failures > 0) {
@@ -103,5 +202,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "all registry variants bit-identical to serial\n";
+  if (rep != nullptr) {
+    obs::write_report_file(report_path, run_rep);
+    std::cout << "wrote run report (" << run_rep.entries.size()
+              << " entries, " << run_rep.repetitions << " reps each) to "
+              << report_path << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,158 @@
+// Diff two structured run reports (bench --report=FILE output) and exit
+// nonzero on regression — the judging half of the CI perf gate.
+//
+//     report_compare BASELINE.json CANDIDATE.json [options]
+//
+// Entries are matched on (benchmark, impl, n, base); the comparison is
+// noise-aware (see obs/report.hpp: threshold = max(tol, noise_k × CV)) and
+// --normalize=IMPL switches to within-report wall ratios against that
+// impl, which cancels machine speed across runner generations.
+//
+// Exit codes: 0 no regression, 1 at least one regression, 2 usage/IO error.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: report_compare BASELINE.json CANDIDATE.json [options]\n"
+        "  --tol=X             minimum relative slowdown counted as a\n"
+        "                      regression (default 0.08)\n"
+        "  --noise-k=X         widen the threshold to X x the wall-clock CV\n"
+        "                      when repetitions are noisy (default 3.0)\n"
+        "  --min-ms=X          skip entries whose baseline mean is below X\n"
+        "                      milliseconds (default 0.05)\n"
+        "  --min-hist-count=N  skip histogram metrics with fewer than N\n"
+        "                      recorded samples (default 16)\n"
+        "  --normalize=IMPL    compare wall ratios against IMPL within the\n"
+        "                      same (benchmark, n, base) group instead of\n"
+        "                      raw milliseconds (machine-independent)\n"
+        "  --only=CSV          restrict to entries whose key contains one of\n"
+        "                      the comma-separated substrings (the CI gate\n"
+        "                      pins the stable registry subset this way);\n"
+        "                      the --normalize anchor is always kept\n"
+        "  --no-histograms     compare wall clocks only\n"
+        "  --stat=mean|min     wall statistic compared (default mean; min\n"
+        "                      is robust to scheduler bursts on shared CI\n"
+        "                      runners — it only needs one undisturbed\n"
+        "                      repetition per side)\n"
+        "exit: 0 ok, 1 regression, 2 usage/IO error\n";
+}
+
+/// "--flag=value" → value, or exit 2 when the '=' is missing.
+std::string flag_value(const std::string& arg, const std::string& flag) {
+  if (arg.size() <= flag.size() + 1 || arg[flag.size()] != '=') {
+    std::cerr << flag << " needs a value: " << flag << "=...\n";
+    std::exit(2);
+  }
+  return arg.substr(flag.size() + 1);
+}
+
+double flag_double(const std::string& arg, const std::string& flag) {
+  const std::string v = flag_value(arg, flag);
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::cerr << flag << ": not a number: " << v << "\n";
+    std::exit(2);
+  }
+  return d;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string part = csv.substr(
+        pos, comma == std::string::npos ? csv.size() - pos : comma - pos);
+    if (!part.empty()) out.push_back(part);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Drop entries whose key matches none of `keep` (the --normalize anchor
+/// impl survives regardless — the kept entries still need their ratio
+/// denominator).
+void filter_entries(rdp::obs::run_report& r,
+                    const std::vector<std::string>& keep,
+                    const std::string& anchor) {
+  std::erase_if(r.entries, [&](const rdp::obs::report_entry& e) {
+    if (!anchor.empty() && e.impl == anchor) return false;
+    const std::string key = e.key();
+    for (const std::string& k : keep)
+      if (key.find(k) != std::string::npos) return false;
+    return true;
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rdp;
+
+  std::vector<std::string> paths;
+  std::vector<std::string> only;
+  obs::compare_options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg.rfind("--tol", 0) == 0) {
+      opts.tol = flag_double(arg, "--tol");
+    } else if (arg.rfind("--noise-k", 0) == 0) {
+      opts.noise_k = flag_double(arg, "--noise-k");
+    } else if (arg.rfind("--min-ms", 0) == 0) {
+      opts.min_wall_ms = flag_double(arg, "--min-ms");
+    } else if (arg.rfind("--min-hist-count", 0) == 0) {
+      opts.min_hist_count =
+          static_cast<std::uint64_t>(flag_double(arg, "--min-hist-count"));
+    } else if (arg.rfind("--normalize", 0) == 0) {
+      opts.normalize = flag_value(arg, "--normalize");
+    } else if (arg.rfind("--only", 0) == 0) {
+      only = split_csv(flag_value(arg, "--only"));
+    } else if (arg == "--no-histograms") {
+      opts.compare_histograms = false;
+    } else if (arg.rfind("--stat", 0) == 0) {
+      const std::string v = flag_value(arg, "--stat");
+      if (v != "mean" && v != "min") {
+        std::cerr << "--stat: expected 'mean' or 'min', got: " << v << "\n";
+        return 2;
+      }
+      opts.use_min_wall = v == "min";
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  try {
+    obs::run_report baseline = obs::read_report_file(paths[0]);
+    obs::run_report candidate = obs::read_report_file(paths[1]);
+    if (!only.empty()) {
+      filter_entries(baseline, only, opts.normalize);
+      filter_entries(candidate, only, opts.normalize);
+    }
+    const obs::compare_result result =
+        obs::compare_reports(baseline, candidate, opts);
+    obs::print_compare(std::cout, result, opts);
+    return result.exit_code();
+  } catch (const std::exception& e) {
+    std::cerr << "report_compare: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -9,6 +9,23 @@
 
 namespace rdp::cnc {
 
+namespace detail {
+
+cnc_metrics_t& cnc_metrics() {
+  auto& reg = obs::metrics_registry::instance();
+  static cnc_metrics_t m{reg.get_counter("cnc.items_put"),
+                         reg.get_counter("cnc.gets_ok"),
+                         reg.get_counter("cnc.gets_failed"),
+                         reg.get_counter("cnc.tags_put"),
+                         reg.get_counter("cnc.steps_executed"),
+                         reg.get_counter("cnc.steps_requeued"),
+                         reg.get_gauge("cnc.items_live"),
+                         reg.get_histogram("cnc.step_ns")};
+  return m;
+}
+
+}  // namespace detail
+
 context_base::context_base(unsigned workers) {
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -53,7 +70,90 @@ void context_base::record_error(std::exception_ptr e) noexcept {
   if (!first_error_) first_error_ = std::move(e);
 }
 
+void context_base::dump_state(std::string& out) const {
+  std::ostringstream os;
+  os << "  context: active=" << active_.load(std::memory_order_acquire)
+     << " suspended=" << suspended_.load(std::memory_order_acquire)
+     << " executed=" << counters_.executed.load(std::memory_order_relaxed)
+     << " aborted=" << counters_.aborted.load(std::memory_order_relaxed)
+     << " requeued=" << counters_.requeued.load(std::memory_order_relaxed)
+     << " items_put=" << counters_.items_put.load(std::memory_order_relaxed)
+     << " gets_ok=" << counters_.gets_ok.load(std::memory_order_relaxed)
+     << " gets_failed="
+     << counters_.gets_failed.load(std::memory_order_relaxed) << "\n";
+  os << "  pool: ready~" << pool_->ready_estimate()
+     << " injection~" << pool_->injection_depth()
+     << " parked=" << pool_->parked_workers() << "/"
+     << pool_->worker_count() << "\n";
+  for (const forkjoin::worker_snapshot& w : pool_->worker_snapshots())
+    os << "  worker " << w.index << ": executed=" << w.executed
+       << " steals=" << w.steals << " parks=" << w.parks
+       << " deque~" << w.deque_depth << " affinity~" << w.affinity_depth
+       << "\n";
+  {
+    std::scoped_lock lock(suspended_mutex_);
+    const std::size_t total = suspended_registry_.size();
+    os << "  parked step instances: " << total;
+    if (total > 0) {
+      os << " (showing up to 8)\n";
+      std::size_t shown = 0;
+      for (const step_instance_base* inst : suspended_registry_) {
+        if (shown++ == 8) break;
+        os << "    " << inst->describe() << "\n";
+      }
+    } else {
+      os << "\n";
+    }
+  }
+  out += os.str();
+}
+
 void context_base::wait() {
+  // Arm the stall watchdog for the duration of the wait when configured
+  // (programmatically or via RDP_WATCHDOG_MS). Its thread only reads
+  // relaxed counters and queue-depth estimates, so the cost while healthy
+  // is one wakeup per period. The local's destructor stops it on every
+  // exit path, including the deadlock throw below.
+  obs::watchdog wd;
+  const auto env_period = obs::watchdog_period_from_env();
+  if (watchdog_cfg_.has_value() || env_period.count() > 0) {
+    obs::watchdog::config cfg;
+    if (watchdog_cfg_.has_value()) {
+      cfg = *watchdog_cfg_;
+    } else {
+      cfg.period = env_period;
+      cfg.fatal = obs::watchdog_fatal_from_env();
+    }
+    // Progress = data flowing, not steps dispatched: a livelocked
+    // poll-and-requeue graph re-executes steps forever without a single
+    // new item, tag or successful get, which is exactly what this sum
+    // stays flat on. (steps_executed would mask that stall.)
+    wd.add_progress("items_put", [this] {
+      return counters_.items_put.load(std::memory_order_relaxed);
+    });
+    wd.add_progress("tags_put", [this] {
+      return counters_.tags_put.load(std::memory_order_relaxed);
+    });
+    wd.add_progress("gets_ok", [this] {
+      return counters_.gets_ok.load(std::memory_order_relaxed);
+    });
+    wd.add_gauge("active", [this] {
+      return static_cast<std::uint64_t>(
+          active_.load(std::memory_order_acquire));
+    });
+    wd.add_gauge("suspended", [this] {
+      return static_cast<std::uint64_t>(
+          suspended_.load(std::memory_order_acquire));
+    });
+    wd.add_gauge("queue_depth",
+                 [this] { return pool_->ready_estimate(); });
+    wd.set_busy([this] {
+      return active_.load(std::memory_order_acquire) > 0 ||
+             suspended_.load(std::memory_order_acquire) > 0;
+    });
+    wd.add_dump_section([this](std::string& out) { dump_state(out); });
+    wd.start(cfg);
+  }
   // Bracketed as a data-wait: the environment is blocked on the data-flow
   // graph draining (name 0 distinguishes it from an item-collection get).
   RDP_TRACE_EVENT(obs::event_kind::data_wait_begin, 0, 0, 0);

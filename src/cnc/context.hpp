@@ -19,15 +19,37 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
 #include "cnc/errors.hpp"
 #include "forkjoin/worker_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/watchdog.hpp"
 
 namespace rdp::cnc {
 
 class step_instance_base;
+
+namespace detail {
+
+/// Process-wide registry metrics of the data-flow runtime, resolved once
+/// (context.cpp). Distinct from context_base::counters, which are per
+/// context: these feed the always-on metrics snapshot in run reports.
+struct cnc_metrics_t {
+  obs::counter& items_put;
+  obs::counter& gets_ok;
+  obs::counter& gets_failed;
+  obs::counter& tags_put;
+  obs::counter& steps_executed;
+  obs::counter& steps_requeued;
+  obs::gauge& items_live;
+  obs::histogram& step_ns;
+};
+cnc_metrics_t& cnc_metrics();
+
+}  // namespace detail
 
 /// Runtime counters of one context (relaxed atomics; exact when quiescent).
 struct context_stats {
@@ -58,7 +80,25 @@ public:
   /// Block until every prescribed step instance has finished. Helps the
   /// pool while waiting. Throws unsatisfied_dependency if the graph
   /// quiesces with suspended steps, and rethrows the first step error.
+  ///
+  /// While waiting, a watchdog (obs/watchdog.hpp) monitors the graph when
+  /// either RDP_WATCHDOG_MS is a positive period or set_watchdog() supplied
+  /// a config: no growth in items/tags/successful-gets for `stall_periods`
+  /// ticks while steps are active or suspended produces a stall dump
+  /// (dump_state()) instead of a silent hang.
   void wait();
+
+  /// Programmatic watchdog config for wait() (tests, long-running servers).
+  /// Overrides the RDP_WATCHDOG_MS environment default.
+  void set_watchdog(obs::watchdog::config cfg) {
+    watchdog_cfg_ = std::move(cfg);
+  }
+
+  /// Append a human-readable snapshot of the runtime state: context
+  /// counters, per-worker pool state and queue depths, and the keys of up
+  /// to eight suspended (parked) step instances. Safe to call concurrently
+  /// with running steps; used by the watchdog's stall dump.
+  void dump_state(std::string& out) const;
 
   context_stats stats() const;
   void reset_stats();
@@ -132,10 +172,12 @@ private:
 
   std::mutex error_mutex_;
   std::exception_ptr first_error_;
+  std::optional<obs::watchdog::config> watchdog_cfg_;
 
   // Suspended instances are owned by the waiter lists; the context keeps a
   // registry so a deadlocked or abandoned graph can still reclaim them.
-  std::mutex suspended_mutex_;
+  // Mutable: dump_state() is const and reads it under the lock.
+  mutable std::mutex suspended_mutex_;
   std::unordered_set<step_instance_base*> suspended_registry_;
 };
 

@@ -20,29 +20,13 @@
 
 #include "cnc/context.hpp"
 #include "cnc/errors.hpp"
+#include "cnc/key_string.hpp"
 #include "cnc/step_instance.hpp"
 #include "concurrent/backoff.hpp"
 #include "concurrent/striped_hash_map.hpp"
 #include "obs/tracer.hpp"
 
 namespace rdp::cnc {
-
-namespace detail {
-
-/// Best-effort key rendering for diagnostics: streamable keys print their
-/// value, everything else degrades to a placeholder.
-template <class Key>
-std::string key_string(const Key& key) {
-  if constexpr (requires(std::ostream& os, const Key& k) { os << k; }) {
-    std::ostringstream os;
-    os << key;
-    return os.str();
-  } else {
-    return "<unprintable key>";
-  }
-}
-
-}  // namespace detail
 
 template <class Key, class Value, class Hash = std::hash<Key>>
 class item_collection {
@@ -80,6 +64,8 @@ public:
       to_wake.swap(s.waiters);
     });
     ctx_.metrics().items_put.fetch_add(1, std::memory_order_relaxed);
+    detail::cnc_metrics().items_put.add();
+    detail::cnc_metrics().items_live.add();
     RDP_TRACE_EVENT(obs::event_kind::item_put, trace_name_, Hash{}(key),
                     to_wake.size());
     // Wake outside the stripe lock: item_ready() may schedule work.
@@ -109,12 +95,17 @@ public:
       s.waiters.push_back(self);
     });
     if (found) {
-      if (erase_after) map_.erase(key);
+      if (erase_after) {
+        map_.erase(key);
+        detail::cnc_metrics().items_live.sub();
+      }
       ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+      detail::cnc_metrics().gets_ok.add();
       RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key), 0);
       return;
     }
     ctx_.metrics().gets_failed.fetch_add(1, std::memory_order_relaxed);
+    detail::cnc_metrics().gets_failed.add();
     RDP_TRACE_EVENT(obs::event_kind::item_get_miss, trace_name_, Hash{}(key),
                     0);
     throw detail::unmet_dependency_signal{};
@@ -181,7 +172,16 @@ private:
           erase_after = true;
       }
     });
-    if (found && erase_after) map_.erase(key);
+    if (found) {
+      // Callers bump the per-context gets_ok themselves; the process-wide
+      // registry counter is centralised here (every environment-side
+      // success passes through exactly once).
+      detail::cnc_metrics().gets_ok.add();
+      if (erase_after) {
+        map_.erase(key);
+        detail::cnc_metrics().items_live.sub();
+      }
+    }
     return found;
   }
 

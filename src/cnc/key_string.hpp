@@ -1,0 +1,23 @@
+// Best-effort tag/key rendering for diagnostics (DSA violation messages,
+// environment-get deadlock reports, watchdog stall dumps): streamable keys
+// print their value, everything else degrades to a placeholder.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace rdp::cnc::detail {
+
+template <class Key>
+std::string key_string(const Key& key) {
+  if constexpr (requires(std::ostream& os, const Key& k) { os << k; }) {
+    std::ostringstream os;
+    os << key;
+    return os.str();
+  } else {
+    return "<unprintable key>";
+  }
+}
+
+}  // namespace rdp::cnc::detail

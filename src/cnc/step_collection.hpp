@@ -21,6 +21,7 @@
 
 #include "cnc/context.hpp"
 #include "cnc/errors.hpp"
+#include "cnc/key_string.hpp"
 #include "cnc/step_instance.hpp"
 #include "cnc/waiter.hpp"
 #include "obs/tracer.hpp"
@@ -107,12 +108,19 @@ private:
 };
 
 /// Concrete dynamic instance binding (step functor, tag, typed context).
+/// `collection_name` must outlive the instance (it points at the owning
+/// step_collection's name, and collections outlive their instances).
 template <class Ctx, class Step, class Tag>
 class typed_step_instance final : public step_instance_base {
 public:
-  typed_step_instance(Ctx& ctx, const Step& step, Tag tag)
+  typed_step_instance(Ctx& ctx, const Step& step, Tag tag,
+                      const std::string& collection_name)
       : step_instance_base(ctx), typed_ctx_(ctx), step_(step),
-        tag_(std::move(tag)) {}
+        tag_(std::move(tag)), collection_name_(&collection_name) {}
+
+  std::string describe() const override {
+    return *collection_name_ + "(" + key_string(tag_) + ")";
+  }
 
 private:
   void run_body() override { (void)step_.execute(tag_, typed_ctx_); }
@@ -120,6 +128,7 @@ private:
   Ctx& typed_ctx_;
   const Step& step_;
   const Tag tag_;
+  const std::string* collection_name_;
 };
 
 }  // namespace detail
@@ -148,8 +157,8 @@ public:
   /// prescribing tag collection, or directly by the environment).
   void spawn(const Tag& tag) {
     ctx_.metrics().prescribed.fetch_add(1, std::memory_order_relaxed);
-    auto* inst =
-        new detail::typed_step_instance<Ctx, Step, Tag>(ctx_, step_, tag);
+    auto* inst = new detail::typed_step_instance<Ctx, Step, Tag>(ctx_, step_,
+                                                                 tag, name_);
     if constexpr (detail::declares_placement<Step, Tag, Ctx>) {
       const auto workers = ctx_.pool().worker_count();
       const int target = step_.compute_on(tag, ctx_);
@@ -186,9 +195,10 @@ public:
   /// queue so the retry runs after currently queued producers.
   void respawn(const Tag& tag) {
     ctx_.metrics().requeued.fetch_add(1, std::memory_order_relaxed);
+    detail::cnc_metrics().steps_requeued.add();
     RDP_TRACE_EVENT(obs::event_kind::step_requeue, trace_name_, 0, 0);
-    auto* inst =
-        new detail::typed_step_instance<Ctx, Step, Tag>(ctx_, step_, tag);
+    auto* inst = new detail::typed_step_instance<Ctx, Step, Tag>(ctx_, step_,
+                                                                 tag, name_);
     inst->initial_dispatch_global();
   }
 

@@ -22,6 +22,14 @@ void step_instance_base::execute_wrapper() noexcept {
   tl_current_step = this;
   bool suspended = false;
   std::exception_ptr error;
+  // Step latency histogram, sampled 1-in-16 per thread (the clock pair
+  // would otherwise tax fine-grained base steps). Timed attempts that
+  // abort on an unmet get are not recorded — the histogram answers "how
+  // long does a step's useful execution take".
+  static thread_local std::uint32_t tl_step_sample = 0;
+  const bool timed =
+      obs::metrics_enabled() && obs::metrics_sampled(tl_step_sample, 15);
+  const std::uint64_t t0 = timed ? obs::metrics_now_ns() : 0;
   try {
     run_body();
   } catch (const detail::unmet_dependency_signal&) {
@@ -42,6 +50,8 @@ void step_instance_base::execute_wrapper() noexcept {
     ctx.record_error(error);
   } else {
     ctx.metrics().executed.fetch_add(1, std::memory_order_relaxed);
+    detail::cnc_metrics().steps_executed.add();
+    if (timed) detail::cnc_metrics().step_ns.record(obs::metrics_now_ns() - t0);
   }
   delete this;
   ctx.on_complete();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "cnc/context.hpp"
@@ -50,6 +51,11 @@ public:
   /// initial dispatch AND every resume after a suspension.
   void set_affinity(int worker) noexcept { affinity_ = worker; }
   int affinity() const noexcept { return affinity_; }
+
+  /// One-line identification for stall dumps ("<collection>(tag)"). Called
+  /// by context_base::dump_state() under the suspended-registry lock, so a
+  /// parked instance cannot be resumed-and-deleted mid-call.
+  virtual std::string describe() const { return "<step instance>"; }
 
   /// waiter: an item this instance was parked on became available. The
   /// instance will re-run its body from the top (a re-execution).

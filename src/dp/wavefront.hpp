@@ -30,6 +30,7 @@
 
 #include "dp/common.hpp"
 #include "dp/spec/spec.hpp"
+#include "dp/verify/verify.hpp"
 #include "exec/backend.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"
@@ -98,6 +99,16 @@ public:
     check_square_pow2(base);
     spec_adapter spec(*this, base);
     return exec::run_dataflow(spec, {variant, workers});
+  }
+
+  /// Consistency-check the tile-wavefront spec this problem lowers to
+  /// (dp/verify): split/enumerate agreement, dependency edges, consumer
+  /// counts. Runs no kernels — any cell functor works, which is what the
+  /// generator-based property tests lean on.
+  verify_report verify(std::size_t base, const verify_options& opts = {}) {
+    check_square_pow2(base);
+    spec_adapter spec(*this, base);
+    return verify_spec(spec, opts);
   }
 
 private:

@@ -25,11 +25,28 @@
 
 #include "cnc/cnc.hpp"
 #include "dp/common.hpp"
+#include "obs/metrics.hpp"
 #include "support/assertions.hpp"
 
 namespace rdp::exec {
 
 namespace {
+
+/// Registry metrics specific to the spec lowering (the cnc.* family counts
+/// the collection operations underneath): step mix and dependency fan-in.
+struct df_metrics_t {
+  obs::counter& base_steps;
+  obs::counter& expand_steps;
+  obs::histogram& dep_fanin;
+};
+
+df_metrics_t& df_metrics() {
+  auto& reg = obs::metrics_registry::instance();
+  static df_metrics_t m{reg.get_counter("dataflow.base_steps"),
+                        reg.get_counter("dataflow.expand_steps"),
+                        reg.get_histogram("dataflow.dep_fanin")};
+  return m;
+}
 
 template <class Value>
 struct df_context;
@@ -111,6 +128,7 @@ template <class Value>
 int df_step<Value>::execute(const dp::tile4& t,
                             df_context<Value>& ctx) const {
   if (!ctx.rec.is_base(t)) {
+    df_metrics().expand_steps.add();
     const dp::split_plan plan = ctx.rec.split(t);
     for (std::size_t c = 0; c < plan.child_count; ++c)
       ctx.tags.put(plan.children[c]);
@@ -143,6 +161,12 @@ int df_step<Value>::execute(const dp::tile4& t,
     for (std::size_t d = 0; d < deps.count; ++d)
       ctx.items.get(deps.keys[d], vals[d]);
   }
+
+  // Counted here — after the nonblocking readiness check and any blocking
+  // gets — so requeued/re-executed attempts do not inflate the base-step
+  // count or double-record the task's fan-in.
+  df_metrics().base_steps.add();
+  df_metrics().dep_fanin.record(deps.count);
 
   if constexpr (std::is_same_v<Value, bool>) {
     ctx.rec.run_base(t);

@@ -7,9 +7,20 @@
 #include <new>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace rdp::forkjoin {
 
 namespace {
+
+/// Arena occupancy gauge: slab bytes currently reserved across all live
+/// arenas. The metrics registry is immortal, so the reference stays valid
+/// even on the static-destruction retire path.
+obs::gauge& arena_bytes_gauge() {
+  static obs::gauge& g =
+      obs::metrics_registry::instance().get_gauge("forkjoin.arena_bytes");
+  return g;
+}
 
 constexpr std::size_t k_header = 16;  // bytes in front of every payload
 constexpr std::size_t k_class_size[] = {64, 128, 256, 512};  // header incl.
@@ -126,6 +137,8 @@ void retire(arena_state* s) noexcept {
     }
     fold_counters(r.retired, *s);
   }
+  arena_bytes_gauge().sub(
+      static_cast<std::int64_t>(s->slabs.size() * k_slab_bytes));
   for (char* slab : s->slabs) ::operator delete(slab);
   delete s;
 }
@@ -206,6 +219,7 @@ void new_slab(arena_state* s) {
   bump_owner_counter(s->c_slabs);
   s->c_bytes.store(s->c_bytes.load(std::memory_order_relaxed) + k_slab_bytes,
                    std::memory_order_relaxed);
+  arena_bytes_gauge().add(static_cast<std::int64_t>(k_slab_bytes));
 }
 
 std::atomic<bool> g_poison{[] {

@@ -17,6 +17,7 @@
 #include "concurrent/backoff.hpp"
 #include "concurrent/spinlock.hpp"
 #include "forkjoin/worker_pool.hpp"
+#include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "support/assertions.hpp"
 
@@ -66,12 +67,31 @@ public:
     RDP_TRACE_EVENT(obs::event_kind::join_begin, 0,
                     reinterpret_cast<std::uintptr_t>(this),
                     pending_.load(std::memory_order_relaxed));
-    concurrent::backoff bo;
-    while (pending_.load(std::memory_order_acquire) != 0) {
-      if (pool_.try_run_one())
-        bo.reset();
-      else
-        bo.pause();
+    // Join-wait histogram, sampled 1-in-64 per thread over joins that found
+    // children still pending. Joins whose children already completed cost
+    // ~0 and skip the sampling bookkeeping entirely — fine-grained recursion
+    // has a join per ~100ns task pair, so on that path even a thread-local
+    // counter bump is measurable (the pending_ load below happens anyway).
+    bool timed = false;
+    std::uint64_t t0 = 0;
+    if (pending_.load(std::memory_order_acquire) != 0) {
+      static thread_local std::uint32_t tl_join_sample = 0;
+      timed =
+          obs::metrics_enabled() && obs::metrics_sampled(tl_join_sample, 63);
+      if (timed) t0 = obs::metrics_now_ns();
+      concurrent::backoff bo;
+      while (pending_.load(std::memory_order_acquire) != 0) {
+        if (pool_.try_run_one())
+          bo.reset();
+        else
+          bo.pause();
+      }
+    }
+    if (timed) {
+      static obs::histogram& join_hist =
+          obs::metrics_registry::instance().get_histogram(
+              "forkjoin.join_wait_ns");
+      join_hist.record(obs::metrics_now_ns() - t0);
     }
     RDP_TRACE_EVENT(obs::event_kind::join_end, 0,
                     reinterpret_cast<std::uintptr_t>(this), 0);

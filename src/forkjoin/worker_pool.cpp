@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "support/assertions.hpp"
 #include "support/rng.hpp"
@@ -11,6 +12,38 @@ namespace rdp::forkjoin {
 namespace {
 thread_local worker_pool* tl_pool = nullptr;
 thread_local int tl_index = -1;
+
+/// Registry metrics for the fork-join scheduler, resolved once. The
+/// counters are NOT written on the hot paths — the pool already keeps its
+/// own relaxed per-worker/pool counters for pool_stats, and doubling every
+/// one of them with a registry fetch-add measurably slowed empty-task
+/// spawn/wait microbenchmarks. Instead publish_metrics() reconciles the
+/// registry from the pool counters as deltas at quiescence points (worker
+/// park, stats(), destruction). Only the task-execution histogram records
+/// per event, sampled 1-in-64 per thread because it needs two clock reads.
+struct fj_metrics_t {
+  obs::counter& spawned;
+  obs::counter& executed;
+  obs::counter& steals;
+  obs::counter& injections;
+  obs::counter& overflow_retries;
+  obs::counter& parks;
+  obs::histogram& task_ns;
+};
+
+fj_metrics_t& fj_metrics() {
+  auto& reg = obs::metrics_registry::instance();
+  static fj_metrics_t m{reg.get_counter("forkjoin.tasks_spawned"),
+                        reg.get_counter("forkjoin.tasks_executed"),
+                        reg.get_counter("forkjoin.steals"),
+                        reg.get_counter("forkjoin.injections"),
+                        reg.get_counter("forkjoin.overflow_retries"),
+                        reg.get_counter("forkjoin.parks"),
+                        reg.get_histogram("forkjoin.task_ns")};
+  return m;
+}
+
+constexpr std::uint32_t k_task_ns_sample_mask = 255;  // 1 in 256
 }  // namespace
 
 struct worker_pool::worker {
@@ -48,6 +81,7 @@ worker_pool::~worker_pool() {
   }
   for (auto& w : workers_)
     if (w->thread.joinable()) w->thread.join();
+  publish_metrics();  // final reconciliation with every worker stopped
   // Drain any tasks that were never executed so they do not leak. The
   // destroy-only op releases the node back to its owning arena without
   // running the payload or reporting to a group.
@@ -187,6 +221,8 @@ task_node* worker_pool::find_task(int self_index) {
         if (self_index >= 0)
           workers_[static_cast<std::size_t>(self_index)]->steals.fetch_add(
               1, std::memory_order_relaxed);
+        else
+          external_steals_.fetch_add(1, std::memory_order_relaxed);
         RDP_TRACE_EVENT(obs::event_kind::task_steal, 0, victim,
                         static_cast<std::int64_t>(self_index));
         return *t;
@@ -207,13 +243,25 @@ bool worker_pool::try_run_one() {
   }
   const auto task_id = reinterpret_cast<std::uintptr_t>(t);
   RDP_TRACE_EVENT(obs::event_kind::task_run_begin, 0, task_id, 0);
-  t->execute_and_destroy(t);
+  // Task round-trip histogram, sampled 1-in-256: two clock reads would
+  // dominate the ~13ns unsampled round trip. The sample decision reuses the
+  // executed counter the scheduler maintains anyway (own cache line, relaxed
+  // load) instead of a dedicated thread-local — per-task metrics cost on the
+  // unsampled path is one relaxed flag load and a mask test.
+  std::atomic<std::uint64_t>& exec_counter =
+      self >= 0 ? workers_[static_cast<std::size_t>(self)]->executed
+                : external_executed_;
+  const std::uint64_t seq = exec_counter.load(std::memory_order_relaxed);
+  if (obs::metrics_enabled() &&
+      ((seq + 1) & k_task_ns_sample_mask) == 0) [[unlikely]] {
+    const std::uint64_t t0 = obs::metrics_now_ns();
+    t->execute_and_destroy(t);
+    fj_metrics().task_ns.record(obs::metrics_now_ns() - t0);
+  } else {
+    t->execute_and_destroy(t);
+  }
   RDP_TRACE_EVENT(obs::event_kind::task_run_end, 0, task_id, 0);
-  if (self >= 0)
-    workers_[static_cast<std::size_t>(self)]->executed.fetch_add(
-        1, std::memory_order_relaxed);
-  else
-    external_executed_.fetch_add(1, std::memory_order_relaxed);
+  exec_counter.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -256,6 +304,13 @@ void worker_pool::worker_loop(unsigned index) {
     });
     parked_.fetch_sub(1, std::memory_order_acq_rel);
     RDP_TRACE_EVENT(obs::event_kind::worker_unpark, 0, index, 0);
+    // Waking by timeout means the pool sat idle a full millisecond — a
+    // quiescence point well off the work path: fold the pool counters into
+    // the metrics registry so snapshots of an idle pool see fresh totals.
+    // (Parks during work churn wake by epoch bump and skip this.)
+    if (epoch_.load(std::memory_order_acquire) == seen &&
+        !stop_.load(std::memory_order_acquire))
+      publish_metrics();
     idle_rounds = 0;
     bo.reset();
   }
@@ -264,7 +319,40 @@ void worker_pool::worker_loop(unsigned index) {
   tl_index = -1;
 }
 
+void worker_pool::publish_metrics() const {
+  if (!obs::metrics_enabled()) return;
+  published_totals t;
+  for (const auto& w : workers_) {
+    t.executed += w->executed.load(std::memory_order_relaxed);
+    t.steals += w->steals.load(std::memory_order_relaxed);
+    t.parks += w->parks.load(std::memory_order_relaxed);
+  }
+  t.executed += external_executed_.load(std::memory_order_relaxed);
+  t.steals += external_steals_.load(std::memory_order_relaxed);
+  t.spawned = spawned_.load(std::memory_order_relaxed);
+  t.injections = injections_.load(std::memory_order_relaxed);
+  t.overflow_retries = overflow_retries_.load(std::memory_order_relaxed);
+
+  fj_metrics_t& m = fj_metrics();
+  std::scoped_lock lock(publish_mutex_);
+  const auto delta = [](std::uint64_t now, std::uint64_t& prev) {
+    // reset_stats() can move the pool counters backwards between publishes;
+    // clamp to zero rather than folding a wrapped difference in.
+    const std::uint64_t d = now >= prev ? now - prev : 0;
+    prev = now;
+    return d;
+  };
+  if (auto d = delta(t.spawned, published_.spawned)) m.spawned.add(d);
+  if (auto d = delta(t.executed, published_.executed)) m.executed.add(d);
+  if (auto d = delta(t.steals, published_.steals)) m.steals.add(d);
+  if (auto d = delta(t.injections, published_.injections)) m.injections.add(d);
+  if (auto d = delta(t.overflow_retries, published_.overflow_retries))
+    m.overflow_retries.add(d);
+  if (auto d = delta(t.parks, published_.parks)) m.parks.add(d);
+}
+
 pool_stats worker_pool::stats() const {
+  publish_metrics();  // stats() is a quiescence point: refresh the registry
   pool_stats s;
   for (const auto& w : workers_) {
     s.tasks_executed += w->executed.load(std::memory_order_relaxed);
@@ -273,11 +361,29 @@ pool_stats worker_pool::stats() const {
     s.parks += w->parks.load(std::memory_order_relaxed);
   }
   s.tasks_executed += external_executed_.load(std::memory_order_relaxed);
+  s.steals += external_steals_.load(std::memory_order_relaxed);
   s.tasks_spawned = spawned_.load(std::memory_order_relaxed);
   s.injections = injections_.load(std::memory_order_relaxed);
   s.overflow_retries = overflow_retries_.load(std::memory_order_relaxed);
   s.arena = arena_stats_snapshot();
   return s;
+}
+
+std::vector<worker_snapshot> worker_pool::worker_snapshots() const {
+  std::vector<worker_snapshot> out;
+  out.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const worker& w = *workers_[i];
+    worker_snapshot s;
+    s.index = static_cast<unsigned>(i);
+    s.executed = w.executed.load(std::memory_order_relaxed);
+    s.steals = w.steals.load(std::memory_order_relaxed);
+    s.parks = w.parks.load(std::memory_order_relaxed);
+    s.deque_depth = w.deque.size_estimate();
+    s.affinity_depth = w.affinity.size_estimate();
+    out.push_back(s);
+  }
+  return out;
 }
 
 std::size_t worker_pool::ready_estimate() const {
@@ -295,9 +401,12 @@ void worker_pool::reset_stats() {
     w->parks.store(0, std::memory_order_relaxed);
   }
   external_executed_.store(0, std::memory_order_relaxed);
+  external_steals_.store(0, std::memory_order_relaxed);
   spawned_.store(0, std::memory_order_relaxed);
   injections_.store(0, std::memory_order_relaxed);
   overflow_retries_.store(0, std::memory_order_relaxed);
+  std::scoped_lock lock(publish_mutex_);
+  published_ = published_totals{};
 }
 
 }  // namespace rdp::forkjoin

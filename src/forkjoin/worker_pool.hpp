@@ -29,6 +29,17 @@
 
 namespace rdp::forkjoin {
 
+/// Per-worker state snapshot, polled by the obs watchdog for stall dumps.
+/// Counters are relaxed reads; depths are estimates (exact when quiescent).
+struct worker_snapshot {
+  unsigned index = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t parks = 0;
+  std::size_t deque_depth = 0;
+  std::size_t affinity_depth = 0;
+};
+
 /// Aggregate scheduler counters (relaxed atomics; read when quiescent).
 struct pool_stats {
   std::uint64_t tasks_executed = 0;
@@ -119,6 +130,15 @@ public:
   pool_stats stats() const;
   void reset_stats();
 
+  /// Fold this pool's scheduler counters into the process-wide metrics
+  /// registry (obs/metrics: forkjoin.tasks_spawned etc.) as deltas since
+  /// the last publish. The hot paths only touch the pool's own relaxed
+  /// counters; reconciliation happens here — called automatically when a
+  /// worker parks, from stats(), and at destruction, so the registry is
+  /// fresh whenever the pool is quiescent. Benches that snapshot the
+  /// registry while the pool is alive call this (or stats()) first.
+  void publish_metrics() const;
+
   // ---- observability gauges (approximate; safe to poll concurrently) ----
 
   /// Workers currently blocked on the park condition variable.
@@ -130,6 +150,13 @@ public:
   /// and the affinity queues. Exact only when quiescent; intended for the
   /// obs sampler's queue-depth gauge.
   std::size_t ready_estimate() const;
+
+  /// Estimated depth of the external-submission queue alone.
+  std::size_t injection_depth() const { return injection_.size_estimate(); }
+
+  /// Per-worker state for watchdog stall dumps. Safe to call concurrently
+  /// with running workers (all fields are relaxed reads or estimates).
+  std::vector<worker_snapshot> worker_snapshots() const;
 
 private:
   struct worker;
@@ -158,7 +185,17 @@ private:
   std::atomic<std::uint64_t> injections_{0};
   std::atomic<std::uint64_t> overflow_retries_{0};
   std::atomic<std::uint64_t> external_executed_{0};
+  std::atomic<std::uint64_t> external_steals_{0};
   xoshiro256 external_rng_{0xDEADBEEFULL};
+
+  /// Totals already folded into the metrics registry (publish_metrics).
+  /// Mutable: publishing is logically const bookkeeping (stats() publishes).
+  struct published_totals {
+    std::uint64_t spawned = 0, executed = 0, steals = 0, injections = 0,
+                  overflow_retries = 0, parks = 0;
+  };
+  mutable std::mutex publish_mutex_;
+  mutable published_totals published_;
 };
 
 }  // namespace rdp::forkjoin

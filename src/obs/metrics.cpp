@@ -1,0 +1,212 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+namespace rdp::obs {
+
+namespace metrics_detail {
+
+namespace {
+
+bool env_enabled() {
+  const char* v = std::getenv("RDP_METRICS");
+  if (v == nullptr) return true;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0 || std::strcmp(v, "OFF") == 0);
+}
+
+/// Applies the RDP_METRICS environment override during static
+/// initialisation — before main, so every record site that matters sees
+/// the configured flag without paying a per-call init guard.
+const bool g_env_applied = [] {
+  g_enabled.store(env_enabled(), std::memory_order_relaxed);
+  return true;
+}();
+
+}  // namespace
+
+unsigned assign_shard() noexcept {
+  static std::atomic<unsigned> next{0};
+  tl_shard = next.fetch_add(1, std::memory_order_relaxed) % k_metric_shards;
+  return tl_shard;
+}
+
+}  // namespace metrics_detail
+
+void set_metrics_enabled(bool on) noexcept {
+#ifdef RDP_METRICS_DISABLED
+  (void)on;
+#else
+  metrics_detail::g_enabled.store(on, std::memory_order_relaxed);
+#endif
+}
+
+// ---- histogram ------------------------------------------------------------
+
+histogram::histogram() : shards_(new shard[k_hist_shards]) {}
+histogram::~histogram() { delete[] shards_; }
+
+histogram_snapshot histogram::snapshot() const {
+  histogram_snapshot s;
+  s.buckets.assign(k_histogram_buckets, 0);
+  for (unsigned i = 0; i < k_hist_shards; ++i) {
+    for (std::size_t b = 0; b < k_histogram_buckets; ++b) {
+      const std::uint64_t c =
+          shards_[i].buckets[b].load(std::memory_order_relaxed);
+      s.buckets[b] += c;
+      s.total += c;
+    }
+    s.max = std::max(s.max, shards_[i].max.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+void histogram::reset() noexcept {
+  for (unsigned i = 0; i < k_hist_shards; ++i) {
+    for (auto& b : shards_[i].buckets) b.store(0, std::memory_order_relaxed);
+    shards_[i].max.store(0, std::memory_order_relaxed);
+  }
+}
+
+double histogram_snapshot::mean() const noexcept {
+  if (total == 0) return 0.0;
+  long double acc = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t rep =
+        b == k_histogram_overflow_bucket ? max : histogram_bucket_mid(b);
+    acc += static_cast<long double>(buckets[b]) *
+           static_cast<long double>(rep);
+  }
+  return static_cast<double>(acc / static_cast<long double>(total));
+}
+
+std::uint64_t histogram_snapshot::quantile(double q) const noexcept {
+  if (total == 0) return 0;
+  if (q >= 1.0) return max;
+  if (q < 0.0) q = 0.0;
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total) + 0.5);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank)
+      return b == k_histogram_overflow_bucket ? max
+                                              : histogram_bucket_mid(b);
+  }
+  return max;
+}
+
+void histogram_snapshot::merge(const histogram_snapshot& other) {
+  if (other.buckets.empty()) {
+    max = std::max(max, other.max);
+    total += other.total;
+    return;
+  }
+  if (buckets.empty()) buckets.assign(k_histogram_buckets, 0);
+  for (std::size_t b = 0; b < buckets.size() && b < other.buckets.size(); ++b)
+    buckets[b] += other.buckets[b];
+  max = std::max(max, other.max);
+  total += other.total;
+}
+
+// ---- registry -------------------------------------------------------------
+
+struct metrics_registry::impl {
+  mutable std::mutex mutex;
+  // Stable addresses: record sites cache references for the process
+  // lifetime, so entries are pointers and are never erased.
+  std::vector<std::pair<std::string, std::unique_ptr<counter>>> counters;
+  std::vector<std::pair<std::string, std::unique_ptr<gauge>>> gauges;
+  std::vector<std::pair<std::string, std::unique_ptr<histogram>>> histograms;
+};
+
+metrics_registry::impl& metrics_registry::state() const {
+  // Immortal (leaked on exit): record sites cache references for the
+  // process lifetime and some recorders (e.g. the task arena's retire path)
+  // can run during static destruction.
+  static impl* s = new impl;
+  return *s;
+}
+
+metrics_registry& metrics_registry::instance() {
+  static metrics_registry r;
+  return r;
+}
+
+counter& metrics_registry::get_counter(std::string_view name) {
+  impl& s = state();
+  std::scoped_lock lock(s.mutex);
+  for (auto& [n, c] : s.counters)
+    if (n == name) return *c;
+  s.counters.emplace_back(std::string(name), std::make_unique<counter>());
+  return *s.counters.back().second;
+}
+
+gauge& metrics_registry::get_gauge(std::string_view name) {
+  impl& s = state();
+  std::scoped_lock lock(s.mutex);
+  for (auto& [n, g] : s.gauges)
+    if (n == name) return *g;
+  s.gauges.emplace_back(std::string(name), std::make_unique<gauge>());
+  return *s.gauges.back().second;
+}
+
+histogram& metrics_registry::get_histogram(std::string_view name) {
+  impl& s = state();
+  std::scoped_lock lock(s.mutex);
+  for (auto& [n, h] : s.histograms)
+    if (n == name) return *h;
+  s.histograms.emplace_back(std::string(name), std::make_unique<histogram>());
+  return *s.histograms.back().second;
+}
+
+std::vector<metric_sample> metrics_registry::snapshot() const {
+  impl& s = state();
+  std::vector<metric_sample> out;
+  {
+    std::scoped_lock lock(s.mutex);
+    for (const auto& [n, c] : s.counters) {
+      metric_sample m;
+      m.name = n;
+      m.kind = metric_kind::counter;
+      m.value = c->value();
+      out.push_back(std::move(m));
+    }
+    for (const auto& [n, g] : s.gauges) {
+      metric_sample m;
+      m.name = n;
+      m.kind = metric_kind::gauge;
+      m.gauge_value = g->value();
+      out.push_back(std::move(m));
+    }
+    for (const auto& [n, h] : s.histograms) {
+      metric_sample m;
+      m.name = n;
+      m.kind = metric_kind::histogram;
+      m.hist = h->snapshot();
+      out.push_back(std::move(m));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const metric_sample& a, const metric_sample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void metrics_registry::reset() {
+  impl& s = state();
+  std::scoped_lock lock(s.mutex);
+  for (auto& [n, c] : s.counters) c->reset();
+  for (auto& [n, g] : s.gauges) g->reset();
+  for (auto& [n, h] : s.histograms) h->reset();
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,359 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "support/json.hpp"
+#include "support/table_printer.hpp"
+
+#ifndef RDP_GIT_SHA
+#define RDP_GIT_SHA "unknown"
+#endif
+
+namespace rdp::obs {
+
+const char* build_git_sha() noexcept { return RDP_GIT_SHA; }
+
+std::string report_entry::key() const {
+  return benchmark + "|" + impl + "|" + std::to_string(n) + "|" +
+         std::to_string(base);
+}
+
+double report_entry::wall_mean_ms() const noexcept {
+  if (wall_ms.empty()) return 0.0;
+  double s = 0;
+  for (double v : wall_ms) s += v;
+  return s / static_cast<double>(wall_ms.size());
+}
+
+double report_entry::wall_min_ms() const noexcept {
+  double best = 0.0;
+  for (double v : wall_ms)
+    if (best == 0.0 || v < best) best = v;
+  return best;
+}
+
+double report_entry::wall_cv() const noexcept {
+  if (wall_ms.size() < 2) return 0.0;
+  const double m = wall_mean_ms();
+  if (m <= 0) return 0.0;
+  double var = 0;
+  for (double v : wall_ms) var += (v - m) * (v - m);
+  var /= static_cast<double>(wall_ms.size() - 1);
+  return std::sqrt(var) / m;
+}
+
+// ---- serialisation ---------------------------------------------------------
+
+namespace {
+
+json::value metric_to_json(const metric_sample& m) {
+  json::object o;
+  switch (m.kind) {
+    case metric_kind::counter:
+      o["kind"] = "counter";
+      o["value"] = m.value;
+      break;
+    case metric_kind::gauge:
+      o["kind"] = "gauge";
+      o["value"] = m.gauge_value;
+      break;
+    case metric_kind::histogram:
+      o["kind"] = "histogram";
+      o["count"] = m.hist.total;
+      o["mean"] = m.hist.mean();
+      o["p50"] = m.hist.quantile(0.50);
+      o["p90"] = m.hist.quantile(0.90);
+      o["p99"] = m.hist.quantile(0.99);
+      o["max"] = m.hist.max;
+      break;
+  }
+  return json::value(std::move(o));
+}
+
+metric_sample metric_from_json(const std::string& name,
+                               const json::value& v) {
+  metric_sample m;
+  m.name = name;
+  const std::string& kind = v.at("kind").as_string();
+  if (kind == "counter") {
+    m.kind = metric_kind::counter;
+    m.value = v.at("value").as_uint();
+  } else if (kind == "gauge") {
+    m.kind = metric_kind::gauge;
+    m.gauge_value = v.at("value").as_int();
+  } else if (kind == "histogram") {
+    // Quantiles round-trip without the buckets: a parsed report carries the
+    // summary (count/mean/max), which is all compare needs. The mean is
+    // stashed via a single-bucket reconstruction below.
+    m.kind = metric_kind::histogram;
+    m.hist.total = v.at("count").as_uint();
+    m.hist.max = v.at("max").as_uint();
+    m.parsed_hist_mean = v.at("mean").as_double();
+    m.parsed_p99 = v.at("p99").as_double();
+  } else {
+    throw std::runtime_error("report: unknown metric kind '" + kind + "'");
+  }
+  return m;
+}
+
+}  // namespace
+
+json::value report_to_json(const run_report& r) {
+  json::object root;
+  root["schema"] = r.schema;
+  root["version"] = static_cast<std::int64_t>(r.version);
+  root["tool"] = r.tool;
+  root["git_sha"] = r.git_sha;
+  root["repetitions"] = static_cast<std::uint64_t>(r.repetitions);
+  json::array entries;
+  for (const report_entry& e : r.entries) {
+    json::object o;
+    o["benchmark"] = e.benchmark;
+    o["impl"] = e.impl;
+    o["n"] = e.n;
+    o["base"] = e.base;
+    o["workers"] = static_cast<std::uint64_t>(e.workers);
+    json::array reps;
+    for (double w : e.wall_ms) reps.push_back(json::value(w));
+    o["wall_ms"] = json::value(std::move(reps));
+    o["trace_dropped"] = e.trace_dropped;
+    json::object metrics;
+    for (const metric_sample& m : e.metrics)
+      metrics[m.name] = metric_to_json(m);
+    o["metrics"] = json::value(std::move(metrics));
+    if (e.has_pmu) {
+      json::object pmu;
+      pmu["backend"] = e.pmu.backend;
+      if (e.pmu.cycles_valid) pmu["cycles"] = e.pmu.cycles;
+      if (e.pmu.instructions_valid) pmu["instructions"] = e.pmu.instructions;
+      if (e.pmu.l1d_valid) pmu["l1d_misses"] = e.pmu.l1d_misses;
+      if (e.pmu.llc_valid) pmu["llc_misses"] = e.pmu.llc_misses;
+      if (e.pmu.task_clock_valid) pmu["task_clock_ns"] = e.pmu.task_clock_ns;
+      o["pmu"] = json::value(std::move(pmu));
+    }
+    entries.push_back(json::value(std::move(o)));
+  }
+  root["entries"] = json::value(std::move(entries));
+  return json::value(std::move(root));
+}
+
+run_report report_from_json(const json::value& v) {
+  run_report r;
+  r.schema = v.at("schema").as_string();
+  if (r.schema != k_report_schema)
+    throw std::runtime_error("report: unknown schema '" + r.schema + "'");
+  r.version = static_cast<int>(v.at("version").as_int());
+  if (r.version > k_report_version)
+    throw std::runtime_error("report: version " + std::to_string(r.version) +
+                             " is newer than this reader (" +
+                             std::to_string(k_report_version) + ")");
+  if (const json::value* t = v.find("tool")) r.tool = t->as_string();
+  if (const json::value* g = v.find("git_sha")) r.git_sha = g->as_string();
+  if (const json::value* reps = v.find("repetitions"))
+    r.repetitions = static_cast<std::uint32_t>(reps->as_uint());
+  for (const json::value& ev : v.at("entries").as_array()) {
+    report_entry e;
+    e.benchmark = ev.at("benchmark").as_string();
+    e.impl = ev.at("impl").as_string();
+    e.n = ev.at("n").as_uint();
+    e.base = ev.at("base").as_uint();
+    if (const json::value* w = ev.find("workers"))
+      e.workers = static_cast<std::uint32_t>(w->as_uint());
+    for (const json::value& w : ev.at("wall_ms").as_array())
+      e.wall_ms.push_back(w.as_double());
+    if (const json::value* d = ev.find("trace_dropped"))
+      e.trace_dropped = d->as_uint();
+    if (const json::value* ms = ev.find("metrics"))
+      for (const auto& [name, mv] : ms->as_object())
+        e.metrics.push_back(metric_from_json(name, mv));
+    if (const json::value* pmu = ev.find("pmu")) {
+      e.has_pmu = true;
+      e.pmu.backend = pmu->at("backend").as_string();
+      auto get = [&](const char* k, std::uint64_t& out, bool& valid) {
+        if (const json::value* f = pmu->find(k)) {
+          out = f->as_uint();
+          valid = true;
+        }
+      };
+      get("cycles", e.pmu.cycles, e.pmu.cycles_valid);
+      get("instructions", e.pmu.instructions, e.pmu.instructions_valid);
+      get("l1d_misses", e.pmu.l1d_misses, e.pmu.l1d_valid);
+      get("llc_misses", e.pmu.llc_misses, e.pmu.llc_valid);
+      get("task_clock_ns", e.pmu.task_clock_ns, e.pmu.task_clock_valid);
+    }
+    r.entries.push_back(std::move(e));
+  }
+  return r;
+}
+
+void write_report_file(const std::string& path, const run_report& r) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("report: cannot open '" + path + "'");
+  out << report_to_json(r).dump(2) << "\n";
+  if (!out) throw std::runtime_error("report: write failed for '" + path + "'");
+}
+
+run_report read_report_file(const std::string& path) {
+  return report_from_json(json::parse_file(path));
+}
+
+// ---- comparison ------------------------------------------------------------
+
+namespace {
+
+/// The mean a parsed-back histogram metric carries (emitting side computes
+/// it from buckets; parsed side stores it directly).
+double hist_mean_of(const metric_sample& m) {
+  return m.parsed_hist_mean >= 0 ? m.parsed_hist_mean : m.hist.mean();
+}
+
+const metric_sample* find_metric(const report_entry& e,
+                                 const std::string& name) {
+  for (const metric_sample& m : e.metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+/// Group key without the impl: "benchmark|n|base".
+std::string group_key(const report_entry& e) {
+  return e.benchmark + "|" + std::to_string(e.n) + "|" +
+         std::to_string(e.base);
+}
+
+/// The wall statistic comparisons run on: mean, or the fastest repetition
+/// when the caller opted into min (noisy shared runners).
+double wall_stat(const report_entry& e, const compare_options& opts) {
+  return opts.use_min_wall ? e.wall_min_ms() : e.wall_mean_ms();
+}
+
+/// Normalised wall time: entry stat / reference-impl stat within the same
+/// group. Returns false when the reference impl is missing.
+bool normalized_wall(const run_report& r, const report_entry& e,
+                     const std::string& ref_impl,
+                     const compare_options& opts, double& out) {
+  for (const report_entry& cand : r.entries) {
+    if (cand.impl == ref_impl && group_key(cand) == group_key(e)) {
+      const double ref = wall_stat(cand, opts);
+      if (ref <= 0) return false;
+      out = wall_stat(e, opts) / ref;
+      return true;
+    }
+  }
+  return false;
+}
+
+compare_delta make_delta(std::string key, double base, double cand,
+                         double threshold) {
+  compare_delta d;
+  d.key = std::move(key);
+  d.baseline = base;
+  d.candidate = cand;
+  d.ratio = base > 0 ? cand / base : 0.0;
+  d.threshold = threshold;
+  if (base > 0 && cand > base * (1.0 + threshold))
+    d.verdict = compare_verdict::regression;
+  else if (base > 0 && cand < base * (1.0 - threshold))
+    d.verdict = compare_verdict::improvement;
+  return d;
+}
+
+}  // namespace
+
+compare_result compare_reports(const run_report& baseline,
+                               const run_report& candidate,
+                               const compare_options& opts) {
+  compare_result out;
+  std::map<std::string, const report_entry*> cand_by_key;
+  for (const report_entry& e : candidate.entries) cand_by_key[e.key()] = &e;
+
+  for (const report_entry& be : baseline.entries) {
+    auto it = cand_by_key.find(be.key());
+    if (it == cand_by_key.end()) {
+      out.notes.push_back("baseline-only entry (skipped): " + be.key());
+      continue;
+    }
+    const report_entry& ce = *it->second;
+    cand_by_key.erase(it);
+
+    const double noise =
+        opts.noise_k * std::max(be.wall_cv(), ce.wall_cv());
+    const double threshold = std::max(opts.tol, noise);
+
+    if (!opts.normalize.empty()) {
+      double b = 0, c = 0;
+      if (be.impl == opts.normalize) continue;  // the yardstick itself
+      if (!normalized_wall(baseline, be, opts.normalize, opts, b) ||
+          !normalized_wall(candidate, ce, opts.normalize, opts, c)) {
+        out.notes.push_back("no '" + opts.normalize +
+                            "' reference for " + be.key() + " (skipped)");
+        continue;
+      }
+      out.deltas.push_back(
+          make_delta(be.key() + " (vs " + opts.normalize + ")", b, c,
+                     threshold));
+    } else {
+      if (wall_stat(be, opts) < opts.min_wall_ms &&
+          wall_stat(ce, opts) < opts.min_wall_ms) {
+        out.notes.push_back("sub-threshold wall time (skipped): " + be.key());
+        continue;
+      }
+      out.deltas.push_back(make_delta(be.key(), wall_stat(be, opts),
+                                      wall_stat(ce, opts), threshold));
+
+      if (opts.compare_histograms) {
+        for (const metric_sample& bm : be.metrics) {
+          if (bm.kind != metric_kind::histogram) continue;
+          const metric_sample* cm = find_metric(ce, bm.name);
+          if (cm == nullptr || cm->kind != metric_kind::histogram) continue;
+          if (bm.hist.total < opts.min_hist_count ||
+              cm->hist.total < opts.min_hist_count)
+            continue;
+          out.deltas.push_back(make_delta(be.key() + ":" + bm.name,
+                                          hist_mean_of(bm), hist_mean_of(*cm),
+                                          threshold));
+        }
+      }
+    }
+  }
+  for (const auto& [key, e] : cand_by_key)
+    out.notes.push_back("candidate-only entry (skipped): " + key);
+
+  for (const compare_delta& d : out.deltas) {
+    if (d.verdict == compare_verdict::regression) ++out.regressions;
+    if (d.verdict == compare_verdict::improvement) ++out.improvements;
+  }
+  return out;
+}
+
+void print_compare(std::ostream& os, const compare_result& r,
+                   const compare_options& opts) {
+  table_printer table({"Entry", "Baseline", "Candidate", "Ratio", "Thresh",
+                       "Verdict"});
+  for (const compare_delta& d : r.deltas) {
+    const char* verdict = d.verdict == compare_verdict::regression
+                              ? "REGRESSION"
+                              : d.verdict == compare_verdict::improvement
+                                    ? "improved"
+                                    : "ok";
+    table.add_row({d.key, table_printer::num(d.baseline),
+                   table_printer::num(d.candidate),
+                   table_printer::num(d.ratio),
+                   std::string("+") + table_printer::num(d.threshold * 100.0) +
+                       "%",
+                   verdict});
+  }
+  table.print(os);
+  for (const std::string& note : r.notes) os << "note: " << note << "\n";
+  os << r.deltas.size() << " compared, " << r.regressions << " regression(s), "
+     << r.improvements << " improvement(s)";
+  if (!opts.normalize.empty())
+    os << " (normalized to '" << opts.normalize << "')";
+  os << "\n";
+}
+
+}  // namespace rdp::obs

@@ -1,0 +1,139 @@
+// Structured run reports: the machine-readable perf trajectory.
+//
+// A run report is schema-versioned JSON ("rdp-run-report", version 1)
+// holding one entry per (benchmark × impl × n × base) execution: wall-clock
+// repetitions, the metrics-registry snapshot (counters, gauges, histogram
+// quantiles), tracer drop counts, and PMU readings when the kernel granted
+// them. Benches emit one with --report=FILE; bench/report_compare diffs two
+// and exits nonzero on regression, which is what the CI perf-gate runs
+// against the committed BENCH_pr7.json baseline.
+//
+// Comparison is noise-aware: an entry regresses only when the candidate
+// mean exceeds the baseline mean by more than
+//     max(tol, noise_k × max(CV_baseline, CV_candidate))
+// where CV is the coefficient of variation across that entry's wall-clock
+// repetitions — a noisy machine automatically widens its own thresholds.
+// --normalize=IMPL switches to comparing ratios against that impl's wall
+// time within the same report, which cancels machine speed entirely and is
+// what CI uses across runner generations.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rdp::json {
+class value;
+}
+
+namespace rdp::obs {
+
+inline constexpr const char* k_report_schema = "rdp-run-report";
+inline constexpr int k_report_version = 1;
+
+/// One PMU reading attached to an entry (values only where the event
+/// opened; see perf_counters).
+struct report_pmu {
+  std::string backend;  // "hardware" | "software" | "null"
+  std::uint64_t cycles = 0, instructions = 0;
+  std::uint64_t l1d_misses = 0, llc_misses = 0, task_clock_ns = 0;
+  bool cycles_valid = false, instructions_valid = false;
+  bool l1d_valid = false, llc_valid = false, task_clock_valid = false;
+};
+
+/// One measured execution: a benchmark × impl × size point.
+struct report_entry {
+  std::string benchmark;  // "ge" | "sw" | "fw" | ...
+  std::string impl;       // variant-registry label, e.g. "dataflow:tuner"
+  std::uint64_t n = 0;
+  std::uint64_t base = 0;
+  std::uint32_t workers = 0;
+  std::vector<double> wall_ms;          // one per repetition
+  std::vector<metric_sample> metrics;   // registry snapshot for this entry
+  std::uint64_t trace_dropped = 0;      // lossy-trace satellite: surfaced here
+  bool has_pmu = false;
+  report_pmu pmu;
+
+  /// "benchmark|impl|n|base" — what compare matches entries on.
+  std::string key() const;
+  double wall_mean_ms() const noexcept;
+  /// Fastest repetition (0 with no repetitions). On shared runners
+  /// interference is strictly additive, so the minimum is the
+  /// least-disturbed measurement of the code under test.
+  double wall_min_ms() const noexcept;
+  /// Coefficient of variation of wall_ms (0 with < 2 repetitions).
+  double wall_cv() const noexcept;
+};
+
+struct run_report {
+  std::string schema = k_report_schema;
+  int version = k_report_version;
+  std::string tool;     // emitting binary, e.g. "registry_smoke"
+  std::string git_sha;  // configure-time `git rev-parse`, "unknown" outside git
+  std::uint32_t repetitions = 0;
+  std::vector<report_entry> entries;
+};
+
+/// The git SHA baked into the library at configure time.
+const char* build_git_sha() noexcept;
+
+json::value report_to_json(const run_report& r);
+run_report report_from_json(const json::value& v);  // throws on schema errors
+
+/// Serialise to `path` (pretty-printed). Throws std::runtime_error on I/O.
+void write_report_file(const std::string& path, const run_report& r);
+run_report read_report_file(const std::string& path);  // throws
+
+// ---- comparison ------------------------------------------------------------
+
+struct compare_options {
+  double tol = 0.08;      ///< minimum relative slowdown that counts
+  double noise_k = 3.0;   ///< threshold widens to noise_k × CV when noisier
+  double min_wall_ms = 0.05;  ///< entries faster than this are pure noise: skip
+  /// Compare histogram-metric means too (step latency etc.). Off in
+  /// --normalize mode, where only wall-clock ratios are meaningful.
+  bool compare_histograms = true;
+  /// Histogram metrics with fewer recorded samples than this are skipped
+  /// (sampled recorders need a population before the mean is trustworthy).
+  std::uint64_t min_hist_count = 16;
+  /// Non-empty: compare wall ratios against this impl's wall time within
+  /// the same (benchmark, n, base) group instead of raw milliseconds.
+  std::string normalize;
+  /// Compare on the fastest repetition instead of the mean. The choice for
+  /// noisy shared runners (CI): a scheduler burst inflates the mean of
+  /// whichever run it lands on, while the per-entry minimum only needs one
+  /// undisturbed repetition on each side.
+  bool use_min_wall = false;
+};
+
+enum class compare_verdict : std::uint8_t { ok, regression, improvement };
+
+struct compare_delta {
+  std::string key;     // entry key, plus ":<metric>" for histogram rows
+  double baseline = 0;
+  double candidate = 0;
+  double ratio = 0;      // candidate / baseline
+  double threshold = 0;  // relative slowdown that would have been tolerated
+  compare_verdict verdict = compare_verdict::ok;
+};
+
+struct compare_result {
+  std::vector<compare_delta> deltas;
+  std::vector<std::string> notes;  // unmatched entries, skipped rows
+  int regressions = 0;
+  int improvements = 0;
+  /// Process exit code: nonzero iff any regression.
+  int exit_code() const noexcept { return regressions > 0 ? 1 : 0; }
+};
+
+compare_result compare_reports(const run_report& baseline,
+                               const run_report& candidate,
+                               const compare_options& opts);
+
+void print_compare(std::ostream& os, const compare_result& r,
+                   const compare_options& opts);
+
+}  // namespace rdp::obs

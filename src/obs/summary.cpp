@@ -85,7 +85,8 @@ std::vector<phase_summary> summarize(const std::vector<event>& events,
 }
 
 void print_summary(std::ostream& os,
-                   const std::vector<phase_summary>& phases) {
+                   const std::vector<phase_summary>& phases,
+                   std::uint64_t dropped) {
   table_printer table({"Phase", "Tasks", "Busy(ms)", "Wall(ms)", "Spawn",
                        "Inject", "Ovfl", "Steal", "Park", "Join", "DWait",
                        "Abort", "Re-exec", "Requeue", "Defer", "Put", "Get",
@@ -106,6 +107,10 @@ void print_summary(std::ostream& os,
                    std::to_string(p.get_misses)});
   }
   table.print(os);
+  if (dropped > 0)
+    os << "  !! trace lossy: " << dropped
+       << " event(s) dropped (full per-thread ring buffers) — "
+          "every count above is a lower bound\n";
 }
 
 }  // namespace rdp::obs

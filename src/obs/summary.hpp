@@ -51,7 +51,11 @@ std::vector<phase_summary> summarize(const std::vector<event>& events,
                                      const tracer& t);
 
 /// Print one aligned table (support/table_printer) with a row per phase.
+/// A nonzero `dropped` (tracer ring-buffer overflow count for the session)
+/// appends a footer marking every count above as a floor, not an exact
+/// value — a lossy trace silently undercounts otherwise.
 void print_summary(std::ostream& os,
-                   const std::vector<phase_summary>& phases);
+                   const std::vector<phase_summary>& phases,
+                   std::uint64_t dropped = 0);
 
 }  // namespace rdp::obs

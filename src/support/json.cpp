@@ -1,0 +1,431 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rdp::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, kind got) {
+  static constexpr const char* names[] = {"null",   "boolean", "number",
+                                          "string", "array",   "object"};
+  throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                           names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool value::as_bool() const {
+  if (kind_ != kind::boolean) type_error("boolean", kind_);
+  return bool_;
+}
+
+double value::as_double() const {
+  if (kind_ != kind::number) type_error("number", kind_);
+  return num_;
+}
+
+std::int64_t value::as_int() const {
+  if (kind_ != kind::number) type_error("number", kind_);
+  if (has_int_) return int_;
+  return static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t value::as_uint() const {
+  return static_cast<std::uint64_t>(as_int());
+}
+
+const std::string& value::as_string() const {
+  if (kind_ != kind::string) type_error("string", kind_);
+  return str_;
+}
+
+const array& value::as_array() const {
+  if (kind_ != kind::array) type_error("array", kind_);
+  return *arr_;
+}
+
+array& value::as_array() {
+  if (kind_ != kind::array) type_error("array", kind_);
+  return *arr_;
+}
+
+const object& value::as_object() const {
+  if (kind_ != kind::object) type_error("object", kind_);
+  return *obj_;
+}
+
+object& value::as_object() {
+  if (kind_ != kind::object) type_error("object", kind_);
+  return *obj_;
+}
+
+const value* value::find(std::string_view key) const {
+  if (kind_ != kind::object) return nullptr;
+  auto it = obj_->find(std::string(key));
+  return it == obj_->end() ? nullptr : &it->second;
+}
+
+const value& value::at(std::string_view key) const {
+  const value* v = find(key);
+  if (v == nullptr)
+    throw std::runtime_error("json: missing key '" + std::string(key) + "'");
+  return *v;
+}
+
+value& value::operator[](const std::string& key) {
+  if (kind_ == kind::null) {
+    kind_ = kind::object;
+    obj_ = std::make_shared<object>();
+  }
+  if (kind_ != kind::object) type_error("object", kind_);
+  return (*obj_)[key];
+}
+
+void value::push_back(value v) {
+  if (kind_ == kind::null) {
+    kind_ = kind::array;
+    arr_ = std::make_shared<array>();
+  }
+  if (kind_ != kind::array) type_error("array", kind_);
+  arr_->push_back(std::move(v));
+}
+
+// ---- serialisation ---------------------------------------------------------
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double d, std::int64_t i, bool has_int) {
+  if (has_int) {
+    out += std::to_string(i);
+    return;
+  }
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; report as null
+    out += "null";
+    return;
+  }
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+      std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+    return;
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << d;
+  out += os.str();
+}
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void value::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case kind::null: out += "null"; break;
+    case kind::boolean: out += bool_ ? "true" : "false"; break;
+    case kind::number: dump_number(out, num_, int_, has_int_); break;
+    case kind::string: dump_string(out, str_); break;
+    case kind::array: {
+      if (arr_->empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const value& v : *arr_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case kind::object: {
+      if (obj_->empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : *obj_) {
+        if (!first) out += ',';
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        dump_string(out, k);
+        out += indent > 0 ? ": " : ":";
+        v.dump_to(out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string value::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---- parser ----------------------------------------------------------------
+
+namespace {
+
+class parser {
+public:
+  explicit parser(std::string_view text) : text_(text) {}
+
+  value parse_document() {
+    value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("json: " + what + " at line " +
+                             std::to_string(line) + ", column " +
+                             std::to_string(col));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+        ++pos_;
+      else
+        break;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) fail("invalid literal");
+    pos_ += lit.size();
+  }
+
+  value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return value(parse_string());
+      case 't': expect_literal("true"); return value(true);
+      case 'f': expect_literal("false"); return value(false);
+      case 'n': expect_literal("null"); return value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  value parse_object() {
+    expect('{');
+    object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return value(std::move(obj));
+  }
+
+  value parse_array() {
+    expect('[');
+    array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char e = next();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9')
+                code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code += static_cast<unsigned>(h - 'A' + 10);
+              else
+                fail("invalid \\u escape");
+            }
+            // UTF-8 encode the BMP code point (reports never emit
+            // surrogate pairs; a lone surrogate encodes as-is).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape sequence");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      fail("invalid number");
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok(text_.substr(start, pos_ - start));
+    if (integral) {
+      try {
+        return value(static_cast<std::int64_t>(std::stoll(tok)));
+      } catch (const std::out_of_range&) {
+        // Fall through to double for magnitudes past int64.
+      }
+    }
+    try {
+      return value(std::stod(tok));
+    } catch (const std::exception&) {
+      fail("invalid number '" + tok + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+value parse(std::string_view text) { return parser(text).parse_document(); }
+
+value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("json: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace rdp::json

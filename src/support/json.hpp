@@ -1,0 +1,104 @@
+// Minimal JSON value, parser and serialiser for the structured run reports
+// (obs/report) and the report_compare CLI. Dependency-free on purpose: the
+// container bakes in only the C++ toolchain, and the subset of JSON the
+// reports need — objects, arrays, strings, doubles, bools, null — fits in a
+// page of recursive descent.
+//
+// Numbers are stored as double (plus the uint64 they were parsed from when
+// lossless), which is exact for every count the reports emit below 2^53 and
+// within noise thresholds far above that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdp::json {
+
+class value;
+
+// Declared before the `array`/`object` aliases so GCC's -Wshadow (which
+// flags even scoped enumerators) stays quiet.
+enum class kind : std::uint8_t { null, boolean, number, string, array, object };
+
+using array = std::vector<value>;
+/// std::map keeps object keys sorted, so serialisation is deterministic and
+/// two reports of the same run diff cleanly.
+using object = std::map<std::string, value>;
+
+class value {
+public:
+  value() = default;
+  value(std::nullptr_t) {}
+  value(bool b) : kind_(kind::boolean), bool_(b) {}
+  value(double d) : kind_(kind::number), num_(d) {}
+  value(std::int64_t i)
+      : kind_(kind::number), num_(static_cast<double>(i)), int_(i),
+        has_int_(true) {}
+  value(std::uint64_t u)
+      : kind_(kind::number), num_(static_cast<double>(u)),
+        int_(static_cast<std::int64_t>(u)), has_int_(true) {}
+  value(int i) : value(static_cast<std::int64_t>(i)) {}
+  value(const char* s) : kind_(kind::string), str_(s) {}
+  value(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+  value(std::string_view s) : kind_(kind::string), str_(s) {}
+  value(array a)
+      : kind_(kind::array), arr_(std::make_shared<array>(std::move(a))) {}
+  value(object o)
+      : kind_(kind::object), obj_(std::make_shared<object>(std::move(o))) {}
+
+  kind type() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == kind::null; }
+  bool is_bool() const noexcept { return kind_ == kind::boolean; }
+  bool is_number() const noexcept { return kind_ == kind::number; }
+  bool is_string() const noexcept { return kind_ == kind::string; }
+  bool is_array() const noexcept { return kind_ == kind::array; }
+  bool is_object() const noexcept { return kind_ == kind::object; }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  bool as_bool() const;
+  double as_double() const;
+  std::int64_t as_int() const;   // exact when parsed from an integer literal
+  std::uint64_t as_uint() const;
+  const std::string& as_string() const;
+  const array& as_array() const;
+  const object& as_object() const;
+  array& as_array();
+  object& as_object();
+
+  /// Object lookup; returns nullptr when absent or not an object.
+  const value* find(std::string_view key) const;
+  /// Object lookup with a throw-on-missing contract (schema fields).
+  const value& at(std::string_view key) const;
+
+  /// Object/array mutation helpers for report building.
+  value& operator[](const std::string& key);  // object, creates
+  void push_back(value v);                    // array, creates
+
+  /// Serialise. `indent` > 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  kind kind_ = kind::null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool has_int_ = false;
+  std::string str_;
+  std::shared_ptr<array> arr_;
+  std::shared_ptr<object> obj_;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error with a
+/// line/column message on malformed input or trailing garbage.
+value parse(std::string_view text);
+
+/// Parse the file at `path`; throws std::runtime_error (I/O or syntax).
+value parse_file(const std::string& path);
+
+}  // namespace rdp::json

@@ -1,0 +1,316 @@
+// Tests for the always-on metrics substrate (obs/metrics).
+//
+// The histogram checks are hand-computed from the bucketing math (16 linear
+// sub-buckets per octave, values < 16 exact) rather than recomputed through
+// the library, so a bucketing regression cannot cancel out of both sides.
+// The concurrency stress runs under the `runtime` ctest label, i.e. also
+// under TSan/UBSan via the sanitizer presets.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace {
+
+using namespace rdp::obs;
+
+/// Metrics are registered process-wide and never destroyed; every test uses
+/// its own names so state cannot leak between tests.
+std::string uniq(const char* stem) {
+  static std::atomic<int> n{0};
+  return std::string("test.") + stem + "." +
+         std::to_string(n.fetch_add(1));
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_metrics_enabled(true); }
+  void TearDown() override { set_metrics_enabled(true); }
+};
+
+// ---- bucketing math --------------------------------------------------------
+
+TEST_F(MetricsTest, BucketIndexIsExactBelowSixteen) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(histogram_bucket_index(v), v);
+    EXPECT_EQ(histogram_bucket_lower(v), v);
+    EXPECT_EQ(histogram_bucket_upper(v), v);
+    EXPECT_EQ(histogram_bucket_mid(v), v);
+  }
+}
+
+TEST_F(MetricsTest, BucketBoundsBracketTheValue) {
+  std::uint64_t prev_idx = 0;
+  for (std::uint64_t v = 0; v < (1u << 20); v = v < 64 ? v + 1 : v * 5 / 4) {
+    const std::size_t idx = histogram_bucket_index(v);
+    EXPECT_GE(idx, prev_idx) << v;  // monotone
+    prev_idx = idx;
+    EXPECT_LE(histogram_bucket_lower(idx), v);
+    EXPECT_GE(histogram_bucket_upper(idx), v);
+    if (v >= 16) {
+      // Relative width <= 1/16 = 6.25% of the bucket's lower bound.
+      const double width = static_cast<double>(histogram_bucket_upper(idx) -
+                                               histogram_bucket_lower(idx));
+      EXPECT_LE(width,
+                static_cast<double>(histogram_bucket_lower(idx)) / 16.0);
+    }
+  }
+}
+
+TEST_F(MetricsTest, HandComputedBucketOfOneHundred) {
+  // 100 = 0b1100100: msb 6, shift 2, idx = (2<<4) + 25 = 57. The bucket
+  // covers [100, 103], midpoint 101.
+  EXPECT_EQ(histogram_bucket_index(100), 57u);
+  EXPECT_EQ(histogram_bucket_lower(57), 100u);
+  EXPECT_EQ(histogram_bucket_upper(57), 103u);
+  EXPECT_EQ(histogram_bucket_mid(57), 101u);
+}
+
+// ---- counters and gauges ---------------------------------------------------
+
+TEST_F(MetricsTest, CounterSumsAcrossValues) {
+  counter c;
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GaugeGoesNegative) {
+  gauge g;
+  g.add(5);
+  g.sub(2);
+  EXPECT_EQ(g.value(), 3);
+  g.sub(4);
+  EXPECT_EQ(g.value(), -1);
+}
+
+TEST_F(MetricsTest, DisabledRecordersAreNoOps) {
+  counter c;
+  histogram h;
+  set_metrics_enabled(false);
+  c.add(7);
+  h.record(7);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(h.snapshot().empty());
+  set_metrics_enabled(true);
+  c.add(7);
+  h.record(7);
+  EXPECT_EQ(c.value(), 7u);
+  EXPECT_EQ(h.snapshot().count(), 1u);
+}
+
+// ---- histogram quantiles (hand-computed) -----------------------------------
+
+TEST_F(MetricsTest, ExactQuantilesForSmallValues) {
+  // Values 1..10 land in exact buckets: the q-quantile is the
+  // ceil(q*10)-th observation itself.
+  histogram h;
+  for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+  const histogram_snapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_EQ(s.quantile(0.50), 5u);
+  EXPECT_EQ(s.quantile(0.90), 9u);
+  EXPECT_EQ(s.quantile(0.99), 10u);
+  EXPECT_EQ(s.quantile(1.0), 10u);  // exact max
+  EXPECT_EQ(s.max, 10u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+}
+
+TEST_F(MetricsTest, QuantilesUseBucketMidpoints) {
+  // 1000 observations of 100 all land in bucket [100, 103] (mid 101);
+  // every interior quantile reports the midpoint, q=1 the exact max.
+  histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(100);
+  const histogram_snapshot s = h.snapshot();
+  EXPECT_EQ(s.quantile(0.50), 101u);
+  EXPECT_EQ(s.quantile(0.99), 101u);
+  EXPECT_EQ(s.quantile(1.0), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 101.0);
+}
+
+TEST_F(MetricsTest, MixedDistributionQuantiles) {
+  // 900 x 10 (exact bucket), 90 x 100 (mid 101), 10 x 1000 (bucket
+  // [1000, 1015], mid 1007). Ranks: p50 -> 500th = 10, p90 -> 900th = 10,
+  // p99 -> 990th = 101, max exact.
+  histogram h;
+  for (int i = 0; i < 900; ++i) h.record(10);
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(1000);
+  const histogram_snapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_EQ(s.quantile(0.50), 10u);
+  EXPECT_EQ(s.quantile(0.90), 10u);
+  EXPECT_EQ(s.quantile(0.99), 101u);
+  EXPECT_EQ(s.quantile(1.0), 1000u);
+}
+
+TEST_F(MetricsTest, OverflowBucketKeepsExactMax) {
+  histogram h;
+  h.record(k_histogram_max + 12345);
+  h.record(5);
+  const histogram_snapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), 2u);
+  ASSERT_EQ(s.buckets.size(), k_histogram_buckets);
+  EXPECT_EQ(s.buckets[k_histogram_overflow_bucket], 1u);
+  EXPECT_EQ(s.max, k_histogram_max + 12345);
+  // The overflow bucket reports the exact maximum, not a midpoint.
+  EXPECT_EQ(s.quantile(1.0), k_histogram_max + 12345);
+  EXPECT_EQ(s.quantile(0.99), k_histogram_max + 12345);
+}
+
+// ---- merge -----------------------------------------------------------------
+
+TEST_F(MetricsTest, MergeIsExactAndAssociative) {
+  histogram ha, hb, hc, hall;
+  auto feed = [&](histogram& h, std::uint64_t seed, int count) {
+    std::uint64_t x = seed;
+    for (int i = 0; i < count; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      const std::uint64_t v = x >> 40;  // 24-bit values
+      h.record(v);
+      hall.record(v);
+    }
+  };
+  feed(ha, 1, 500);
+  feed(hb, 2, 300);
+  feed(hc, 3, 200);
+
+  histogram_snapshot left = ha.snapshot();   // (a + b) + c
+  left.merge(hb.snapshot());
+  left.merge(hc.snapshot());
+  histogram_snapshot right = hb.snapshot();  // a + (b + c)
+  right.merge(hc.snapshot());
+  histogram_snapshot a = ha.snapshot();
+  a.merge(right);
+
+  EXPECT_EQ(left, a);
+  EXPECT_EQ(left, hall.snapshot());  // merge == recording into one
+  EXPECT_EQ(left.count(), 1000u);
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST_F(MetricsTest, RegistryReturnsStableReferences) {
+  const std::string name = uniq("ctr");
+  counter& a = metrics_registry::instance().get_counter(name);
+  counter& b = metrics_registry::instance().get_counter(name);
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(MetricsTest, SnapshotCarriesAllThreeKinds) {
+  auto& reg = metrics_registry::instance();
+  const std::string cn = uniq("c"), gn = uniq("g"), hn = uniq("h");
+  reg.get_counter(cn).add(7);
+  reg.get_gauge(gn).add(-2);
+  reg.get_histogram(hn).record(100);
+
+  bool saw_c = false, saw_g = false, saw_h = false;
+  for (const metric_sample& m : reg.snapshot()) {
+    if (m.name == cn) {
+      saw_c = true;
+      EXPECT_EQ(m.kind, metric_kind::counter);
+      EXPECT_EQ(m.value, 7u);
+    } else if (m.name == gn) {
+      saw_g = true;
+      EXPECT_EQ(m.kind, metric_kind::gauge);
+      EXPECT_EQ(m.gauge_value, -2);
+    } else if (m.name == hn) {
+      saw_h = true;
+      EXPECT_EQ(m.kind, metric_kind::histogram);
+      EXPECT_EQ(m.hist.count(), 1u);
+      EXPECT_EQ(m.hist.max, 100u);
+    }
+  }
+  EXPECT_TRUE(saw_c && saw_g && saw_h);
+
+  reg.reset();
+  for (const metric_sample& m : reg.snapshot()) {
+    if (m.name == cn) {
+      EXPECT_EQ(m.value, 0u);
+    }
+    if (m.name == hn) {
+      EXPECT_TRUE(m.hist.empty());
+    }
+  }
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedByName) {
+  auto& reg = metrics_registry::instance();
+  reg.get_counter(uniq("zz"));
+  reg.get_counter(uniq("aa"));
+  const auto snap = reg.snapshot();
+  for (std::size_t i = 1; i < snap.size(); ++i)
+    EXPECT_LE(snap[i - 1].name, snap[i].name);
+}
+
+// ---- sampling helper -------------------------------------------------------
+
+TEST_F(MetricsTest, SampledFiresEveryMaskPlusOne) {
+  std::uint32_t site = 0;
+  int fired = 0;
+  for (int i = 1; i <= 256; ++i)
+    if (metrics_sampled(site, 63)) {
+      ++fired;
+      EXPECT_EQ(i % 64, 0) << i;
+    }
+  EXPECT_EQ(fired, 4);
+}
+
+// ---- concurrency stress (runs under TSan via the runtime label) ------------
+
+TEST_F(MetricsTest, ConcurrentCountsAreExactWhenQuiescent) {
+  constexpr int k_threads = 8;
+  constexpr int k_per_thread = 50000;
+  counter c;
+  gauge g;
+  histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(k_threads);
+  for (int t = 0; t < k_threads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < k_per_thread; ++i) {
+        c.add();
+        g.add(2);
+        g.sub(1);
+        h.record(static_cast<std::uint64_t>(t * 1000 + (i & 511)));
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  EXPECT_EQ(c.value(), std::uint64_t(k_threads) * k_per_thread);
+  EXPECT_EQ(g.value(), std::int64_t(k_threads) * k_per_thread);
+  const histogram_snapshot s = h.snapshot();
+  EXPECT_EQ(s.count(), std::uint64_t(k_threads) * k_per_thread);
+  EXPECT_EQ(s.max, 7000u + 511u);
+}
+
+TEST_F(MetricsTest, ConcurrentRegistryRegistrationIsSafe) {
+  const std::string shared = uniq("shared");
+  constexpr int k_threads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<counter*> first{nullptr};
+  for (int t = 0; t < k_threads; ++t) {
+    threads.emplace_back([&] {
+      counter& c = metrics_registry::instance().get_counter(shared);
+      counter* expected = nullptr;
+      first.compare_exchange_strong(expected, &c);
+      EXPECT_EQ(first.load(), &c);  // everyone resolves to one instance
+      c.add();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(metrics_registry::instance().get_counter(shared).value(),
+            std::uint64_t(k_threads));
+}
+
+}  // namespace

@@ -1,0 +1,382 @@
+// Tests for structured run reports (obs/report): JSON round-trips, schema
+// guards, file I/O, and the noise-aware comparison the CI perf gate rests
+// on. Compare inputs are synthetic reports with hand-chosen wall times, so
+// every verdict is checked against an arithmetic expectation rather than a
+// second run of the library.
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/report.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace rdp::obs;
+
+metric_sample make_counter(std::string name, std::uint64_t v) {
+  metric_sample m;
+  m.name = std::move(name);
+  m.kind = metric_kind::counter;
+  m.value = v;
+  return m;
+}
+
+metric_sample make_gauge(std::string name, std::int64_t v) {
+  metric_sample m;
+  m.name = std::move(name);
+  m.kind = metric_kind::gauge;
+  m.gauge_value = v;
+  return m;
+}
+
+/// Histogram sample with `count` observations of one value (its mean is the
+/// bucket midpoint of `value` — exact for values below 16).
+metric_sample make_hist(std::string name, std::uint64_t value,
+                        std::uint64_t count) {
+  metric_sample m;
+  m.name = std::move(name);
+  m.kind = metric_kind::histogram;
+  m.hist.buckets.assign(k_histogram_buckets, 0);
+  m.hist.buckets[histogram_bucket_index(value)] = count;
+  m.hist.max = value;
+  m.hist.total = count;
+  return m;
+}
+
+report_entry make_entry(std::string bench, std::string impl,
+                        std::vector<double> wall) {
+  report_entry e;
+  e.benchmark = std::move(bench);
+  e.impl = std::move(impl);
+  e.n = 256;
+  e.base = 16;
+  e.workers = 4;
+  e.wall_ms = std::move(wall);
+  return e;
+}
+
+run_report make_report(std::vector<report_entry> entries) {
+  run_report r;
+  r.tool = "test";
+  r.git_sha = "deadbeef";
+  r.repetitions = 3;
+  r.entries = std::move(entries);
+  return r;
+}
+
+// ---- entry statistics ------------------------------------------------------
+
+TEST(Report, EntryKeyAndWallStats) {
+  report_entry e = make_entry("ge", "forkjoin", {10.0, 12.0, 14.0});
+  EXPECT_EQ(e.key(), "ge|forkjoin|256|16");
+  EXPECT_DOUBLE_EQ(e.wall_mean_ms(), 12.0);
+  // Sample stdev of {10,12,14} is 2; CV = 2/12.
+  EXPECT_NEAR(e.wall_cv(), 2.0 / 12.0, 1e-12);
+
+  report_entry single = make_entry("ge", "serial", {5.0});
+  EXPECT_DOUBLE_EQ(single.wall_cv(), 0.0);
+  report_entry empty = make_entry("ge", "serial", {});
+  EXPECT_DOUBLE_EQ(empty.wall_mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.wall_min_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(e.wall_min_ms(), 10.0);
+}
+
+// A scheduler burst that inflates one repetition dominates the mean but not
+// the minimum: --stat=min judges the undisturbed repetitions on each side.
+TEST(Report, MinStatIgnoresDisturbedRepetitions) {
+  const run_report base = make_report({make_entry("ge", "forkjoin",
+                                                  {10.0, 12.0})});
+  // One of the candidate's repetitions absorbed ~5x of interference.
+  const run_report cand = make_report({make_entry("ge", "forkjoin",
+                                                  {10.5, 50.0})});
+  compare_options opts;
+  opts.noise_k = 0.0;  // pin threshold to tol: the stat is what's under test
+  opts.tol = 0.08;
+
+  const compare_result mean_based = compare_reports(base, cand, opts);
+  ASSERT_EQ(mean_based.deltas.size(), 1u);
+  EXPECT_EQ(mean_based.deltas[0].verdict, compare_verdict::regression);
+
+  opts.use_min_wall = true;
+  const compare_result min_based = compare_reports(base, cand, opts);
+  ASSERT_EQ(min_based.deltas.size(), 1u);
+  EXPECT_DOUBLE_EQ(min_based.deltas[0].baseline, 10.0);
+  EXPECT_DOUBLE_EQ(min_based.deltas[0].candidate, 10.5);
+  EXPECT_EQ(min_based.deltas[0].verdict, compare_verdict::ok);
+
+  // A real slowdown still shows in every repetition, min included.
+  const run_report slow = make_report({make_entry("ge", "forkjoin",
+                                                  {13.0, 13.5})});
+  const compare_result real_regression = compare_reports(base, slow, opts);
+  ASSERT_EQ(real_regression.deltas.size(), 1u);
+  EXPECT_EQ(real_regression.deltas[0].verdict, compare_verdict::regression);
+}
+
+// ---- serialisation ---------------------------------------------------------
+
+TEST(Report, JsonRoundTripPreservesEverything) {
+  report_entry e = make_entry("sw", "dataflow:tuner", {1.5, 2.5});
+  e.trace_dropped = 42;
+  e.metrics.push_back(make_counter("cnc.items_put", 1000));
+  e.metrics.push_back(make_gauge("cnc.items_live", -3));
+  e.metrics.push_back(make_hist("cnc.step_ns", 100, 64));
+  e.has_pmu = true;
+  e.pmu.backend = "hardware";
+  e.pmu.cycles = 123456;
+  e.pmu.cycles_valid = true;
+  e.pmu.llc_misses = 99;
+  e.pmu.llc_valid = true;
+  // instructions/l1d/task_clock stay invalid: they must not round-trip.
+
+  const run_report r = make_report({e});
+  const run_report back = report_from_json(report_to_json(r));
+
+  EXPECT_EQ(back.schema, k_report_schema);
+  EXPECT_EQ(back.version, k_report_version);
+  EXPECT_EQ(back.tool, "test");
+  EXPECT_EQ(back.git_sha, "deadbeef");
+  EXPECT_EQ(back.repetitions, 3u);
+  ASSERT_EQ(back.entries.size(), 1u);
+  const report_entry& b = back.entries[0];
+  EXPECT_EQ(b.key(), e.key());
+  EXPECT_EQ(b.workers, 4u);
+  ASSERT_EQ(b.wall_ms.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.wall_ms[0], 1.5);
+  EXPECT_DOUBLE_EQ(b.wall_ms[1], 2.5);
+  EXPECT_EQ(b.trace_dropped, 42u);
+
+  ASSERT_EQ(b.metrics.size(), 3u);  // keyed object: sorted by name
+  bool saw_c = false, saw_g = false, saw_h = false;
+  for (const metric_sample& m : b.metrics) {
+    if (m.name == "cnc.items_put") {
+      saw_c = true;
+      EXPECT_EQ(m.kind, metric_kind::counter);
+      EXPECT_EQ(m.value, 1000u);
+    } else if (m.name == "cnc.items_live") {
+      saw_g = true;
+      EXPECT_EQ(m.kind, metric_kind::gauge);
+      EXPECT_EQ(m.gauge_value, -3);
+    } else if (m.name == "cnc.step_ns") {
+      saw_h = true;
+      EXPECT_EQ(m.kind, metric_kind::histogram);
+      EXPECT_EQ(m.hist.total, 64u);
+      EXPECT_EQ(m.hist.max, 100u);
+      // Buckets don't round-trip; the parsed mean does (bucket mid of 100).
+      EXPECT_NEAR(m.parsed_hist_mean, 101.0, 1e-9);
+      EXPECT_NEAR(m.parsed_p99, 101.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(saw_c && saw_g && saw_h);
+
+  EXPECT_TRUE(b.has_pmu);
+  EXPECT_EQ(b.pmu.backend, "hardware");
+  EXPECT_TRUE(b.pmu.cycles_valid);
+  EXPECT_EQ(b.pmu.cycles, 123456u);
+  EXPECT_TRUE(b.pmu.llc_valid);
+  EXPECT_EQ(b.pmu.llc_misses, 99u);
+  EXPECT_FALSE(b.pmu.instructions_valid);
+  EXPECT_FALSE(b.pmu.l1d_valid);
+  EXPECT_FALSE(b.pmu.task_clock_valid);
+}
+
+TEST(Report, RejectsForeignSchemaAndNewerVersion) {
+  EXPECT_THROW(report_from_json(rdp::json::parse(
+                   R"({"schema":"not-a-report","version":1,"entries":[]})")),
+               std::runtime_error);
+  EXPECT_THROW(
+      report_from_json(rdp::json::parse(
+          R"({"schema":"rdp-run-report","version":99,"entries":[]})")),
+      std::runtime_error);
+  // Older/equal versions parse (forward-written files stay readable).
+  const run_report ok = report_from_json(rdp::json::parse(
+      R"({"schema":"rdp-run-report","version":1,"entries":[]})"));
+  EXPECT_TRUE(ok.entries.empty());
+  EXPECT_THROW(report_from_json(rdp::json::parse(R"({"version":1})")),
+               std::runtime_error);  // schema field is mandatory
+}
+
+TEST(Report, FileRoundTripAndIoErrors) {
+  const std::string path = ::testing::TempDir() + "/rdp_report_test.json";
+  run_report r = make_report({make_entry("fw", "serial", {3.0})});
+  write_report_file(path, r);
+  const run_report back = read_report_file(path);
+  ASSERT_EQ(back.entries.size(), 1u);
+  EXPECT_EQ(back.entries[0].key(), "fw|serial|256|16");
+
+  EXPECT_THROW(write_report_file("/nonexistent-dir/x/y.json", r),
+               std::runtime_error);
+  EXPECT_THROW(read_report_file("/nonexistent-dir/x/y.json"),
+               std::runtime_error);
+}
+
+// ---- comparison ------------------------------------------------------------
+
+TEST(ReportCompare, IdenticalReportsAreClean) {
+  const run_report r = make_report({make_entry("ge", "forkjoin", {10, 10, 10}),
+                                    make_entry("sw", "tiled", {5, 5, 5})});
+  const compare_result res = compare_reports(r, r, compare_options{});
+  EXPECT_EQ(res.regressions, 0);
+  EXPECT_EQ(res.improvements, 0);
+  EXPECT_EQ(res.deltas.size(), 2u);
+  EXPECT_EQ(res.exit_code(), 0);
+}
+
+TEST(ReportCompare, TwentyPercentSlowdownRegressesAtDefaultTolerance) {
+  const run_report base = make_report({make_entry("ge", "forkjoin", {10, 10})});
+  const run_report cand = make_report({make_entry("ge", "forkjoin", {12, 12})});
+  compare_options opts;  // tol 0.08, zero CV on both sides
+  const compare_result res = compare_reports(base, cand, opts);
+  ASSERT_EQ(res.deltas.size(), 1u);
+  EXPECT_EQ(res.deltas[0].verdict, compare_verdict::regression);
+  EXPECT_NEAR(res.deltas[0].ratio, 1.2, 1e-12);
+  EXPECT_NEAR(res.deltas[0].threshold, 0.08, 1e-12);
+  EXPECT_EQ(res.exit_code(), 1);
+}
+
+TEST(ReportCompare, NoisyRepetitionsWidenTheThreshold) {
+  // Baseline CV of {8, 12} is sqrt(8)/10 ≈ 0.283; with noise_k = 3 the
+  // threshold grows to ≈ 0.849, so a +20% mean shift is not a regression.
+  const run_report base = make_report({make_entry("ge", "forkjoin", {8, 12})});
+  const run_report cand = make_report({make_entry("ge", "forkjoin", {12, 12})});
+  const compare_result res = compare_reports(base, cand, compare_options{});
+  ASSERT_EQ(res.deltas.size(), 1u);
+  EXPECT_EQ(res.deltas[0].verdict, compare_verdict::ok);
+  EXPECT_NEAR(res.deltas[0].threshold, 3.0 * std::sqrt(8.0) / 10.0, 1e-9);
+  EXPECT_EQ(res.exit_code(), 0);
+}
+
+TEST(ReportCompare, LargeSpeedupCountsAsImprovement) {
+  const run_report base = make_report({make_entry("ge", "forkjoin", {10, 10})});
+  const run_report cand = make_report({make_entry("ge", "forkjoin", {8, 8})});
+  const compare_result res = compare_reports(base, cand, compare_options{});
+  ASSERT_EQ(res.deltas.size(), 1u);
+  EXPECT_EQ(res.deltas[0].verdict, compare_verdict::improvement);
+  EXPECT_EQ(res.improvements, 1);
+  EXPECT_EQ(res.exit_code(), 0);  // improvements never fail the gate
+}
+
+TEST(ReportCompare, SubMillisecondEntriesAreSkippedAsNoise) {
+  const run_report base =
+      make_report({make_entry("ge", "forkjoin", {0.01, 0.01})});
+  const run_report cand =
+      make_report({make_entry("ge", "forkjoin", {0.04, 0.04})});
+  const compare_result res = compare_reports(base, cand, compare_options{});
+  EXPECT_TRUE(res.deltas.empty());  // 4x slower but below min_wall_ms: noise
+  EXPECT_EQ(res.regressions, 0);
+  ASSERT_EQ(res.notes.size(), 1u);
+  EXPECT_NE(res.notes[0].find("sub-threshold"), std::string::npos);
+}
+
+TEST(ReportCompare, UnmatchedEntriesBecomeNotesNotFailures) {
+  const run_report base = make_report({make_entry("ge", "forkjoin", {10}),
+                                       make_entry("ge", "old-impl", {10})});
+  const run_report cand = make_report({make_entry("ge", "forkjoin", {10}),
+                                       make_entry("ge", "new-impl", {10})});
+  const compare_result res = compare_reports(base, cand, compare_options{});
+  EXPECT_EQ(res.deltas.size(), 1u);
+  EXPECT_EQ(res.regressions, 0);
+  bool base_only = false, cand_only = false;
+  for (const std::string& n : res.notes) {
+    if (n.find("baseline-only") != std::string::npos &&
+        n.find("old-impl") != std::string::npos)
+      base_only = true;
+    if (n.find("candidate-only") != std::string::npos &&
+        n.find("new-impl") != std::string::npos)
+      cand_only = true;
+  }
+  EXPECT_TRUE(base_only && cand_only);
+}
+
+TEST(ReportCompare, HistogramMeanRegressionIsCaught) {
+  report_entry be = make_entry("sw", "dataflow", {10, 10});
+  be.metrics.push_back(make_hist("cnc.step_ns", 100, 64));
+  report_entry ce = make_entry("sw", "dataflow", {10, 10});
+  // Bucket mid of 130 is 131 vs 101 for 100: a ~30% step-latency blowup
+  // that the (identical) wall clocks alone would miss.
+  ce.metrics.push_back(make_hist("cnc.step_ns", 130, 64));
+  const compare_result res = compare_reports(
+      make_report({be}), make_report({ce}), compare_options{});
+  ASSERT_EQ(res.deltas.size(), 2u);  // wall + histogram row
+  EXPECT_EQ(res.deltas[0].verdict, compare_verdict::ok);
+  EXPECT_EQ(res.deltas[1].key, "sw|dataflow|256|16:cnc.step_ns");
+  EXPECT_EQ(res.deltas[1].verdict, compare_verdict::regression);
+  EXPECT_NEAR(res.deltas[1].ratio, 131.0 / 101.0, 1e-9);
+  EXPECT_EQ(res.exit_code(), 1);
+
+  // Below min_hist_count the same shift is ignored (sampled recorders).
+  report_entry be2 = be;
+  be2.metrics[0] = make_hist("cnc.step_ns", 100, 8);
+  report_entry ce2 = ce;
+  ce2.metrics[0] = make_hist("cnc.step_ns", 130, 8);
+  const compare_result res2 = compare_reports(
+      make_report({be2}), make_report({ce2}), compare_options{});
+  EXPECT_EQ(res2.deltas.size(), 1u);  // wall row only
+  EXPECT_EQ(res2.regressions, 0);
+
+  // --no-histograms drops the row as well.
+  compare_options no_hist;
+  no_hist.compare_histograms = false;
+  const compare_result res3 =
+      compare_reports(make_report({be}), make_report({ce}), no_hist);
+  EXPECT_EQ(res3.deltas.size(), 1u);
+  EXPECT_EQ(res3.regressions, 0);
+}
+
+TEST(ReportCompare, HistogramComparisonWorksOnParsedReports) {
+  // Round-trip through JSON first: the candidate carries parsed_hist_mean,
+  // not buckets, and compare must use it.
+  report_entry be = make_entry("sw", "dataflow", {10, 10});
+  be.metrics.push_back(make_hist("cnc.step_ns", 100, 64));
+  report_entry ce = make_entry("sw", "dataflow", {10, 10});
+  ce.metrics.push_back(make_hist("cnc.step_ns", 130, 64));
+  const run_report base = report_from_json(report_to_json(make_report({be})));
+  const run_report cand = report_from_json(report_to_json(make_report({ce})));
+  const compare_result res = compare_reports(base, cand, compare_options{});
+  ASSERT_EQ(res.deltas.size(), 2u);
+  EXPECT_EQ(res.deltas[1].verdict, compare_verdict::regression);
+  EXPECT_NEAR(res.deltas[1].ratio, 131.0 / 101.0, 1e-9);
+}
+
+TEST(ReportCompare, NormalizeComparesRatiosAgainstAnchor) {
+  // Machine B is uniformly 2x slower — raw comparison would scream; ratios
+  // against serial cancel it. The forkjoin/serial ratio is 0.5 in both.
+  const run_report base = make_report({make_entry("ge", "serial", {10, 10}),
+                                       make_entry("ge", "forkjoin", {5, 5})});
+  const run_report cand = make_report({make_entry("ge", "serial", {20, 20}),
+                                       make_entry("ge", "forkjoin", {10, 10})});
+  compare_options opts;
+  opts.normalize = "serial";
+  const compare_result res = compare_reports(base, cand, opts);
+  // The anchor itself is skipped; one delta for forkjoin.
+  ASSERT_EQ(res.deltas.size(), 1u);
+  EXPECT_NEAR(res.deltas[0].baseline, 0.5, 1e-12);
+  EXPECT_NEAR(res.deltas[0].candidate, 0.5, 1e-12);
+  EXPECT_EQ(res.deltas[0].verdict, compare_verdict::ok);
+  EXPECT_EQ(res.exit_code(), 0);
+
+  // Same machines, but forkjoin loses its scaling: ratio 0.5 -> 0.9.
+  const run_report bad = make_report({make_entry("ge", "serial", {10, 10}),
+                                      make_entry("ge", "forkjoin", {9, 9})});
+  const compare_result res2 = compare_reports(base, bad, opts);
+  ASSERT_EQ(res2.deltas.size(), 1u);
+  EXPECT_EQ(res2.deltas[0].verdict, compare_verdict::regression);
+  EXPECT_EQ(res2.exit_code(), 1);
+}
+
+TEST(ReportCompare, NormalizeWithoutAnchorSkipsWithNote) {
+  const run_report base = make_report({make_entry("ge", "forkjoin", {5, 5})});
+  const run_report cand = make_report({make_entry("ge", "forkjoin", {5, 5})});
+  compare_options opts;
+  opts.normalize = "serial";
+  const compare_result res = compare_reports(base, cand, opts);
+  EXPECT_TRUE(res.deltas.empty());
+  ASSERT_EQ(res.notes.size(), 1u);
+  EXPECT_NE(res.notes[0].find("no 'serial' reference"), std::string::npos);
+  EXPECT_EQ(res.exit_code(), 0);
+}
+
+}  // namespace

@@ -22,6 +22,8 @@
 #include <gtest/gtest.h>
 
 #include "dp/dp.hpp"
+#include "dp/wavefront.hpp"
+#include "forkjoin/worker_pool.hpp"
 #include "support/math_utils.hpp"
 #include "support/rng.hpp"
 
@@ -382,6 +384,91 @@ TEST(SpecVerifyRuntime, GetCountCollectionMatchesCountedConsumers) {
     ASSERT_NE(v, nullptr);
     const run_outcome out = v->run(*v, fw_problem(fw_input), opts);
     EXPECT_EQ(out.info.items_live_at_end, 0u);
+  }
+}
+
+// ----------------------------------------- generated-spec property test ----
+
+/// Random affine wavefront cell. Coefficients are drawn per trial; uint64
+/// wrapping arithmetic keeps every model bit-deterministic (and UBSan-clean)
+/// no matter how the values grow.
+struct random_affine_cell {
+  std::uint64_t a, b, c, d, e;
+  std::uint64_t operator()(std::uint64_t nw, std::uint64_t north,
+                           std::uint64_t west, std::size_t i,
+                           std::size_t j) const {
+    return a * nw + b * north + c * west +
+           d * (31 * static_cast<std::uint64_t>(i) +
+                static_cast<std::uint64_t>(j)) +
+           e;
+  }
+};
+
+/// The structural half of the property: verify_spec must accept the tile
+/// wavefront lowering for *every* cell functor and every legal (n, base),
+/// with the statistics the dependency structure dictates — the validator
+/// walks the spec, not the kernel, so a cell drawn at random proves the
+/// check is about the lowering and nothing else.
+TEST(SpecVerifyProperty, RandomWavefrontCellsAlwaysLowerConsistently) {
+  xoshiro256 gen(0xC0FFEE);
+  constexpr std::size_t sizes[] = {16, 32, 64};
+  for (int trial = 0; trial < 24; ++trial) {
+    const std::size_t n = sizes[gen.next() % 3];
+    // Random power-of-two base in [4, n].
+    std::vector<std::size_t> bases;
+    for (std::size_t b = 4; b <= n; b *= 2) bases.push_back(b);
+    const std::size_t base = bases[gen.next() % bases.size()];
+    random_affine_cell cell{gen.next() % 8, gen.next() % 8, gen.next() % 8,
+                            gen.next() % 8, gen.next() % 8};
+    wavefront_problem<std::uint64_t, random_affine_cell> p(n, n, cell);
+
+    const verify_report r = p.verify(base);
+    EXPECT_TRUE(r.ok()) << "n=" << n << " base=" << base << "\n"
+                        << r.summary();
+    const std::size_t tiles = n / base;
+    EXPECT_EQ(r.base_tasks, tiles * tiles);
+    EXPECT_EQ(r.items_produced, tiles * tiles);
+    // Interior tiles need NW + N + W, never more.
+    EXPECT_LE(r.max_fan_in, 3u);
+    EXPECT_EQ(r.declared_max_fan_in, 3u);
+  }
+}
+
+/// The execution half: for random cells, every execution model must
+/// reproduce the serial loop's table bit-for-bit — the verified lowering is
+/// only worth anything if the executors realise it faithfully.
+TEST(SpecVerifyProperty, RandomCellsAgreeAcrossExecutionModels) {
+  xoshiro256 gen(0xBADCAB);
+  forkjoin::worker_pool pool(3);
+  for (int trial = 0; trial < 4; ++trial) {
+    const std::size_t n = 32, base = trial % 2 == 0 ? 4 : 8;
+    random_affine_cell cell{gen.next() % 8, gen.next() % 8, gen.next() % 8,
+                            gen.next() % 8, gen.next() % 8};
+    const std::uint64_t tb = gen.next() % 16, lb = gen.next() % 16;
+    auto make = [&] {
+      return wavefront_problem<std::uint64_t, random_affine_cell>(
+          n, n, cell, [tb](std::size_t j) { return tb * j; },
+          [lb](std::size_t i) { return lb * i; });
+    };
+
+    auto oracle = make();
+    oracle.run_loop();
+
+    auto rdp_serial = make();
+    rdp_serial.run_rdp_serial(base);
+    EXPECT_EQ(rdp_serial.table(), oracle.table()) << "trial " << trial;
+
+    auto fj = make();
+    fj.run_rdp_forkjoin(base, pool);
+    EXPECT_EQ(fj.table(), oracle.table()) << "trial " << trial;
+
+    for (const cnc_variant v :
+         {cnc_variant::native, cnc_variant::tuner, cnc_variant::nonblocking}) {
+      auto df = make();
+      df.run_cnc(base, v, 3);
+      EXPECT_EQ(df.table(), oracle.table())
+          << "trial " << trial << " variant " << to_string(v);
+    }
   }
 }
 
