@@ -239,7 +239,8 @@ void run_trace_phases(const std::vector<const dp::variant*>& phases,
     const std::string label = dp::trace_phase_label(*v) + " " + tag;
     const bool pool_backed = v->backend == dp::backend_kind::forkjoin ||
                              v->backend == dp::backend_kind::tiled ||
-                             v->backend == dp::backend_kind::rway;
+                             v->backend == dp::backend_kind::rway ||
+                             v->backend == dp::backend_kind::prepared;
 
     const int rep_count = report != nullptr && reps > 1 ? reps : 1;
     std::vector<double> wall;

@@ -8,7 +8,12 @@
 // --normalize=IMPL switches to within-report wall ratios against that
 // impl, which cancels machine speed across runner generations.
 //
-// Exit codes: 0 no regression, 1 at least one regression, 2 usage/IO error.
+// A baseline entry with no candidate counterpart is a FAILURE, not a note:
+// otherwise the gate could be silently narrowed by dropping entries from
+// the candidate run. Candidate-only entries stay informational.
+//
+// Exit codes: 0 no regression, 1 regression or missing baseline entry,
+// 2 usage/IO error.
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -40,7 +45,8 @@ void usage(std::ostream& os) {
         "                      is robust to scheduler bursts on shared CI\n"
         "                      runners — it only needs one undisturbed\n"
         "                      repetition per side)\n"
-        "exit: 0 ok, 1 regression, 2 usage/IO error\n";
+        "exit: 0 ok, 1 regression or baseline entry missing from the\n"
+        "candidate, 2 usage/IO error\n";
 }
 
 /// "--flag=value" → value, or exit 2 when the '=' is missing.

@@ -6,6 +6,7 @@
 #include "cnc/step_instance.hpp"
 #include "concurrent/backoff.hpp"
 #include "obs/tracer.hpp"
+#include "support/assertions.hpp"
 
 namespace rdp::cnc {
 
@@ -184,6 +185,18 @@ void context_base::wait() {
   }
   RDP_TRACE_EVENT(obs::event_kind::data_wait_end, 0, 0, 0);
   if (std::exception_ptr error = take_error()) std::rethrow_exception(error);
+}
+
+void context_base::rearm() {
+  RDP_REQUIRE_MSG(active_.load(std::memory_order_acquire) == 0 &&
+                      suspended_.load(std::memory_order_acquire) == 0,
+                  "context_base::rearm on a non-quiescent graph (step "
+                  "instances still active or parked)");
+  {
+    std::scoped_lock lock(suspended_mutex_);
+    RDP_ASSERT(suspended_registry_.empty());
+  }
+  (void)take_error();
 }
 
 std::exception_ptr context_base::take_error() noexcept {

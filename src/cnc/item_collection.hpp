@@ -25,6 +25,7 @@
 #include "concurrent/backoff.hpp"
 #include "concurrent/striped_hash_map.hpp"
 #include "obs/tracer.hpp"
+#include "support/assertions.hpp"
 
 namespace rdp::cnc {
 
@@ -136,6 +137,24 @@ public:
       if (s.value.has_value()) ++n;
     });
     return n;
+  }
+
+  /// Re-arm support (persistent server sessions): drop every published
+  /// item, waiter slot and remaining get-count so the same collection can
+  /// back another execution of the graph without reconstruction. Only
+  /// legal while the context is quiescent — a parked step instance on any
+  /// waiter list would dangle, so finding one is a contract violation.
+  void clear() {
+    std::size_t live = 0;
+    map_.for_each([&](const Key&, const slot& s) {
+      RDP_REQUIRE_MSG(s.waiters.empty(),
+                      "item_collection::clear on '" + name_ +
+                          "' with step instances still parked on waiter "
+                          "lists (context not quiescent)");
+      if (s.value.has_value()) ++live;
+    });
+    map_.clear();
+    detail::cnc_metrics().items_live.sub(static_cast<std::int64_t>(live));
   }
 
   /// Internal (pre-scheduling tuner): if the item exists return true;

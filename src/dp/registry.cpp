@@ -9,6 +9,7 @@
 #include "dp/sw_cnc.hpp"
 #include "dp/tiled.hpp"
 #include "dp/verify/verify.hpp"
+#include "exec/prepared_graph.hpp"
 #include "forkjoin/worker_pool.hpp"
 #include "sim/experiment.hpp"
 #include "support/assertions.hpp"
@@ -32,6 +33,7 @@ const char* to_string(backend_kind b) noexcept {
     case backend_kind::tiled: return "tiled";
     case backend_kind::dataflow: return "dataflow";
     case backend_kind::rway: return "rway";
+    case backend_kind::prepared: return "prepared";
     case backend_kind::sim: return "sim";
   }
   return "?";
@@ -208,6 +210,36 @@ run_outcome run_sim_v(const variant& self, const problem_ref& p,
   return out;
 }
 
+/// Spec for one problem instance (the structural half the prepared rows and
+/// the batch server both build graphs from).
+std::unique_ptr<recurrence> make_problem_spec(const problem_ref& p,
+                                              std::size_t base) {
+  switch (p.bm) {
+    case benchmark_id::ge: return make_ge_spec(*p.table, base);
+    case benchmark_id::fw: return make_fw_spec(*p.table, base);
+    case benchmark_id::sw:
+      return make_sw_spec(*p.sw_table, p.a, p.b, *p.params, base);
+  }
+  RDP_REQUIRE_MSG(false, "unknown benchmark");
+  return nullptr;
+}
+
+/// prepared rows exercise exec::prepared_graph through the same equivalence
+/// gates as every other backend: freeze the dependence DAG once, then run it
+/// over the request's data plane. The batch server reuses one frozen graph
+/// across requests; here freeze+execute happen per run so the registry's
+/// bit-exactness checks cover the frozen executor itself.
+run_outcome run_prepared_v(const variant& self, const problem_ref& p,
+                           const run_options& opts) {
+  (void)self;
+  const std::unique_ptr<recurrence> spec = make_problem_spec(p, opts.base);
+  const exec::prepared_graph graph = exec::prepared_graph::freeze(*spec);
+  with_pool(opts, [&](forkjoin::worker_pool& pool) {  //
+    graph.execute(*spec, pool);
+  });
+  return {};
+}
+
 run_outcome run_rway_v(const variant& self, const problem_ref& p,
                        const run_options& opts) {
   const std::size_t r = self.mode == "r4" ? 4 : 2;
@@ -282,6 +314,8 @@ std::vector<variant> build_registry() {
                     &supports_r2, &run_rway_v});
     rows.push_back({bm, backend_kind::rway, "r4", "rway:r4",  //
                     &supports_r4, &run_rway_v});
+    rows.push_back({bm, backend_kind::prepared, "", "prepared",
+                    &supports_tiled, &run_prepared_v});
     // Simulated schedules (fig4–fig9 series), in the paper's series order.
     rows.push_back({bm, backend_kind::sim, "cnc", "sim:cnc",  //
                     &supports_pow2, &run_sim_v});

@@ -40,6 +40,9 @@ enum class backend_kind : std::uint8_t {
   tiled,     ///< blocked rounds / tile wavefronts with barriers
   dataflow,  ///< CnC graph (modes: native, tuner, manual, nonblocking)
   rway,      ///< parametric r-way recursion (modes: r2, r4)
+  prepared,  ///< frozen dependence DAG (exec::prepared_graph) built once
+             ///< per run here; the batch server amortises the freeze
+             ///< across requests
   sim,       ///< discrete-event simulated schedule (modes: cnc, tuner,
              ///< manual, omp); the table itself is computed by the serial
              ///< reference so outputs stay bit-identical
@@ -106,7 +109,7 @@ struct variant {
                      const run_options& opts);
 };
 
-/// All registered variants (3 benchmarks × 13 backend[:mode] entries).
+/// All registered variants (3 benchmarks × 14 backend[:mode] entries).
 /// Debug builds cross-check every spec with dp::verify_spec on a small
 /// instance the first time this is called (see registry.cpp).
 const std::vector<variant>& registry();

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "dp/spec/spec.hpp"
 #include "forkjoin/worker_pool.hpp"
@@ -43,11 +44,44 @@ struct dataflow_options {
   /// compute_on owner-computes placement (§V): pin every base task on tile
   /// (I,J) to worker hash(I,J) % workers.
   bool pin_tiles = false;
+  /// Borrow this pool instead of owning one (shared across contexts — the
+  /// batch server's substrate). `workers` is ignored when set.
+  forkjoin::worker_pool* pool = nullptr;
 };
 
-/// Data-flow execution on the CnC runtime. The context owns its pool.
+/// Data-flow execution on the CnC runtime. The context owns its pool
+/// unless opts.pool borrows a shared one.
 dp::cnc_run_info run_dataflow(dp::recurrence& rec,
                               const dataflow_options& opts);
+
+/// A CnC graph kept alive across executions: collections and worker pool
+/// are constructed once, and each execute() re-runs the control program
+/// for a structurally identical recurrence (same name/size/base/
+/// value-passing — only the problem data may differ), then re-arms the
+/// collections (item/tag clear + context re-arm) for the next request.
+/// This amortises context construction but NOT dependency discovery — the
+/// graph is still re-expanded per run, which is exactly the gap
+/// prepared_graph closes; the batch server exposes both so the load bench
+/// can measure the difference.
+///
+/// Not internally synchronised: one execute() at a time.
+class dataflow_session {
+ public:
+  /// `structural` fixes the graph's shape and names; it is not retained.
+  dataflow_session(dp::recurrence& structural, const dataflow_options& opts);
+  ~dataflow_session();
+
+  dataflow_session(const dataflow_session&) = delete;
+  dataflow_session& operator=(const dataflow_session&) = delete;
+
+  /// Execute `rec` (must be structurally identical to the constructor's
+  /// exemplar) and re-arm for the next call. Stats are per-execution.
+  dp::cnc_run_info execute(dp::recurrence& rec);
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
 
 /// Blocked loop schedule: abcd structures run per-pivot rounds of
 /// {A; B band ∥ C band; D sweep} with a barrier per phase; wavefront

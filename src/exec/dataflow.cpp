@@ -59,7 +59,7 @@ struct df_step {
   /// Owner-computes placement (§V): base tasks only — expansion steps are
   /// cheap and benefit from running wherever they were prescribed.
   int compute_on(const dp::tile4& t, df_context<Value>& ctx) const {
-    if (!ctx.pin || !ctx.rec.is_base(t)) return -1;
+    if (!ctx.pin || !ctx.rec->is_base(t)) return -1;
     return static_cast<int>(
         dp::mix64((static_cast<std::uint64_t>(
                        static_cast<std::uint32_t>(t.i)) << 32) |
@@ -70,7 +70,10 @@ struct df_step {
 
 template <class Value>
 struct df_context : cnc::context<df_context<Value>> {
-  dp::recurrence& rec;
+  /// The recurrence CURRENTLY bound to the graph. A pointer, not a
+  /// reference: a persistent dataflow_session swaps in a structurally
+  /// identical spec per request without reconstructing the collections.
+  dp::recurrence* rec;
   bool nonblocking = false;  // poll-and-requeue instead of blocking gets
   bool collect = false;      // get-count GC (single-execution tuners only)
   bool pin = false;          // compute_on owner-computes placement
@@ -85,23 +88,41 @@ struct df_context : cnc::context<df_context<Value>> {
   std::size_t max_deps = 0;
 
   df_context(dp::recurrence& r, cnc::schedule_policy policy, unsigned workers)
-      : cnc::context<df_context<Value>>(workers), rec(r),
+      : cnc::context<df_context<Value>>(workers), rec(&r),
         steps(*this, std::string(r.name()) + "_step", df_step<Value>{},
               policy),
         tags(*this, std::string(r.name()) + "_tags", false),
         items(*this, std::string(r.name()) + "_items"),
         max_deps(r.max_dependencies()) {
-    RDP_REQUIRE_MSG(
-        max_deps <= dp::max_dependency_capacity,
-        std::string(r.name()) +
-            ": max_dependencies() exceeds the executor dependency-buffer "
-            "capacity (dp::max_dependency_capacity) — this recurrence "
-            "class needs a wider lowering");
+    check_capacity();
     tags.prescribe(steps);
   }
 
+  /// Borrowed-pool construction (shared pool across contexts — the batch
+  /// server's rebuild path and persistent sessions).
+  df_context(dp::recurrence& r, cnc::schedule_policy policy,
+             forkjoin::worker_pool& pool)
+      : cnc::context<df_context<Value>>(pool), rec(&r),
+        steps(*this, std::string(r.name()) + "_step", df_step<Value>{},
+              policy),
+        tags(*this, std::string(r.name()) + "_tags", false),
+        items(*this, std::string(r.name()) + "_items"),
+        max_deps(r.max_dependencies()) {
+    check_capacity();
+    tags.prescribe(steps);
+  }
+
+  void check_capacity() const {
+    RDP_REQUIRE_MSG(
+        max_deps <= dp::max_dependency_capacity,
+        std::string(rec->name()) +
+            ": max_dependencies() exceeds the executor dependency-buffer "
+            "capacity (dp::max_dependency_capacity) — this recurrence "
+            "class needs a wider lowering");
+  }
+
   std::uint32_t count_for(const dp::tile3& t) const {
-    return collect ? rec.consumer_count(t) : 0;
+    return collect ? rec->consumer_count(t) : 0;
   }
 };
 
@@ -127,9 +148,9 @@ struct dep_list {
 template <class Value>
 int df_step<Value>::execute(const dp::tile4& t,
                             df_context<Value>& ctx) const {
-  if (!ctx.rec.is_base(t)) {
+  if (!ctx.rec->is_base(t)) {
     df_metrics().expand_steps.add();
-    const dp::split_plan plan = ctx.rec.split(t);
+    const dp::split_plan plan = ctx.rec->split(t);
     for (std::size_t c = 0; c < plan.child_count; ++c)
       ctx.tags.put(plan.children[c]);
     return 0;
@@ -137,7 +158,7 @@ int df_step<Value>::execute(const dp::tile4& t,
 
   const dp::tile3 coord{t.i, t.j, t.k};
   dep_list deps(ctx.max_deps);
-  ctx.rec.depends(coord, dp::dep_sink(deps));
+  ctx.rec->depends(coord, dp::dep_sink(deps));
 
   Value vals[dp::max_dependency_capacity] = {};
   if (ctx.nonblocking) {
@@ -169,10 +190,10 @@ int df_step<Value>::execute(const dp::tile4& t,
   df_metrics().dep_fanin.record(deps.count);
 
   if constexpr (std::is_same_v<Value, bool>) {
-    ctx.rec.run_base(t);
+    ctx.rec->run_base(t);
     ctx.items.put(coord, true, ctx.count_for(coord));
   } else {
-    Value out = ctx.rec.run_base_value(coord, vals);
+    Value out = ctx.rec->run_base_value(coord, vals);
     ctx.items.put(coord, std::move(out), ctx.count_for(coord));
   }
   return 0;
@@ -181,9 +202,9 @@ int df_step<Value>::execute(const dp::tile4& t,
 template <class Value>
 void df_step<Value>::depends(const dp::tile4& t, df_context<Value>& ctx,
                              cnc::dependency_collector& dc) const {
-  if (!ctx.rec.is_base(t)) return;
+  if (!ctx.rec->is_base(t)) return;
   auto require = [&](const dp::tile3& key) { dc.require(ctx.items, key); };
-  ctx.rec.depends({t.i, t.j, t.k}, dp::dep_sink(require));
+  ctx.rec->depends({t.i, t.j, t.k}, dp::dep_sink(require));
 }
 
 /// value_store over the value-passing context's item collection, for the
@@ -203,28 +224,26 @@ struct df_value_store final : dp::value_store {
   }
 };
 
-template <class Value>
-dp::cnc_run_info run_df(dp::recurrence& rec, const dataflow_options& opts) {
-  const cnc::schedule_policy policy =
-      (opts.variant == dp::cnc_variant::native ||
-       opts.variant == dp::cnc_variant::nonblocking)
-          ? cnc::schedule_policy::spawn_immediately
-          : cnc::schedule_policy::preschedule;
-  df_context<Value> ctx(rec, policy, opts.workers);
-  ctx.nonblocking = opts.variant == dp::cnc_variant::nonblocking;
-  // Get-count GC requires every consumer to run its gets exactly once:
-  // true for the preschedule tuners, not for abort-and-re-execute (native)
-  // or poll-and-requeue (nonblocking) execution.
-  ctx.collect = opts.variant == dp::cnc_variant::tuner ||
-                opts.variant == dp::cnc_variant::manual;
-  ctx.pin = opts.pin_tiles;
+cnc::schedule_policy policy_for(dp::cnc_variant variant) {
+  return (variant == dp::cnc_variant::native ||
+          variant == dp::cnc_variant::nonblocking)
+             ? cnc::schedule_policy::spawn_immediately
+             : cnc::schedule_policy::preschedule;
+}
 
+/// One execution of the control program over an already-constructed
+/// context: seed (value-passing), put the root tag (or every base tag for
+/// manual pre-declaration), wait for quiescence, gather. Shared by the
+/// per-run entry point and the persistent session.
+template <class Value>
+dp::cnc_run_info execute_once(df_context<Value>& ctx, dp::recurrence& rec,
+                              dp::cnc_variant variant) {
   if constexpr (std::is_same_v<Value, dp::tile_value>) {
     df_value_store store(ctx);
     rec.seed_values(store);
   }
 
-  if (opts.variant == dp::cnc_variant::manual) {
+  if (variant == dp::cnc_variant::manual) {
     // Manual pre-scheduling (§III-D): enumerate every base task up front;
     // the tuner dispatches each one when its inputs exist.
     auto emit = [&](const dp::tile4& tag) { ctx.tags.put(tag); };
@@ -241,12 +260,108 @@ dp::cnc_run_info run_df(dp::recurrence& rec, const dataflow_options& opts) {
   return dp::cnc_run_info{ctx.stats(), ctx.items.size()};
 }
 
+template <class Value>
+void configure(df_context<Value>& ctx, const dataflow_options& opts) {
+  ctx.nonblocking = opts.variant == dp::cnc_variant::nonblocking;
+  // Get-count GC requires every consumer to run its gets exactly once:
+  // true for the preschedule tuners, not for abort-and-re-execute (native)
+  // or poll-and-requeue (nonblocking) execution.
+  ctx.collect = opts.variant == dp::cnc_variant::tuner ||
+                opts.variant == dp::cnc_variant::manual;
+  ctx.pin = opts.pin_tiles;
+}
+
+template <class Value>
+dp::cnc_run_info run_df(dp::recurrence& rec, const dataflow_options& opts) {
+  const cnc::schedule_policy policy = policy_for(opts.variant);
+  if (opts.pool != nullptr) {
+    df_context<Value> ctx(rec, policy, *opts.pool);
+    configure(ctx, opts);
+    return execute_once(ctx, rec, opts.variant);
+  }
+  df_context<Value> ctx(rec, policy, opts.workers);
+  configure(ctx, opts);
+  return execute_once(ctx, rec, opts.variant);
+}
+
+// ---- persistent session ----------------------------------------------------
+
+struct session_base {
+  virtual ~session_base() = default;
+  virtual dp::cnc_run_info execute(dp::recurrence& rec) = 0;
+};
+
+template <class Value>
+struct session_impl final : session_base {
+  // Behind a pointer: df_context is neither movable nor copyable (its
+  // collections hold references into it).
+  std::unique_ptr<df_context<Value>> ctx;
+  dp::cnc_variant variant;
+  // The structural fingerprint execute() enforces per request.
+  std::string name;
+  std::size_t n, base, max_deps;
+
+  session_impl(dp::recurrence& structural, const dataflow_options& opts,
+               forkjoin::worker_pool* pool)
+      : variant(opts.variant), name(structural.name()),
+        n(structural.size()), base(structural.base()),
+        max_deps(structural.max_dependencies()) {
+    const cnc::schedule_policy policy = policy_for(opts.variant);
+    if (pool != nullptr)
+      ctx = std::make_unique<df_context<Value>>(structural, policy, *pool);
+    else
+      ctx = std::make_unique<df_context<Value>>(structural, policy,
+                                                opts.workers);
+    configure(*ctx, opts);
+  }
+
+  dp::cnc_run_info execute(dp::recurrence& rec) override {
+    constexpr bool passes_values = std::is_same_v<Value, dp::tile_value>;
+    RDP_REQUIRE_MSG(
+        name == rec.name() && n == rec.size() && base == rec.base() &&
+            max_deps == rec.max_dependencies() &&
+            rec.value_passing() == passes_values,
+        std::string(rec.name()) +
+            ": recurrence does not match the session's structural exemplar");
+    ctx->rec = &rec;
+    ctx->reset_stats();
+    const dp::cnc_run_info info = execute_once(*ctx, rec, variant);
+    // Re-arm for the next request: drop items and memoised tags, clear any
+    // consumed error state. The collections themselves survive.
+    ctx->items.clear();
+    ctx->tags.clear();
+    ctx->rearm();
+    return info;
+  }
+};
+
 }  // namespace
 
 dp::cnc_run_info run_dataflow(dp::recurrence& rec,
                               const dataflow_options& opts) {
   return rec.value_passing() ? run_df<dp::tile_value>(rec, opts)
                              : run_df<bool>(rec, opts);
+}
+
+struct dataflow_session::impl {
+  std::unique_ptr<session_base> session;
+};
+
+dataflow_session::dataflow_session(dp::recurrence& structural,
+                                   const dataflow_options& opts)
+    : impl_(std::make_unique<impl>()) {
+  if (structural.value_passing())
+    impl_->session = std::make_unique<session_impl<dp::tile_value>>(
+        structural, opts, opts.pool);
+  else
+    impl_->session =
+        std::make_unique<session_impl<bool>>(structural, opts, opts.pool);
+}
+
+dataflow_session::~dataflow_session() = default;
+
+dp::cnc_run_info dataflow_session::execute(dp::recurrence& rec) {
+  return impl_->session->execute(rec);
 }
 
 }  // namespace rdp::exec

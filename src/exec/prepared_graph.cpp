@@ -1,0 +1,327 @@
+#include "exec/prepared_graph.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "concurrent/backoff.hpp"
+#include "forkjoin/task.hpp"
+#include "obs/metrics.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp::exec {
+
+namespace {
+
+/// Registry metrics of the prepared-graph runner: how often graphs are
+/// frozen vs re-executed is exactly the amortisation the batch server
+/// exists to demonstrate.
+struct prepared_metrics_t {
+  obs::counter& freezes;
+  obs::counter& executions;
+  obs::counter& nodes_run;
+};
+
+prepared_metrics_t& prepared_metrics() {
+  auto& reg = obs::metrics_registry::instance();
+  static prepared_metrics_t m{reg.get_counter("prepared.freezes"),
+                              reg.get_counter("prepared.executions"),
+                              reg.get_counter("prepared.nodes_run")};
+  return m;
+}
+
+/// Bounded dependency-key buffer (same contract as the data-flow
+/// lowering's dep_list: the spec's max_dependencies() bound is enforced,
+/// not trusted).
+struct key_list {
+  dp::tile3 keys[dp::max_dependency_capacity];
+  std::size_t count = 0;
+  std::size_t limit;
+
+  explicit key_list(std::size_t lim) : limit(lim) {}
+  void operator()(const dp::tile3& k) {
+    RDP_REQUIRE_MSG(count < limit,
+                    "base task emits more dependency keys than the spec's "
+                    "max_dependencies() declares");
+    keys[count++] = k;
+  }
+};
+
+}  // namespace
+
+// ---- freeze ----------------------------------------------------------------
+
+prepared_graph prepared_graph::freeze(dp::recurrence& rec) {
+  prepared_graph g;
+  g.name_ = rec.name();
+  g.n_ = rec.size();
+  g.base_ = rec.base();
+  g.value_passing_ = rec.value_passing();
+
+  const std::size_t max_deps = rec.max_dependencies();
+  RDP_REQUIRE_MSG(
+      max_deps <= dp::max_dependency_capacity,
+      g.name_ + ": max_dependencies() exceeds the executor dependency-buffer "
+                "capacity (dp::max_dependency_capacity)");
+
+  // Node set: enumerate_base() emission order (== the manual-CnC
+  // pre-declaration order, so traces line up across backends).
+  auto emit = [&](const dp::tile4& tag) {
+    const dp::tile3 key{tag.i, tag.j, tag.k};
+    const auto [it, inserted] =
+        g.slot_of_.emplace(key, static_cast<std::uint32_t>(g.nodes_.size()));
+    RDP_REQUIRE_MSG(inserted, g.name_ + ": enumerate_base emitted tile (" +
+                                  std::to_string(tag.i) + "," +
+                                  std::to_string(tag.j) + "," +
+                                  std::to_string(tag.k) + ") twice");
+    node nd;
+    nd.tag = tag;
+    g.nodes_.push_back(nd);
+  };
+  rec.enumerate_base(dp::tag_sink(emit));
+  RDP_REQUIRE_MSG(!g.nodes_.empty(),
+                  g.name_ + ": enumerate_base emitted no base tiles");
+  const auto node_count = static_cast<std::uint32_t>(g.nodes_.size());
+
+  // Edges: one depends() walk per node. Keys produced by a node become CSR
+  // edges; unproduced keys must be environment seeds (value-passing only).
+  std::vector<std::uint32_t> succ_count(node_count, 0);
+  for (std::uint32_t idx = 0; idx < node_count; ++idx) {
+    node& nd = g.nodes_[idx];
+    const dp::tile3 coord{nd.tag.i, nd.tag.j, nd.tag.k};
+    key_list deps(max_deps);
+    rec.depends(coord, dp::dep_sink(deps));
+
+    nd.dep_begin = static_cast<std::uint32_t>(g.dep_slots_.size());
+    for (std::size_t d = 0; d < deps.count; ++d) {
+      const auto it = g.slot_of_.find(deps.keys[d]);
+      std::uint32_t slot;
+      if (it != g.slot_of_.end()) {
+        slot = it->second;
+      } else {
+        RDP_REQUIRE_MSG(
+            g.value_passing_,
+            g.name_ + ": base tile depends on item (" +
+                std::to_string(deps.keys[d].i) + "," +
+                std::to_string(deps.keys[d].j) + "," +
+                std::to_string(deps.keys[d].k) +
+                ") that no base task produces — a token graph cannot seed "
+                "it from the environment, so the frozen graph would "
+                "deadlock");
+        slot = node_count + g.seed_slots_++;
+        g.slot_of_.emplace(deps.keys[d], slot);
+      }
+      g.dep_slots_.push_back(slot);
+      if (slot < node_count) {
+        ++succ_count[slot];
+        ++nd.initial_pending;
+      }
+    }
+    nd.dep_end = static_cast<std::uint32_t>(g.dep_slots_.size());
+  }
+
+  // CSR successor lists: prefix sums, then a second pass over the recorded
+  // dependency slots. Consumers appear in node-index order per producer.
+  std::uint32_t edges = 0;
+  for (std::uint32_t idx = 0; idx < node_count; ++idx) {
+    g.nodes_[idx].succ_begin = edges;
+    edges += succ_count[idx];
+    g.nodes_[idx].succ_end = edges;
+  }
+  g.successors_.resize(edges);
+  std::vector<std::uint32_t> cursor(node_count);
+  for (std::uint32_t idx = 0; idx < node_count; ++idx)
+    cursor[idx] = g.nodes_[idx].succ_begin;
+  for (std::uint32_t idx = 0; idx < node_count; ++idx) {
+    const node& nd = g.nodes_[idx];
+    for (std::uint32_t d = nd.dep_begin; d < nd.dep_end; ++d) {
+      const std::uint32_t slot = g.dep_slots_[d];
+      if (slot < node_count) g.successors_[cursor[slot]++] = idx;
+    }
+  }
+
+  for (std::uint32_t idx = 0; idx < node_count; ++idx)
+    if (g.nodes_[idx].initial_pending == 0) g.roots_.push_back(idx);
+  RDP_REQUIRE_MSG(!g.roots_.empty(),
+                  g.name_ + ": frozen graph has no ready roots (dependency "
+                            "cycle in the spec)");
+
+  prepared_metrics().freezes.add();
+  return g;
+}
+
+bool prepared_graph::matches(const dp::recurrence& rec) const noexcept {
+  return name_ == rec.name() && n_ == rec.size() && base_ == rec.base() &&
+         value_passing_ == rec.value_passing();
+}
+
+void prepared_graph::execute(dp::recurrence& rec,
+                             forkjoin::worker_pool& pool) const {
+  prepared_execution ex(*this, rec, pool);
+  ex.start();
+  ex.wait();
+}
+
+// ---- execution -------------------------------------------------------------
+
+/// Seed store: routes the spec's environment items into their frozen value
+/// slots. Seeding a key no base task reads is tolerated (dropped) — the
+/// spec layer seeds boundary items unconditionally; the frozen graph knows
+/// which ones this (n, base) actually consumes.
+struct prepared_execution::seed_store final : dp::value_store {
+  prepared_execution& ex;
+  explicit seed_store(prepared_execution& e) : ex(e) {}
+
+  void put(const dp::tile3& key, dp::tile_value v) override {
+    const auto it = ex.graph_.slot_of_.find(key);
+    if (it == ex.graph_.slot_of_.end()) return;
+    RDP_REQUIRE_MSG(it->second >= ex.graph_.nodes_.size(),
+                    ex.graph_.name_ +
+                        ": environment seed collides with a produced item");
+    ex.values_[it->second] = std::move(v);
+  }
+  dp::tile_value get(const dp::tile3&) override {
+    RDP_REQUIRE_MSG(false, "seed_values must not read items");
+    return {};
+  }
+};
+
+/// Gather store: after quiescence, the spec reads final items back into the
+/// problem table straight from the value plane.
+struct prepared_execution::gather_store final : dp::value_store {
+  prepared_execution& ex;
+  explicit gather_store(prepared_execution& e) : ex(e) {}
+
+  void put(const dp::tile3&, dp::tile_value) override {
+    RDP_REQUIRE_MSG(false, "gather_values must not put items");
+  }
+  dp::tile_value get(const dp::tile3& key) override {
+    const auto it = ex.graph_.slot_of_.find(key);
+    RDP_REQUIRE_MSG(it != ex.graph_.slot_of_.end(),
+                    ex.graph_.name_ + ": gather of an item the frozen graph "
+                                      "never materialised");
+    return ex.values_[it->second];
+  }
+};
+
+prepared_execution::prepared_execution(const prepared_graph& graph,
+                                       dp::recurrence& rec,
+                                       forkjoin::worker_pool& pool)
+    : graph_(graph), rec_(rec), pool_(pool) {
+  RDP_REQUIRE_MSG(graph_.matches(rec_),
+                  std::string(rec_.name()) +
+                      ": recurrence does not match the frozen graph's "
+                      "structure (name/size/base/value-passing)");
+  const std::size_t count = graph_.nodes_.size();
+  pending_ = std::make_unique<std::atomic<std::uint32_t>[]>(count);
+  for (std::size_t i = 0; i < count; ++i)
+    pending_[i].store(graph_.nodes_[i].initial_pending,
+                      std::memory_order_relaxed);
+  if (graph_.value_passing_)
+    values_.resize(count + graph_.seed_slots_);
+  remaining_.store(count, std::memory_order_relaxed);
+}
+
+prepared_execution::~prepared_execution() {
+  RDP_ASSERT(!started_ || done());
+}
+
+void prepared_execution::set_on_complete(std::function<void()> fn) {
+  RDP_ASSERT(!started_);
+  on_complete_ = std::move(fn);
+}
+
+void prepared_execution::start() {
+  RDP_REQUIRE_MSG(!started_, "prepared_execution::start called twice");
+  started_ = true;
+  if (graph_.value_passing_) {
+    seed_store store(*this);
+    rec_.seed_values(store);
+  }
+  prepared_metrics().executions.add();
+  for (const std::uint32_t root : graph_.roots_) {
+    pool_.enqueue(forkjoin::make_task(
+        [this, root] { run_node(root); }, nullptr));
+  }
+}
+
+void prepared_execution::run_node(std::uint32_t idx) noexcept {
+  const prepared_graph::node& nd = graph_.nodes_[idx];
+  // After a kernel error the rest of the DAG still counts down (so the run
+  // terminates and the pool is left clean) but skips its kernels.
+  if (!failed_.load(std::memory_order_acquire)) {
+    try {
+      if (graph_.value_passing_) {
+        dp::tile_value deps[dp::max_dependency_capacity];
+        std::size_t d = 0;
+        for (std::uint32_t s = nd.dep_begin; s < nd.dep_end; ++s, ++d)
+          deps[d] = values_[graph_.dep_slots_[s]];
+        const dp::tile3 coord{nd.tag.i, nd.tag.j, nd.tag.k};
+        dp::tile_value out = rec_.run_base_value(coord, deps);
+        RDP_ASSERT(out != nullptr);
+        values_[idx] = std::move(out);
+      } else {
+        rec_.run_base(nd.tag);
+      }
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      prepared_metrics().nodes_run.add();
+    } catch (...) {
+      {
+        std::scoped_lock lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      failed_.store(true, std::memory_order_release);
+    }
+  }
+  retire(idx);
+}
+
+void prepared_execution::retire(std::uint32_t idx) noexcept {
+  const prepared_graph::node& nd = graph_.nodes_[idx];
+  for (std::uint32_t s = nd.succ_begin; s < nd.succ_end; ++s) {
+    const std::uint32_t succ = graph_.successors_[s];
+    // acq_rel: the release publishes this node's table/value writes to the
+    // consumer; the acquire on the final decrement makes every producer's
+    // writes visible before the consumer's kernel runs.
+    if (pending_[succ].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      pool_.enqueue(forkjoin::make_task(
+          [this, succ] { run_node(succ); }, nullptr));
+    }
+  }
+  if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last node: run the epilogue, publish done, fire the callback. The
+    // callback is the very last touch of any member — the owner may retire
+    // this object as soon as done() reads true.
+    if (graph_.value_passing_ && !failed_.load(std::memory_order_acquire)) {
+      try {
+        gather_store store(*this);
+        rec_.gather_values(store);
+      } catch (...) {
+        std::scoped_lock lock(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+    }
+    std::function<void()> fn = std::move(on_complete_);
+    done_.store(true, std::memory_order_release);
+    if (fn) fn();
+  }
+}
+
+void prepared_execution::wait() {
+  RDP_REQUIRE_MSG(started_, "prepared_execution::wait before start");
+  concurrent::backoff bo;
+  while (!done()) {
+    if (pool_.try_run_one()) {
+      bo.reset();
+      continue;
+    }
+    bo.pause();
+  }
+  if (std::exception_ptr e = error()) std::rethrow_exception(e);
+}
+
+std::exception_ptr prepared_execution::error() const noexcept {
+  std::scoped_lock lock(error_mutex_);
+  return first_error_;
+}
+
+}  // namespace rdp::exec

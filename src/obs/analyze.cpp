@@ -375,6 +375,9 @@ private:
       case event_kind::preschedule_defer:
       case event_kind::counter_sample:
       case event_kind::phase_begin:
+      // Request markers delimit server requests; they carry no DAG edges.
+      case event_kind::request_begin:
+      case event_kind::request_end:
         break;
     }
   }

@@ -53,6 +53,9 @@ constexpr const char* category(event_kind k) {
     case event_kind::counter_sample:
     case event_kind::phase_begin:
       return "obs";
+    case event_kind::request_begin:
+    case event_kind::request_end:
+      return "server";
     default:
       return "sched";
   }
@@ -128,6 +131,12 @@ void write_chrome_trace(std::ostream& os, const std::vector<event>& events,
         line += ",\"s\":\"t\",\"args\":{\"victim\":" +
                 std::to_string(e.arg0) +
                 ",\"thief\":" + std::to_string(e.arg1) + "}";
+        break;
+      case event_kind::request_begin:
+      case event_kind::request_end:
+        line += ",\"s\":\"p\",\"args\":{\"request\":" +
+                std::to_string(e.arg0) + ",\"ns\":" + std::to_string(e.arg1) +
+                "}";
         break;
       default:
         line += ",\"s\":\"t\",\"args\":{\"arg0\":" + std::to_string(e.arg0) +

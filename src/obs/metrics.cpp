@@ -209,4 +209,65 @@ void metrics_registry::reset() {
   for (auto& [n, h] : s.histograms) h->reset();
 }
 
+// ---- request-scoped deltas -------------------------------------------------
+
+histogram_snapshot histogram_delta(const histogram_snapshot& before,
+                                   const histogram_snapshot& after) {
+  histogram_snapshot out;
+  out.max = after.max;  // window upper bound (see header)
+  if (after.buckets.empty()) {
+    // Parsed-back snapshots carry no buckets; totals still subtract.
+    out.total = after.total >= before.total ? after.total - before.total : 0;
+    return out;
+  }
+  out.buckets.assign(k_histogram_buckets, 0);
+  for (std::size_t b = 0; b < after.buckets.size(); ++b) {
+    const std::uint64_t prev =
+        b < before.buckets.size() ? before.buckets[b] : 0;
+    const std::uint64_t cur = after.buckets[b];
+    const std::uint64_t d = cur >= prev ? cur - prev : 0;
+    out.buckets[b] = d;
+    out.total += d;
+  }
+  return out;
+}
+
+std::vector<metric_sample> snapshot_delta(
+    const std::vector<metric_sample>& before,
+    const std::vector<metric_sample>& after) {
+  std::vector<metric_sample> out;
+  // Both sides are name-sorted (snapshot() sorts); a linear merge pairs
+  // them up. Names only ever get added, so `after` is a superset.
+  std::size_t bi = 0;
+  for (const metric_sample& a : after) {
+    while (bi < before.size() && before[bi].name < a.name) ++bi;
+    const metric_sample* b =
+        (bi < before.size() && before[bi].name == a.name &&
+         before[bi].kind == a.kind)
+            ? &before[bi]
+            : nullptr;
+    metric_sample d;
+    d.name = a.name;
+    d.kind = a.kind;
+    switch (a.kind) {
+      case metric_kind::counter:
+        d.value = b != nullptr && a.value >= b->value ? a.value - b->value
+                                                      : a.value;
+        if (d.value == 0) continue;
+        break;
+      case metric_kind::gauge:
+        d.gauge_value =
+            b != nullptr ? a.gauge_value - b->gauge_value : a.gauge_value;
+        if (d.gauge_value == 0) continue;
+        break;
+      case metric_kind::histogram:
+        d.hist = b != nullptr ? histogram_delta(b->hist, a.hist) : a.hist;
+        if (d.hist.total == 0) continue;
+        break;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
 }  // namespace rdp::obs

@@ -315,6 +315,27 @@ class metrics_registry {
   impl& state() const;
 };
 
+// ---- request-scoped deltas -------------------------------------------------
+
+/// Bucket-wise difference `after - before` of two snapshots of the SAME
+/// monotone histogram (each count clamps at 0). The result's total/mean/
+/// quantiles describe exactly the recordings between the two snapshots;
+/// `max` is inherited from `after`, i.e. an upper bound for the window
+/// (exact when the window saw the process maximum).
+histogram_snapshot histogram_delta(const histogram_snapshot& before,
+                                   const histogram_snapshot& after);
+
+/// What changed between two registry snapshots — the per-request metrics
+/// scoping of the batch server: counters/gauges subtract, histograms
+/// subtract bucket-wise, and metrics with a zero delta are dropped, so the
+/// result reads as "what THIS request did" instead of a process-lifetime
+/// aggregate. Both snapshots must come from metrics_registry::snapshot()
+/// with `before` taken first; metrics registered between the two appear
+/// with their full `after` value.
+std::vector<metric_sample> snapshot_delta(
+    const std::vector<metric_sample>& before,
+    const std::vector<metric_sample>& after);
+
 /// Per-site sampling helper for metrics whose recording needs a clock read:
 /// true once every `mask`+1 calls on this thread. `mask` must be 2^k - 1.
 /// Use one thread_local counter per call site:

@@ -274,7 +274,9 @@ compare_result compare_reports(const run_report& baseline,
   for (const report_entry& be : baseline.entries) {
     auto it = cand_by_key.find(be.key());
     if (it == cand_by_key.end()) {
-      out.notes.push_back("baseline-only entry (skipped): " + be.key());
+      out.notes.push_back("baseline entry MISSING from candidate: " +
+                          be.key());
+      ++out.missing;
       continue;
     }
     const report_entry& ce = *it->second;
@@ -351,6 +353,9 @@ void print_compare(std::ostream& os, const compare_result& r,
   for (const std::string& note : r.notes) os << "note: " << note << "\n";
   os << r.deltas.size() << " compared, " << r.regressions << " regression(s), "
      << r.improvements << " improvement(s)";
+  if (r.missing > 0)
+    os << ", " << r.missing << " baseline entr"
+       << (r.missing == 1 ? "y" : "ies") << " missing (FAILURE)";
   if (!opts.normalize.empty())
     os << " (normalized to '" << opts.normalize << "')";
   os << "\n";

@@ -122,11 +122,20 @@ struct compare_delta {
 
 struct compare_result {
   std::vector<compare_delta> deltas;
-  std::vector<std::string> notes;  // unmatched entries, skipped rows
+  std::vector<std::string> notes;  // candidate-only entries, skipped rows
   int regressions = 0;
   int improvements = 0;
-  /// Process exit code: nonzero iff any regression.
-  int exit_code() const noexcept { return regressions > 0 ? 1 : 0; }
+  /// Baseline entries with no candidate counterpart. A FAILURE, not a
+  /// note: a gate that shrugged these off could be silently narrowed by
+  /// dropping a benchmark from the candidate run (exactly what happened
+  /// when a registry rename emptied the perf gate's intersection).
+  /// Candidate-only entries remain notes — new benchmarks are not
+  /// regressions.
+  int missing = 0;
+  /// Process exit code: nonzero iff any regression or missing entry.
+  int exit_code() const noexcept {
+    return regressions > 0 || missing > 0 ? 1 : 0;
+  }
 };
 
 compare_result compare_reports(const run_report& baseline,

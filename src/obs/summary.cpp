@@ -71,6 +71,8 @@ std::vector<phase_summary> summarize(const std::vector<event>& events,
       case event_kind::item_get_miss: ++p.get_misses; break;
       case event_kind::counter_sample: break;
       case event_kind::phase_begin: break;  // handled above
+      case event_kind::request_begin: ++p.requests; break;
+      case event_kind::request_end: break;
     }
   }
 

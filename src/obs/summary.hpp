@@ -42,6 +42,7 @@ struct phase_summary {
   std::uint64_t item_puts = 0;
   std::uint64_t item_gets = 0;
   std::uint64_t get_misses = 0;
+  std::uint64_t requests = 0;  // batch-server requests dispatched in-phase
 };
 
 /// Fold events (sorted by timestamp, as collect() returns them) into one

@@ -45,12 +45,19 @@ enum class event_kind : std::uint8_t {
   // -- cross-cutting ------------------------------------------------------
   counter_sample,   // periodic gauge sample      name = gauge, arg0 = value
   phase_begin,      // name = phase label
+  // -- batch server (emitted by rdp::server) ------------------------------
+  request_begin,    // request admitted/dispatched  name = graph label,
+                    //                              arg0 = request id,
+                    //                              arg1 = queue ns
+  request_end,      // request completed            name = graph label,
+                    //                              arg0 = request id,
+                    //                              arg1 = exec ns
 };
 
-/// Number of event kinds (phase_begin is last). Used by the raw-trace
+/// Number of event kinds (request_end is last). Used by the raw-trace
 /// reader to reject records from incompatible files.
 inline constexpr unsigned k_event_kind_count =
-    static_cast<unsigned>(event_kind::phase_begin) + 1;
+    static_cast<unsigned>(event_kind::request_end) + 1;
 
 inline constexpr const char* to_string(event_kind k) noexcept {
   switch (k) {
@@ -76,6 +83,8 @@ inline constexpr const char* to_string(event_kind k) noexcept {
     case event_kind::data_wait_end: return "data_wait_end";
     case event_kind::counter_sample: return "counter_sample";
     case event_kind::phase_begin: return "phase_begin";
+    case event_kind::request_begin: return "request_begin";
+    case event_kind::request_end: return "request_end";
   }
   return "?";
 }

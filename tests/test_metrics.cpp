@@ -265,6 +265,66 @@ TEST_F(MetricsTest, SampledFiresEveryMaskPlusOne) {
   EXPECT_EQ(fired, 4);
 }
 
+// ---- request-scoped deltas --------------------------------------------------
+
+TEST_F(MetricsTest, HistogramDeltaCoversExactlyTheWindow) {
+  histogram h;
+  h.record(3);
+  h.record(100);
+  const histogram_snapshot before = h.snapshot();
+  h.record(7);
+  h.record(7);
+  h.record(5000);  // new process max, inside the window
+  const histogram_snapshot after = h.snapshot();
+  const histogram_snapshot d = histogram_delta(before, after);
+  EXPECT_EQ(d.count(), 3u);
+  EXPECT_EQ(d.max, after.max);
+  // Window mean: (7 + 7 + ~5000) / 3 — bucket midpoints, so just bound it.
+  EXPECT_GT(d.mean(), 1000.0);
+  EXPECT_LT(d.mean(), 3000.0);
+  // Empty window: delta of identical snapshots is all-zero.
+  const histogram_snapshot zero = histogram_delta(after, after);
+  EXPECT_EQ(zero.count(), 0u);
+}
+
+TEST_F(MetricsTest, SnapshotDeltaIsPerRequestScoped) {
+  auto& reg = metrics_registry::instance();
+  const std::string c_name = uniq("delta.counter"), g_name = uniq("delta.gauge"),
+                    h_name = uniq("delta.hist"),
+                    untouched_name = uniq("delta.untouched");
+  counter& c = reg.get_counter(c_name);
+  gauge& g = reg.get_gauge(g_name);
+  histogram& h = reg.get_histogram(h_name);
+  counter& untouched = reg.get_counter(untouched_name);
+  untouched.add(9);  // pre-window activity must not leak into the delta
+  c.add(2);
+
+  const std::vector<metric_sample> before = reg.snapshot();
+  c.add(5);
+  g.add(4);
+  g.sub(1);
+  h.record(42);
+  const std::string late_name = uniq("delta.late");
+  reg.get_counter(late_name).add(7);  // registered inside the window
+  const std::vector<metric_sample> after = reg.snapshot();
+
+  const std::vector<metric_sample> d = snapshot_delta(before, after);
+  auto find = [&](const std::string& name) -> const metric_sample* {
+    for (const metric_sample& s : d)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+  ASSERT_NE(find(c_name), nullptr);
+  EXPECT_EQ(find(c_name)->value, 5u);  // not the lifetime 7
+  ASSERT_NE(find(g_name), nullptr);
+  EXPECT_EQ(find(g_name)->gauge_value, 3);
+  ASSERT_NE(find(h_name), nullptr);
+  EXPECT_EQ(find(h_name)->hist.count(), 1u);
+  ASSERT_NE(find(late_name), nullptr);  // full value: it IS window activity
+  EXPECT_EQ(find(late_name)->value, 7u);
+  EXPECT_EQ(find(untouched_name), nullptr);  // zero deltas are dropped
+}
+
 // ---- concurrency stress (runs under TSan via the runtime label) ------------
 
 TEST_F(MetricsTest, ConcurrentCountsAreExactWhenQuiescent) {

@@ -271,7 +271,10 @@ TEST(ReportCompare, SubMillisecondEntriesAreSkippedAsNoise) {
   EXPECT_NE(res.notes[0].find("sub-threshold"), std::string::npos);
 }
 
-TEST(ReportCompare, UnmatchedEntriesBecomeNotesNotFailures) {
+// A baseline entry missing from the candidate fails the gate (a candidate
+// that silently dropped entries could otherwise narrow the gate to
+// nothing); entries only the candidate has stay informational notes.
+TEST(ReportCompare, MissingBaselineEntriesAreFailures) {
   const run_report base = make_report({make_entry("ge", "forkjoin", {10}),
                                        make_entry("ge", "old-impl", {10})});
   const run_report cand = make_report({make_entry("ge", "forkjoin", {10}),
@@ -279,16 +282,29 @@ TEST(ReportCompare, UnmatchedEntriesBecomeNotesNotFailures) {
   const compare_result res = compare_reports(base, cand, compare_options{});
   EXPECT_EQ(res.deltas.size(), 1u);
   EXPECT_EQ(res.regressions, 0);
-  bool base_only = false, cand_only = false;
+  EXPECT_EQ(res.missing, 1);
+  EXPECT_EQ(res.exit_code(), 1);  // old-impl vanished: gate must fail
+  bool base_missing = false, cand_only = false;
   for (const std::string& n : res.notes) {
-    if (n.find("baseline-only") != std::string::npos &&
+    if (n.find("MISSING") != std::string::npos &&
         n.find("old-impl") != std::string::npos)
-      base_only = true;
+      base_missing = true;
     if (n.find("candidate-only") != std::string::npos &&
         n.find("new-impl") != std::string::npos)
       cand_only = true;
   }
-  EXPECT_TRUE(base_only && cand_only);
+  EXPECT_TRUE(base_missing && cand_only);
+}
+
+// Candidate-only entries alone never fail: adding benchmarks is not a
+// regression.
+TEST(ReportCompare, CandidateOnlyEntriesStayNotes) {
+  const run_report base = make_report({make_entry("ge", "forkjoin", {10})});
+  const run_report cand = make_report({make_entry("ge", "forkjoin", {10}),
+                                       make_entry("ge", "new-impl", {10})});
+  const compare_result res = compare_reports(base, cand, compare_options{});
+  EXPECT_EQ(res.missing, 0);
+  EXPECT_EQ(res.exit_code(), 0);
 }
 
 TEST(ReportCompare, HistogramMeanRegressionIsCaught) {
