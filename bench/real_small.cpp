@@ -1,7 +1,7 @@
 // E-R1: real-execution sanity at laptop scale.
 //
 // Runs every benchmark through every variant the runtime registry knows
-// (serial R-DP, fork-join, tiled, the four data-flow modes, r-way — see
+// (serial R-DP, fork-join, tiled, the six data-flow modes, r-way — see
 // rdp::dp::registry()), validates each against the serial-loop oracle, and
 // reports wall-clock. On a single-core box the absolute times mostly
 // measure runtime overhead (which is exactly what calibrates the

@@ -157,8 +157,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "registry: " << registry().size() << " variants ("
-            << impl_help() << ")\n";
+  std::cout << "registry: " << registry().size() << " variants, "
+            << variants_for(benchmark_id::ge).size()
+            << " per benchmark (" << impl_help() << ")\n";
 
   forkjoin::worker_pool pool(static_cast<unsigned>(workers));
   run_options opts;

@@ -2,7 +2,7 @@
 //
 //     server_load [--n=128] [--base=8] [--workers=2] [--requests=200]
 //                 [--warmup=16] [--reps=3] [--rate=R|auto] [--util=0.5]
-//                 [--modes=prepared,rearm,rebuild] [--check]
+//                 [--modes=prepared,batched,rearm,rebuild] [--check]
 //                 [--min-amortization=X] [--report=FILE]
 //
 // Drives a stream of GE instances (same shape, fresh data planes) through
@@ -64,6 +64,7 @@ struct options {
   double rate = 0;  // arrivals/sec; 0 = auto-calibrate
   double util = 0.5;
   std::vector<server::exec_mode> modes = {server::exec_mode::prepared,
+                                          server::exec_mode::batched,
                                           server::exec_mode::rearm,
                                           server::exec_mode::rebuild};
   bool check = false;
@@ -74,7 +75,8 @@ struct options {
 void usage(std::ostream& os) {
   os << "usage: server_load [--n=N] [--base=B] [--workers=W]\n"
         "  [--requests=R] [--warmup=K] [--reps=P] [--rate=R|auto]\n"
-        "  [--util=U] [--modes=CSV of prepared,rearm,rebuild] [--check]\n"
+        "  [--util=U] [--modes=CSV of prepared,batched,rearm,rebuild]\n"
+        "  [--check]\n"
         "  [--min-amortization=X] [--report=FILE]\n";
 }
 
@@ -93,6 +95,7 @@ double parse_double(const std::string& v, const char* flag) {
 
 server::exec_mode parse_mode(const std::string& v) {
   if (v == "prepared") return server::exec_mode::prepared;
+  if (v == "batched") return server::exec_mode::batched;
   if (v == "rearm") return server::exec_mode::rearm;
   if (v == "rebuild") return server::exec_mode::rebuild;
   usage_error("unknown mode: " + v);
@@ -246,33 +249,36 @@ double probe_service_time(const options& o, const instance_pool& pool,
   return secs / static_cast<double>(probes);
 }
 
-/// One open-loop measurement round at `rate` arrivals/sec.
+/// One open-loop measurement round at `rate` arrivals/sec. The first
+/// o.warmup requests ride the SAME open-loop schedule as the measured ones
+/// and are simply discarded from every statistic. A closed-loop warmup
+/// (run-one-wait-one) leaves an idle gap before the first open-loop
+/// arrival, and the resulting cold re-entry — parked workers, evicted
+/// caches — showed up as a multi-ms outlier in BENCH_pr8's
+/// server:prepared:p99. An in-schedule discard phase keeps the pool busy
+/// straight into the measured window.
 round_result run_round(const options& o, const instance_pool& pool,
                        server::exec_mode mode, double rate) {
+  const std::size_t total = o.warmup + o.requests;
   server::server_config cfg;
   cfg.workers = o.workers;
   cfg.mode = mode;
-  cfg.queue_capacity = std::max<std::size_t>(o.requests, 64);
+  cfg.queue_capacity = std::max<std::size_t>(total, 64);
   server::batch_server srv(cfg);
   matrix<double> exemplar = pool.inputs[0];
   auto structural = dp::make_ge_spec(exemplar, o.base);
   const server::graph_id gid = srv.prepare(*structural);
 
-  // Closed-loop warmup: touch every data plane, settle the pool (excluded
-  // from every statistic below).
-  for (std::size_t i = 0; i < o.warmup; ++i)
-    bind_and_run(srv, gid, pool, i, o.base);
-
   const std::chrono::nanoseconds interval(
       static_cast<std::uint64_t>(1e9 / rate));
   std::vector<std::future<server::response>> futs;
   std::vector<std::shared_ptr<matrix<double>>> tables;
-  futs.reserve(o.requests);
-  tables.reserve(o.requests);
-  std::vector<std::uint64_t> lateness_ns(o.requests, 0);
+  futs.reserve(total);
+  tables.reserve(total);
+  std::vector<std::uint64_t> lateness_ns(total, 0);
 
   const sclock::time_point start = sclock::now();
-  for (std::size_t i = 0; i < o.requests; ++i) {
+  for (std::size_t i = 0; i < total; ++i) {
     const sclock::time_point scheduled = start + interval * i;
     std::this_thread::sleep_until(scheduled);
     const sclock::time_point now = sclock::now();
@@ -290,23 +296,30 @@ round_result run_round(const options& o, const instance_pool& pool,
   round_result res;
   std::vector<double> sojourn_ms;
   sojourn_ms.reserve(o.requests);
-  for (std::size_t i = 0; i < o.requests; ++i) {
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool measured = i >= o.warmup;
     const server::response r = futs[i].get();
     if (r.status == server::request_status::shed) {
-      ++res.shed;
+      if (measured) ++res.shed;
       continue;
     }
     if (r.status == server::request_status::failed)
       throw std::runtime_error("request failed: " + r.error);
-    ++res.completed;
-    sojourn_ms.push_back(
-        static_cast<double>(lateness_ns[i] + r.sojourn_ns) / 1e6);
+    // Bit-exactness is checked on every completed table, warmup included.
     if (o.check &&
         *tables[i] != pool.expected[i % pool.expected.size()])
       ++res.diverged;
+    if (!measured) continue;
+    ++res.completed;
+    sojourn_ms.push_back(
+        static_cast<double>(lateness_ns[i] + r.sojourn_ns) / 1e6);
   }
+  // Throughput over the measured window only: from the first measured
+  // request's scheduled arrival, not from the warmup's.
+  const sclock::time_point measured_start = start + interval * o.warmup;
   const double elapsed_ms =
-      std::chrono::duration<double, std::milli>(sclock::now() - start).count();
+      std::chrono::duration<double, std::milli>(sclock::now() - measured_start)
+          .count();
   res.p50_ms = percentile(sojourn_ms, 0.50);
   res.p99_ms = percentile(sojourn_ms, 0.99);
   res.mspr_ms = res.completed == 0

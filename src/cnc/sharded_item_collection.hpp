@@ -1,0 +1,305 @@
+// Owner-sharded item collection: the data half of a CnC graph, partitioned
+// by the worker that owns each key.
+//
+// Same dynamic-single-assignment semantics and blocking-get protocol as
+// item_collection (see item_collection.hpp), but instead of hashing keys
+// onto a global striped map, every key is assigned to exactly one shard by
+// an Owner functor — the same placement hash the step collection's
+// compute_on tuner uses, modulo the worker count. With owner-computes
+// pinning enabled, the worker that computes tile (i, j) is the worker whose
+// shard holds (i, j)'s items, so hot-path puts and the write-write
+// predecessor get never touch another core's map (§V's data-movement
+// argument applied to the runtime's own metadata). Cross-shard reads still
+// work — they are ordinary lock acquisitions on the owner's shard — and are
+// counted: dataflow.shard_hit / dataflow.shard_miss report how core-local
+// the traffic actually was (steals and unpinned callers show up as misses).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cnc/context.hpp"
+#include "cnc/errors.hpp"
+#include "cnc/key_string.hpp"
+#include "cnc/step_instance.hpp"
+#include "concurrent/backoff.hpp"
+#include "concurrent/spinlock.hpp"
+#include "forkjoin/worker_pool.hpp"
+#include "obs/tracer.hpp"
+#include "support/assertions.hpp"
+
+namespace rdp::cnc {
+
+namespace detail {
+
+/// Shard-locality counters (process-wide registry metrics, resolved once).
+/// Named dataflow.* because the sharded data-flow backend is the only
+/// client and run reports group them with its other counters.
+struct shard_metrics_t {
+  obs::counter& hit;
+  obs::counter& miss;
+};
+inline shard_metrics_t& shard_metrics() {
+  auto& reg = obs::metrics_registry::instance();
+  static shard_metrics_t m{reg.get_counter("dataflow.shard_hit"),
+                           reg.get_counter("dataflow.shard_miss")};
+  return m;
+}
+
+}  // namespace detail
+
+/// Owner maps a key to a non-negative placement hash; shard index is that
+/// hash modulo the shard count. One shard per pool worker, so shard index
+/// == owning worker index and locality accounting is exact.
+template <class Key, class Value, class Owner, class Hash = std::hash<Key>>
+class sharded_item_collection {
+public:
+  using key_type = Key;
+  using value_type = Value;
+
+  sharded_item_collection(context_base& ctx, std::string name)
+      : ctx_(ctx), name_(std::move(name)),
+        trace_name_(obs::tracer::instance().intern(name_)),
+        shards_(ctx.pool().worker_count() == 0 ? 1
+                                               : ctx.pool().worker_count()) {}
+
+  sharded_item_collection(const sharded_item_collection&) = delete;
+  sharded_item_collection& operator=(const sharded_item_collection&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  /// Publish `value` under `key` (exactly-once; see item_collection::put).
+  void put(const Key& key, Value value, std::uint32_t get_count = 0) {
+    shard& sh = shard_for(key);
+    std::vector<waiter*> to_wake;
+    {
+      std::scoped_lock lock(sh.mutex);
+      slot& s = sh.table[key];
+      if (s.value.has_value())
+        throw dsa_violation("duplicate put into item collection '" + name_ +
+                            "'");
+      s.value.emplace(std::move(value));
+      s.remaining_gets = get_count;
+      to_wake.swap(s.waiters);
+    }
+    count_locality(sh);
+    ctx_.metrics().items_put.fetch_add(1, std::memory_order_relaxed);
+    detail::cnc_metrics().items_put.add();
+    detail::cnc_metrics().items_live.add();
+    RDP_TRACE_EVENT(obs::event_kind::item_put, trace_name_, Hash{}(key),
+                    to_wake.size());
+    for (waiter* w : to_wake) w->item_ready();
+  }
+
+  /// Blocking get (CnC park-then-abort semantics; see item_collection::get).
+  void get(const Key& key, Value& out) const {
+    step_instance_base* self = step_instance_base::current();
+    if (self == nullptr) {
+      environment_get(key, out);
+      return;
+    }
+    shard& sh = shard_for(key);
+    bool found = false;
+    bool erase_after = false;
+    {
+      std::scoped_lock lock(sh.mutex);
+      slot& s = sh.table[key];
+      if (s.value.has_value()) {
+        out = *s.value;
+        found = true;
+        if (s.remaining_gets > 0 && --s.remaining_gets == 0)
+          erase_after = true;
+      } else {
+        // Park-then-abort, atomically w.r.t. put() on the same shard.
+        self->ctx().on_suspend(self);
+        s.waiters.push_back(self);
+      }
+    }
+    count_locality(sh);
+    if (found) {
+      if (erase_after) {
+        std::scoped_lock lock(sh.mutex);
+        sh.table.erase(key);
+        detail::cnc_metrics().items_live.sub();
+      }
+      ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+      detail::cnc_metrics().gets_ok.add();
+      RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key), 0);
+      return;
+    }
+    ctx_.metrics().gets_failed.fetch_add(1, std::memory_order_relaxed);
+    detail::cnc_metrics().gets_failed.add();
+    RDP_TRACE_EVENT(obs::event_kind::item_get_miss, trace_name_, Hash{}(key),
+                    0);
+    throw detail::unmet_dependency_signal{};
+  }
+
+  /// Non-blocking get: true and a copy when present, false otherwise.
+  bool try_get(const Key& key, Value& out) const {
+    shard& sh = shard_for(key);
+    std::scoped_lock lock(sh.mutex);
+    auto it = sh.table.find(key);
+    if (it == sh.table.end() || !it->second.value.has_value()) return false;
+    out = *it->second.value;
+    return true;
+  }
+
+  bool contains(const Key& key) const {
+    shard& sh = shard_for(key);
+    std::scoped_lock lock(sh.mutex);
+    auto it = sh.table.find(key);
+    return it != sh.table.end() && it->second.value.has_value();
+  }
+
+  /// Number of *published* items (keys whose value was put).
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const shard& sh : shards_) {
+      std::scoped_lock lock(sh.mutex);
+      for (const auto& [k, s] : sh.table)
+        if (s.value.has_value()) ++n;
+    }
+    return n;
+  }
+
+  /// Re-arm support; same quiescence contract as item_collection::clear.
+  void clear() {
+    std::size_t live = 0;
+    for (shard& sh : shards_) {
+      std::scoped_lock lock(sh.mutex);
+      for (const auto& [k, s] : sh.table) {
+        RDP_REQUIRE_MSG(s.waiters.empty(),
+                        "item_collection::clear on '" + name_ +
+                            "' with step instances still parked on waiter "
+                            "lists (context not quiescent)");
+        if (s.value.has_value()) ++live;
+      }
+      sh.table.clear();
+    }
+    detail::cnc_metrics().items_live.sub(static_cast<std::int64_t>(live));
+  }
+
+  /// Internal (pre-scheduling tuner): present, or register `w` as a waiter.
+  bool present_or_register(const Key& key, waiter* w) {
+    shard& sh = shard_for(key);
+    std::scoped_lock lock(sh.mutex);
+    slot& s = sh.table[key];
+    if (s.value.has_value()) return true;
+    s.waiters.push_back(w);
+    return false;
+  }
+
+private:
+  struct slot {
+    std::optional<Value> value;
+    std::vector<waiter*> waiters;
+    std::uint32_t remaining_gets = 0;  // 0 = keep forever
+  };
+
+  struct shard {
+    mutable concurrent::spinlock mutex;
+    std::unordered_map<Key, slot, Hash> table;
+  };
+
+  shard& shard_for(const Key& key) const {
+    return shards_[static_cast<std::size_t>(Owner{}(key)) % shards_.size()];
+  }
+
+  /// Hit = the calling thread is the worker whose shard this is. The
+  /// environment thread (index -1) is never local by definition.
+  void count_locality(const shard& sh) const {
+    const int w = forkjoin::worker_pool::current_worker_index();
+    const auto idx = static_cast<std::size_t>(&sh - shards_.data());
+    if (w >= 0 && static_cast<std::size_t>(w) == idx)
+      detail::shard_metrics().hit.add();
+    else
+      detail::shard_metrics().miss.add();
+  }
+
+  /// Counted lookup of the environment path (consumes one declared get).
+  bool try_get_counted(const Key& key, Value& out) const {
+    shard& sh = shard_for(key);
+    bool found = false;
+    bool erase_after = false;
+    {
+      std::scoped_lock lock(sh.mutex);
+      auto it = sh.table.find(key);
+      if (it != sh.table.end() && it->second.value.has_value()) {
+        out = *it->second.value;
+        found = true;
+        if (it->second.remaining_gets > 0 && --it->second.remaining_gets == 0)
+          erase_after = true;
+        if (erase_after) sh.table.erase(it);
+      }
+    }
+    if (found) {
+      detail::cnc_metrics().gets_ok.add();
+      if (erase_after) detail::cnc_metrics().items_live.sub();
+    }
+    return found;
+  }
+
+  /// Environment-side blocking get; same help-then-diagnose protocol as
+  /// item_collection::environment_get.
+  void environment_get(const Key& key, Value& out) const {
+    if (try_get_counted(key, out)) {
+      ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+      RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key), 0);
+      return;
+    }
+    RDP_TRACE_EVENT(obs::event_kind::data_wait_begin, trace_name_,
+                    Hash{}(key), 0);
+    concurrent::backoff bo;
+    for (;;) {
+      if (try_get_counted(key, out)) {
+        ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+        RDP_TRACE_EVENT(obs::event_kind::data_wait_end, trace_name_,
+                        Hash{}(key), 0);
+        RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_, Hash{}(key),
+                        0);
+        return;
+      }
+      if (ctx_.pool().try_run_one()) {
+        bo.reset();
+        continue;
+      }
+      if (ctx_.active_count() == 0) {
+        if (try_get_counted(key, out)) {
+          ctx_.metrics().gets_ok.fetch_add(1, std::memory_order_relaxed);
+          RDP_TRACE_EVENT(obs::event_kind::data_wait_end, trace_name_,
+                          Hash{}(key), 0);
+          RDP_TRACE_EVENT(obs::event_kind::item_get, trace_name_,
+                          Hash{}(key), 0);
+          return;
+        }
+        RDP_TRACE_EVENT(obs::event_kind::data_wait_end, trace_name_,
+                        Hash{}(key), 0);
+        if (std::exception_ptr error = ctx_.take_error())
+          std::rethrow_exception(error);
+        const long s = ctx_.suspended_count();
+        std::string msg = "blocking environment get on item collection '" +
+                          name_ + "', key " + detail::key_string(key) +
+                          ": graph is quiescent and the item was never "
+                          "produced";
+        if (s > 0)
+          msg += " (" + std::to_string(s) +
+                 " step instance(s) parked on unmet dependencies)";
+        throw unsatisfied_dependency(msg);
+      }
+      bo.pause();
+    }
+  }
+
+  context_base& ctx_;
+  std::string name_;
+  std::uint16_t trace_name_;  // interned name_ for trace events
+  mutable std::vector<shard> shards_;
+};
+
+}  // namespace rdp::cnc

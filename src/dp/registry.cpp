@@ -164,6 +164,8 @@ cnc_variant mode_to_variant(std::string_view mode) {
   if (mode == "tuner") return cnc_variant::tuner;
   if (mode == "manual") return cnc_variant::manual;
   if (mode == "nonblocking") return cnc_variant::nonblocking;
+  if (mode == "batched") return cnc_variant::batched;
+  if (mode == "sharded") return cnc_variant::sharded;
   RDP_REQUIRE_MSG(false, "unknown data-flow mode");
   return cnc_variant::native;
 }
@@ -231,10 +233,15 @@ std::unique_ptr<recurrence> make_problem_spec(const problem_ref& p,
 /// bit-exactness checks cover the frozen executor itself.
 run_outcome run_prepared_v(const variant& self, const problem_ref& p,
                            const run_options& opts) {
-  (void)self;
   const std::unique_ptr<recurrence> spec = make_problem_spec(p, opts.base);
-  const exec::prepared_graph graph = exec::prepared_graph::freeze(*spec);
-  with_pool(opts, [&](forkjoin::worker_pool& pool) {  //
+  with_pool(opts, [&](forkjoin::worker_pool& pool) {
+    // The batched mode coarsens the frozen CSR to band chunks
+    // (exec/banding.hpp) sized to the pool actually executing it.
+    const exec::prepared_graph graph =
+        self.mode == "batched"
+            ? exec::prepared_graph::freeze_batched(*spec,
+                                                   pool.worker_count())
+            : exec::prepared_graph::freeze(*spec);
     graph.execute(*spec, pool);
   });
   return {};
@@ -310,11 +317,17 @@ std::vector<variant> build_registry() {
                     &supports_pow2, &run_dataflow_v});
     rows.push_back({bm, backend_kind::dataflow, "nonblocking",
                     "dataflow:nonblocking", &supports_pow2, &run_dataflow_v});
+    rows.push_back({bm, backend_kind::dataflow, "batched",
+                    "dataflow:batched", &supports_pow2, &run_dataflow_v});
+    rows.push_back({bm, backend_kind::dataflow, "sharded",
+                    "dataflow:sharded", &supports_pow2, &run_dataflow_v});
     rows.push_back({bm, backend_kind::rway, "r2", "rway:r2",  //
                     &supports_r2, &run_rway_v});
     rows.push_back({bm, backend_kind::rway, "r4", "rway:r4",  //
                     &supports_r4, &run_rway_v});
     rows.push_back({bm, backend_kind::prepared, "", "prepared",
+                    &supports_tiled, &run_prepared_v});
+    rows.push_back({bm, backend_kind::prepared, "batched", "prepared:batched",
                     &supports_tiled, &run_prepared_v});
     // Simulated schedules (fig4–fig9 series), in the paper's series order.
     rows.push_back({bm, backend_kind::sim, "cnc", "sim:cnc",  //

@@ -109,7 +109,7 @@ struct variant {
                      const run_options& opts);
 };
 
-/// All registered variants (3 benchmarks × 14 backend[:mode] entries).
+/// All registered variants (3 benchmarks × 17 backend[:mode] entries).
 /// Debug builds cross-check every spec with dp::verify_spec on a small
 /// instance the first time this is called (see registry.cpp).
 const std::vector<variant>& registry();

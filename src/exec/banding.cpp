@@ -1,0 +1,177 @@
+#include "exec/banding.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "support/assertions.hpp"
+
+namespace rdp::exec {
+
+namespace {
+
+/// Raw (sparse) band key of one base tile. abcd rounds interleave three
+/// phases — the pivot A, the B∥C band it unblocks, the D band those unblock
+/// — so round k maps to keys 3k/3k+1/3k+2; triangular specs simply never
+/// emit some of them (GE's last round is A-only). Wavefront tiles become
+/// ready along anti-diagonals.
+std::int64_t raw_band_key(dp::structure_kind kind, const dp::tile4& t) {
+  if (kind == dp::structure_kind::wavefront)
+    return static_cast<std::int64_t>(t.i) + t.j;
+  switch (dp::classify(t.i, t.j, t.k)) {
+    case dp::task_kind::A: return 3 * static_cast<std::int64_t>(t.k);
+    case dp::task_kind::B:
+    case dp::task_kind::C: return 3 * static_cast<std::int64_t>(t.k) + 1;
+    case dp::task_kind::D: return 3 * static_cast<std::int64_t>(t.k) + 2;
+  }
+  return 0;
+}
+
+struct key_list {
+  dp::tile3 keys[dp::max_dependency_capacity];
+  std::size_t count = 0;
+  std::size_t limit;
+
+  explicit key_list(std::size_t lim) : limit(lim) {}
+  void operator()(const dp::tile3& k) {
+    RDP_REQUIRE_MSG(count < limit,
+                    "base task emits more dependency keys than the spec's "
+                    "max_dependencies() declares");
+    keys[count++] = k;
+  }
+};
+
+}  // namespace
+
+band_plan build_band_plan(dp::recurrence& rec) {
+  band_plan plan;
+  const std::string name = rec.name();
+  const dp::structure_kind kind = rec.structure();
+  const std::size_t max_deps = rec.max_dependencies();
+  RDP_REQUIRE_MSG(
+      max_deps <= dp::max_dependency_capacity,
+      name + ": max_dependencies() exceeds the executor dependency-buffer "
+             "capacity (dp::max_dependency_capacity)");
+
+  // Tile set + produced-key index, in enumerate_base() order.
+  std::unordered_map<dp::tile3, std::uint32_t> tile_of;
+  auto emit = [&](const dp::tile4& tag) {
+    const dp::tile3 key{tag.i, tag.j, tag.k};
+    const auto [it, inserted] = tile_of.emplace(
+        key, static_cast<std::uint32_t>(plan.tiles.size()));
+    RDP_REQUIRE_MSG(inserted,
+                    name + ": enumerate_base emitted a tile twice");
+    plan.tiles.push_back(tag);
+  };
+  rec.enumerate_base(dp::tag_sink(emit));
+  RDP_REQUIRE_MSG(!plan.tiles.empty(),
+                  name + ": enumerate_base emitted no base tiles");
+  const auto tile_count = static_cast<std::uint32_t>(plan.tiles.size());
+
+  // Dense band numbering: sparse structural keys → observed-key rank. The
+  // sort order of the raw keys IS the topological order (validated below).
+  std::vector<std::int64_t> raw(tile_count);
+  std::vector<std::int64_t> distinct;
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx) {
+    raw[idx] = raw_band_key(kind, plan.tiles[idx]);
+    distinct.push_back(raw[idx]);
+  }
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  plan.band_count = static_cast<std::uint32_t>(distinct.size());
+  plan.tile_band.resize(tile_count);
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx)
+    plan.tile_band[idx] = static_cast<std::uint32_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), raw[idx]) -
+        distinct.begin());
+
+  // Members grouped by band (counting sort keeps enumerate order in-band).
+  plan.band_begin.assign(plan.band_count + 1, 0);
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx)
+    ++plan.band_begin[plan.tile_band[idx] + 1];
+  for (std::uint32_t b = 0; b < plan.band_count; ++b)
+    plan.band_begin[b + 1] += plan.band_begin[b];
+  plan.members.resize(tile_count);
+  {
+    std::vector<std::uint32_t> cursor(plan.band_begin.begin(),
+                                      plan.band_begin.end() - 1);
+    for (std::uint32_t idx = 0; idx < tile_count; ++idx)
+      plan.members[cursor[plan.tile_band[idx]]++] = idx;
+  }
+
+  // Band-level edges from the tile-level depends() walk. Every edge must
+  // point strictly forward — that is precisely what makes in-band tiles
+  // mutually independent and one counter per band sufficient.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx) {
+    const dp::tile4& tag = plan.tiles[idx];
+    key_list deps(max_deps);
+    rec.depends({tag.i, tag.j, tag.k}, dp::dep_sink(deps));
+    for (std::size_t d = 0; d < deps.count; ++d) {
+      const auto it = tile_of.find(deps.keys[d]);
+      if (it == tile_of.end()) {
+        RDP_REQUIRE_MSG(
+            rec.value_passing(),
+            name + ": base tile depends on an item no base task produces — "
+                   "a token graph cannot seed it from the environment");
+        continue;  // environment seed: no band edge
+      }
+      const std::uint32_t from = plan.tile_band[it->second];
+      const std::uint32_t to = plan.tile_band[idx];
+      RDP_REQUIRE_MSG(from < to,
+                      name + ": structure_kind banding disagrees with "
+                             "depends() (edge does not point to a later "
+                             "band) — spec cannot be batched");
+      edges.emplace_back(from, to);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  plan.succ_begin.assign(plan.band_count + 1, 0);
+  plan.in_degree.assign(plan.band_count, 0);
+  for (const auto& [from, to] : edges) {
+    ++plan.succ_begin[from + 1];
+    ++plan.in_degree[to];
+  }
+  for (std::uint32_t b = 0; b < plan.band_count; ++b)
+    plan.succ_begin[b + 1] += plan.succ_begin[b];
+  plan.succ.resize(edges.size());
+  {
+    std::vector<std::uint32_t> cursor(plan.succ_begin.begin(),
+                                      plan.succ_begin.end() - 1);
+    for (const auto& [from, to] : edges) plan.succ[cursor[from]++] = to;
+  }
+
+  RDP_REQUIRE_MSG(plan.in_degree[0] == 0,
+                  name + ": first band has predecessors (banding bug)");
+  return plan;
+}
+
+chunk_table build_chunks(const band_plan& plan, std::uint32_t parallelism) {
+  if (parallelism == 0) parallelism = 1;
+  chunk_table table;
+  table.first_chunk.assign(plan.band_count + 1, 0);
+  for (std::uint32_t b = 0; b < plan.band_count; ++b) {
+    table.first_chunk[b] = static_cast<std::uint32_t>(table.chunks.size());
+    const std::uint32_t begin = plan.band_begin[b];
+    const std::uint32_t count = plan.member_count(b);
+    const std::uint32_t chunks = std::min(count, parallelism);
+    for (std::uint32_t c = 0; c < chunks; ++c) {
+      // Near-equal split: chunk c covers [c*count/chunks, (c+1)*count/chunks).
+      const std::uint32_t lo =
+          begin + static_cast<std::uint32_t>(
+                      (static_cast<std::uint64_t>(count) * c) / chunks);
+      const std::uint32_t hi =
+          begin + static_cast<std::uint32_t>(
+                      (static_cast<std::uint64_t>(count) * (c + 1)) / chunks);
+      table.chunks.push_back({b, lo, hi});
+    }
+  }
+  table.first_chunk[plan.band_count] =
+      static_cast<std::uint32_t>(table.chunks.size());
+  return table;
+}
+
+}  // namespace rdp::exec

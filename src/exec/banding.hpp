@@ -1,0 +1,72 @@
+// Banding: the shared fusion analysis of the batched data-flow backends.
+//
+// A *band* is a maximal set of base tiles that (a) are mutually independent
+// and (b) become ready together: one pivot round's A, its B∥C band, its D
+// band (abcd specs), or one anti-diagonal (wavefront specs). The band
+// structure is derived once at lowering time from the spec's depends() and
+// structure_kind — the same information every per-tile backend rediscovers
+// on each run — and validated against the actual dependency edges, so a
+// spec whose depends() disagrees with its declared structure is rejected at
+// build instead of deadlocking.
+//
+// Both batched lowerings consume the same plan: the CnC `batched` variant
+// replaces per-tile tag puts and waiter parking with one atomic predecessor
+// counter per band, and prepared_graph::freeze_batched coarsens its CSR
+// nodes from tiles to band chunks. Chunking (build_chunks) splits each band
+// into at most `parallelism` contiguous runs so fusing never serialises a
+// band that used to run wide.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dp/common.hpp"
+#include "dp/spec/spec.hpp"
+
+namespace rdp::exec {
+
+/// The frozen band structure of one spec instance. Tile indices refer to
+/// `tiles` (enumerate_base() emission order, same as prepared_graph and
+/// manual-CnC pre-declaration). Bands are numbered in topological order:
+/// every dependency edge goes from a lower band to a strictly higher one
+/// (validated at build), so tiles within a band are mutually independent.
+struct band_plan {
+  std::vector<dp::tile4> tiles;           // enumerate_base() order
+  std::uint32_t band_count = 0;
+  std::vector<std::uint32_t> tile_band;   // band of tiles[idx]
+  std::vector<std::uint32_t> members;     // tile indices grouped by band
+  std::vector<std::uint32_t> band_begin;  // into members, band_count+1
+  std::vector<std::uint32_t> succ;        // band-level edges, deduped
+  std::vector<std::uint32_t> succ_begin;  // into succ, band_count+1
+  std::vector<std::uint32_t> in_degree;   // distinct predecessor bands
+
+  std::uint32_t member_count(std::uint32_t band) const {
+    return band_begin[band + 1] - band_begin[band];
+  }
+};
+
+/// Derive the band structure from the spec. Dependency keys no enumerated
+/// tile produces must be environment seeds (value-passing specs only) —
+/// the same contract prepared_graph::freeze enforces.
+band_plan build_band_plan(dp::recurrence& rec);
+
+/// One fused step: a contiguous run of a band's members.
+struct chunk_ref {
+  std::uint32_t band = 0;
+  std::uint32_t member_begin = 0, member_end = 0;  // into plan.members
+};
+
+struct chunk_table {
+  std::vector<chunk_ref> chunks;
+  std::vector<std::uint32_t> first_chunk;  // per band, band_count+1
+
+  std::uint32_t chunk_count(std::uint32_t band) const {
+    return first_chunk[band + 1] - first_chunk[band];
+  }
+};
+
+/// Split every band into min(member_count, parallelism) contiguous chunks
+/// of near-equal size, so a fused band still occupies the whole pool.
+chunk_table build_chunks(const band_plan& plan, std::uint32_t parallelism);
+
+}  // namespace rdp::exec

@@ -16,16 +16,37 @@
 // graphs) or compute a fresh tile from the read values (value-passing
 // graphs) and put their output item with the spec's consumer count when
 // get-count GC is enabled (preschedule tuners only).
+//
+// Two further variants trade generality for per-tile overhead:
+//
+//   sharded   the same per-tile graph, but the item collection is
+//             partitioned by owner worker (cnc/sharded_item_collection.hpp)
+//             and owner-computes pinning is forced on, so hot-path puts and
+//             same-tile gets stay core-local.
+//
+//   batched   the recursion is not expanded at all: exec/banding.hpp groups
+//             the base tiles into dependency bands at lowering time, each
+//             band is cut into at most `workers` fused chunk steps, and
+//             per-tile tag puts / waiter parking collapse into one atomic
+//             predecessor counter per band. A chunk's tag is only put after
+//             every producer band completed, so its blocking gets always
+//             hit and a fused step never aborts or re-executes (re-running
+//             non-idempotent token kernels would corrupt the table).
 #include "exec/backend.hpp"
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <type_traits>
 #include <utility>
 
 #include "cnc/cnc.hpp"
+#include "cnc/sharded_item_collection.hpp"
 #include "dp/common.hpp"
+#include "exec/banding.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "support/assertions.hpp"
 
 namespace rdp::exec {
@@ -33,10 +54,12 @@ namespace rdp::exec {
 namespace {
 
 /// Registry metrics specific to the spec lowering (the cnc.* family counts
-/// the collection operations underneath): step mix and dependency fan-in.
+/// the collection operations underneath): step mix, dependency fan-in, and
+/// how many per-tile steps the batched variant fused away.
 struct df_metrics_t {
   obs::counter& base_steps;
   obs::counter& expand_steps;
+  obs::counter& steps_fused;
   obs::histogram& dep_fanin;
 };
 
@@ -44,32 +67,45 @@ df_metrics_t& df_metrics() {
   auto& reg = obs::metrics_registry::instance();
   static df_metrics_t m{reg.get_counter("dataflow.base_steps"),
                         reg.get_counter("dataflow.expand_steps"),
+                        reg.get_counter("dataflow.steps_fused"),
                         reg.get_histogram("dataflow.dep_fanin")};
   return m;
 }
 
-template <class Value>
-struct df_context;
-
-template <class Value>
-struct df_step {
-  int execute(const dp::tile4& t, df_context<Value>& ctx) const;
-  void depends(const dp::tile4& t, df_context<Value>& ctx,
-               cnc::dependency_collector& dc) const;
-  /// Owner-computes placement (§V): base tasks only — expansion steps are
-  /// cheap and benefit from running wherever they were prescribed.
-  int compute_on(const dp::tile4& t, df_context<Value>& ctx) const {
-    if (!ctx.pin || !ctx.rec->is_base(t)) return -1;
-    return static_cast<int>(
-        dp::mix64((static_cast<std::uint64_t>(
-                       static_cast<std::uint32_t>(t.i)) << 32) |
-                  static_cast<std::uint32_t>(t.j)) &
-        0x7FFFFFFF);
+/// Shard owner of an item key: the same placement hash compute_on uses, so
+/// with pinning the worker that computes tile (i, j) owns its items' shard.
+struct tile_owner {
+  std::int32_t operator()(const dp::tile3& t) const noexcept {
+    return dp::tile_placement_hash(t.i, t.j);
   }
 };
 
 template <class Value>
-struct df_context : cnc::context<df_context<Value>> {
+using global_items = cnc::item_collection<dp::tile3, Value>;
+template <class Value>
+using owner_items =
+    cnc::sharded_item_collection<dp::tile3, Value, tile_owner>;
+
+template <class Value, class Items>
+struct df_context;
+
+template <class Ctx>
+struct df_step {
+  int execute(const dp::tile4& t, Ctx& ctx) const;
+  void depends(const dp::tile4& t, Ctx& ctx,
+               cnc::dependency_collector& dc) const;
+  /// Owner-computes placement (§V): base tasks only — expansion steps are
+  /// cheap and benefit from running wherever they were prescribed.
+  int compute_on(const dp::tile4& t, Ctx& ctx) const {
+    if (!ctx.pin || !ctx.rec->is_base(t)) return -1;
+    return dp::tile_placement_hash(t.i, t.j);
+  }
+};
+
+template <class Value, class Items>
+struct df_context : cnc::context<df_context<Value, Items>> {
+  using value_type = Value;
+
   /// The recurrence CURRENTLY bound to the graph. A pointer, not a
   /// reference: a persistent dataflow_session swaps in a structurally
   /// identical spec per request without reconstructing the collections.
@@ -78,18 +114,18 @@ struct df_context : cnc::context<df_context<Value>> {
   bool collect = false;      // get-count GC (single-execution tuners only)
   bool pin = false;          // compute_on owner-computes placement
 
-  cnc::step_collection<df_context, df_step<Value>, dp::tile4> steps;
+  cnc::step_collection<df_context, df_step<df_context>, dp::tile4> steps;
   // Recursive expansion puts each tag exactly once -> memoisation off.
   cnc::tag_collection<dp::tile4> tags;
-  cnc::item_collection<dp::tile3, Value> items;
+  Items items;
 
   /// Per-spec dependency fan-in bound, checked once against the fixed
   /// buffer capacity at graph build (see dep_list below).
   std::size_t max_deps = 0;
 
   df_context(dp::recurrence& r, cnc::schedule_policy policy, unsigned workers)
-      : cnc::context<df_context<Value>>(workers), rec(&r),
-        steps(*this, std::string(r.name()) + "_step", df_step<Value>{},
+      : cnc::context<df_context<Value, Items>>(workers), rec(&r),
+        steps(*this, std::string(r.name()) + "_step", df_step<df_context>{},
               policy),
         tags(*this, std::string(r.name()) + "_tags", false),
         items(*this, std::string(r.name()) + "_items"),
@@ -102,8 +138,8 @@ struct df_context : cnc::context<df_context<Value>> {
   /// server's rebuild path and persistent sessions).
   df_context(dp::recurrence& r, cnc::schedule_policy policy,
              forkjoin::worker_pool& pool)
-      : cnc::context<df_context<Value>>(pool), rec(&r),
-        steps(*this, std::string(r.name()) + "_step", df_step<Value>{},
+      : cnc::context<df_context<Value, Items>>(pool), rec(&r),
+        steps(*this, std::string(r.name()) + "_step", df_step<df_context>{},
               policy),
         tags(*this, std::string(r.name()) + "_tags", false),
         items(*this, std::string(r.name()) + "_items"),
@@ -145,9 +181,9 @@ struct dep_list {
   }
 };
 
-template <class Value>
-int df_step<Value>::execute(const dp::tile4& t,
-                            df_context<Value>& ctx) const {
+template <class Ctx>
+int df_step<Ctx>::execute(const dp::tile4& t, Ctx& ctx) const {
+  using Value = typename Ctx::value_type;
   if (!ctx.rec->is_base(t)) {
     df_metrics().expand_steps.add();
     const dp::split_plan plan = ctx.rec->split(t);
@@ -199,20 +235,21 @@ int df_step<Value>::execute(const dp::tile4& t,
   return 0;
 }
 
-template <class Value>
-void df_step<Value>::depends(const dp::tile4& t, df_context<Value>& ctx,
-                             cnc::dependency_collector& dc) const {
+template <class Ctx>
+void df_step<Ctx>::depends(const dp::tile4& t, Ctx& ctx,
+                           cnc::dependency_collector& dc) const {
   if (!ctx.rec->is_base(t)) return;
   auto require = [&](const dp::tile3& key) { dc.require(ctx.items, key); };
   ctx.rec->depends({t.i, t.j, t.k}, dp::dep_sink(require));
 }
 
-/// value_store over the value-passing context's item collection, for the
+/// value_store over a value-passing context's item collection, for the
 /// spec's environment-side seed (before any tag) and gather (after wait).
-struct df_value_store final : dp::value_store {
-  df_context<dp::tile_value>& ctx;
+template <class Ctx>
+struct env_value_store final : dp::value_store {
+  Ctx& ctx;
 
-  explicit df_value_store(df_context<dp::tile_value>& c) : ctx(c) {}
+  explicit env_value_store(Ctx& c) : ctx(c) {}
 
   void put(const dp::tile3& key, dp::tile_value v) override {
     ctx.items.put(key, std::move(v), ctx.count_for(key));
@@ -225,21 +262,21 @@ struct df_value_store final : dp::value_store {
 };
 
 cnc::schedule_policy policy_for(dp::cnc_variant variant) {
-  return (variant == dp::cnc_variant::native ||
-          variant == dp::cnc_variant::nonblocking)
-             ? cnc::schedule_policy::spawn_immediately
-             : cnc::schedule_policy::preschedule;
+  return (variant == dp::cnc_variant::tuner ||
+          variant == dp::cnc_variant::manual)
+             ? cnc::schedule_policy::preschedule
+             : cnc::schedule_policy::spawn_immediately;
 }
 
 /// One execution of the control program over an already-constructed
 /// context: seed (value-passing), put the root tag (or every base tag for
 /// manual pre-declaration), wait for quiescence, gather. Shared by the
 /// per-run entry point and the persistent session.
-template <class Value>
-dp::cnc_run_info execute_once(df_context<Value>& ctx, dp::recurrence& rec,
+template <class Ctx>
+dp::cnc_run_info execute_once(Ctx& ctx, dp::recurrence& rec,
                               dp::cnc_variant variant) {
-  if constexpr (std::is_same_v<Value, dp::tile_value>) {
-    df_value_store store(ctx);
+  if constexpr (std::is_same_v<typename Ctx::value_type, dp::tile_value>) {
+    env_value_store<Ctx> store(ctx);
     rec.seed_values(store);
   }
 
@@ -253,35 +290,219 @@ dp::cnc_run_info execute_once(df_context<Value>& ctx, dp::recurrence& rec,
   }
   ctx.wait();
 
+  if constexpr (std::is_same_v<typename Ctx::value_type, dp::tile_value>) {
+    env_value_store<Ctx> store(ctx);
+    rec.gather_values(store);
+  }
+  return dp::cnc_run_info{ctx.stats(), ctx.items.size()};
+}
+
+template <class Ctx>
+void configure(Ctx& ctx, const dataflow_options& opts) {
+  ctx.nonblocking = opts.variant == dp::cnc_variant::nonblocking;
+  // Get-count GC requires every consumer to run its gets exactly once:
+  // true for the preschedule tuners, not for abort-and-re-execute (native,
+  // sharded) or poll-and-requeue (nonblocking) execution.
+  ctx.collect = opts.variant == dp::cnc_variant::tuner ||
+                opts.variant == dp::cnc_variant::manual;
+  // Sharded execution is owner-computes by construction: without pinning,
+  // shard ownership and execution placement would be uncorrelated and
+  // every hot-path access a cross-core miss.
+  ctx.pin = opts.pin_tiles || opts.variant == dp::cnc_variant::sharded;
+}
+
+template <class Value, class Items>
+dp::cnc_run_info run_df(dp::recurrence& rec, const dataflow_options& opts) {
+  const cnc::schedule_policy policy = policy_for(opts.variant);
+  if (opts.pool != nullptr) {
+    df_context<Value, Items> ctx(rec, policy, *opts.pool);
+    configure(ctx, opts);
+    return execute_once(ctx, rec, opts.variant);
+  }
+  df_context<Value, Items> ctx(rec, policy, opts.workers);
+  configure(ctx, opts);
+  return execute_once(ctx, rec, opts.variant);
+}
+
+// ---- batched lowering ------------------------------------------------------
+
+template <class Value>
+struct bd_context;
+
+template <class Value>
+struct bd_step {
+  int execute(std::int32_t chunk, bd_context<Value>& ctx) const;
+};
+
+/// Context of the batched variant: the recursion is pre-banded
+/// (exec/banding.hpp) and the tag space is chunk ids, not tiles. Dependency
+/// tracking is two atomic counters per band — chunks still running, and
+/// predecessor bands still incomplete — re-armed per execution.
+template <class Value>
+struct bd_context : cnc::context<bd_context<Value>> {
+  using value_type = Value;
+
+  dp::recurrence* rec;
+  band_plan plan;
+  chunk_table chunk_plan;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> preds_left;   // per band
+  std::unique_ptr<std::atomic<std::uint32_t>[]> chunks_left;  // per band
+  std::size_t max_deps = 0;
+  std::uint16_t fused_trace_name = 0;
+
+  cnc::step_collection<bd_context, bd_step<Value>, std::int32_t> steps;
+  cnc::tag_collection<std::int32_t> tags;
+  cnc::item_collection<dp::tile3, Value> items;
+
+  bd_context(dp::recurrence& r, unsigned workers)
+      : cnc::context<bd_context<Value>>(workers), rec(&r), plan(make_plan(r)),
+        chunk_plan(build_chunks(
+            plan, static_cast<std::uint32_t>(this->pool().worker_count()))),
+        preds_left(
+            std::make_unique<std::atomic<std::uint32_t>[]>(plan.band_count)),
+        chunks_left(
+            std::make_unique<std::atomic<std::uint32_t>[]>(plan.band_count)),
+        max_deps(r.max_dependencies()),
+        fused_trace_name(obs::tracer::instance().intern(
+            std::string(r.name()) + "_step")),
+        steps(*this, std::string(r.name()) + "_step", bd_step<Value>{},
+              cnc::schedule_policy::spawn_immediately),
+        tags(*this, std::string(r.name()) + "_tags", false),
+        items(*this, std::string(r.name()) + "_items") {
+    tags.prescribe(steps);
+  }
+
+  bd_context(dp::recurrence& r, forkjoin::worker_pool& pool)
+      : cnc::context<bd_context<Value>>(pool), rec(&r), plan(make_plan(r)),
+        chunk_plan(build_chunks(
+            plan, static_cast<std::uint32_t>(this->pool().worker_count()))),
+        preds_left(
+            std::make_unique<std::atomic<std::uint32_t>[]>(plan.band_count)),
+        chunks_left(
+            std::make_unique<std::atomic<std::uint32_t>[]>(plan.band_count)),
+        max_deps(r.max_dependencies()),
+        fused_trace_name(obs::tracer::instance().intern(
+            std::string(r.name()) + "_step")),
+        steps(*this, std::string(r.name()) + "_step", bd_step<Value>{},
+              cnc::schedule_policy::spawn_immediately),
+        tags(*this, std::string(r.name()) + "_tags", false),
+        items(*this, std::string(r.name()) + "_items") {
+    tags.prescribe(steps);
+  }
+
+  static band_plan make_plan(dp::recurrence& r) {
+    RDP_REQUIRE_MSG(
+        r.max_dependencies() <= dp::max_dependency_capacity,
+        std::string(r.name()) +
+            ": max_dependencies() exceeds the executor dependency-buffer "
+            "capacity (dp::max_dependency_capacity)");
+    return build_band_plan(r);
+  }
+
+  std::uint32_t count_for(const dp::tile3&) const { return 0; }
+
+  /// Re-initialise the band counters for one execution of the graph.
+  void arm_bands() {
+    for (std::uint32_t b = 0; b < plan.band_count; ++b) {
+      preds_left[b].store(plan.in_degree[b], std::memory_order_relaxed);
+      chunks_left[b].store(chunk_plan.chunk_count(b),
+                           std::memory_order_relaxed);
+    }
+  }
+
+  void put_band(std::uint32_t band) {
+    for (std::uint32_t c = chunk_plan.first_chunk[band];
+         c < chunk_plan.first_chunk[band + 1]; ++c)
+      tags.put(static_cast<std::int32_t>(c));
+  }
+};
+
+template <class Value>
+int bd_step<Value>::execute(std::int32_t chunk,
+                            bd_context<Value>& ctx) const {
+  const chunk_ref c =
+      ctx.chunk_plan.chunks[static_cast<std::uint32_t>(chunk)];
+  for (std::uint32_t m = c.member_begin; m < c.member_end; ++m) {
+    const dp::tile4& tag = ctx.plan.tiles[ctx.plan.members[m]];
+    const dp::tile3 coord{tag.i, tag.j, tag.k};
+    dep_list deps(ctx.max_deps);
+    ctx.rec->depends(coord, dp::dep_sink(deps));
+    Value vals[dp::max_dependency_capacity] = {};
+    // Band gating guarantees every producer band completed before this
+    // chunk's tag was put, so these blocking gets always hit: a fused step
+    // never parks mid-chunk (an abort after some member kernels ran would
+    // re-run non-idempotent token kernels on re-execution).
+    for (std::size_t d = 0; d < deps.count; ++d)
+      ctx.items.get(deps.keys[d], vals[d]);
+    df_metrics().base_steps.add();
+    df_metrics().dep_fanin.record(deps.count);
+    if constexpr (std::is_same_v<Value, bool>) {
+      ctx.rec->run_base(tag);
+      ctx.items.put(coord, true, 0);
+    } else {
+      Value out = ctx.rec->run_base_value(coord, vals);
+      ctx.items.put(coord, std::move(out), 0);
+    }
+  }
+  df_metrics().steps_fused.add(c.member_end - c.member_begin);
+  RDP_TRACE_EVENT(obs::event_kind::step_fused, ctx.fused_trace_name, c.band,
+                  c.member_end - c.member_begin);
+  // Band countdown: the last chunk of this band retires the band, and
+  // retiring the last predecessor of a successor band puts that band's
+  // chunk tags. acq_rel on both counters: the release publishes this
+  // chunk's item puts and table writes, the acquire on the final decrement
+  // makes every sibling chunk's writes visible before successors run.
+  if (ctx.chunks_left[c.band].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    for (std::uint32_t s = ctx.plan.succ_begin[c.band];
+         s < ctx.plan.succ_begin[c.band + 1]; ++s) {
+      const std::uint32_t succ = ctx.plan.succ[s];
+      if (ctx.preds_left[succ].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        ctx.put_band(succ);
+    }
+  }
+  return 0;
+}
+
+template <class Value>
+dp::cnc_run_info execute_once_batched(bd_context<Value>& ctx,
+                                      dp::recurrence& rec) {
   if constexpr (std::is_same_v<Value, dp::tile_value>) {
-    df_value_store store(ctx);
+    env_value_store<bd_context<Value>> store(ctx);
+    rec.seed_values(store);
+  }
+  ctx.arm_bands();
+  for (std::uint32_t b = 0; b < ctx.plan.band_count; ++b)
+    if (ctx.plan.in_degree[b] == 0) ctx.put_band(b);
+  ctx.wait();
+  if constexpr (std::is_same_v<Value, dp::tile_value>) {
+    env_value_store<bd_context<Value>> store(ctx);
     rec.gather_values(store);
   }
   return dp::cnc_run_info{ctx.stats(), ctx.items.size()};
 }
 
 template <class Value>
-void configure(df_context<Value>& ctx, const dataflow_options& opts) {
-  ctx.nonblocking = opts.variant == dp::cnc_variant::nonblocking;
-  // Get-count GC requires every consumer to run its gets exactly once:
-  // true for the preschedule tuners, not for abort-and-re-execute (native)
-  // or poll-and-requeue (nonblocking) execution.
-  ctx.collect = opts.variant == dp::cnc_variant::tuner ||
-                opts.variant == dp::cnc_variant::manual;
-  ctx.pin = opts.pin_tiles;
+dp::cnc_run_info run_batched(dp::recurrence& rec,
+                             const dataflow_options& opts) {
+  if (opts.pool != nullptr) {
+    bd_context<Value> ctx(rec, *opts.pool);
+    return execute_once_batched(ctx, rec);
+  }
+  bd_context<Value> ctx(rec, opts.workers);
+  return execute_once_batched(ctx, rec);
 }
 
 template <class Value>
-dp::cnc_run_info run_df(dp::recurrence& rec, const dataflow_options& opts) {
-  const cnc::schedule_policy policy = policy_for(opts.variant);
-  if (opts.pool != nullptr) {
-    df_context<Value> ctx(rec, policy, *opts.pool);
-    configure(ctx, opts);
-    return execute_once(ctx, rec, opts.variant);
+dp::cnc_run_info run_variant(dp::recurrence& rec,
+                             const dataflow_options& opts) {
+  switch (opts.variant) {
+    case dp::cnc_variant::batched:
+      return run_batched<Value>(rec, opts);
+    case dp::cnc_variant::sharded:
+      return run_df<Value, owner_items<Value>>(rec, opts);
+    default:
+      return run_df<Value, global_items<Value>>(rec, opts);
   }
-  df_context<Value> ctx(rec, policy, opts.workers);
-  configure(ctx, opts);
-  return execute_once(ctx, rec, opts.variant);
 }
 
 // ---- persistent session ----------------------------------------------------
@@ -291,38 +512,48 @@ struct session_base {
   virtual dp::cnc_run_info execute(dp::recurrence& rec) = 0;
 };
 
-template <class Value>
-struct session_impl final : session_base {
-  // Behind a pointer: df_context is neither movable nor copyable (its
-  // collections hold references into it).
-  std::unique_ptr<df_context<Value>> ctx;
-  dp::cnc_variant variant;
-  // The structural fingerprint execute() enforces per request.
+/// The structural fingerprint every session enforces per request.
+struct session_shape {
   std::string name;
   std::size_t n, base, max_deps;
 
-  session_impl(dp::recurrence& structural, const dataflow_options& opts,
-               forkjoin::worker_pool* pool)
-      : variant(opts.variant), name(structural.name()),
-        n(structural.size()), base(structural.base()),
-        max_deps(structural.max_dependencies()) {
-    const cnc::schedule_policy policy = policy_for(opts.variant);
-    if (pool != nullptr)
-      ctx = std::make_unique<df_context<Value>>(structural, policy, *pool);
-    else
-      ctx = std::make_unique<df_context<Value>>(structural, policy,
-                                                opts.workers);
-    configure(*ctx, opts);
-  }
+  explicit session_shape(const dp::recurrence& structural)
+      : name(structural.name()), n(structural.size()),
+        base(structural.base()), max_deps(structural.max_dependencies()) {}
 
-  dp::cnc_run_info execute(dp::recurrence& rec) override {
-    constexpr bool passes_values = std::is_same_v<Value, dp::tile_value>;
+  void check(const dp::recurrence& rec, bool passes_values) const {
     RDP_REQUIRE_MSG(
         name == rec.name() && n == rec.size() && base == rec.base() &&
             max_deps == rec.max_dependencies() &&
             rec.value_passing() == passes_values,
         std::string(rec.name()) +
             ": recurrence does not match the session's structural exemplar");
+  }
+};
+
+template <class Value, class Items>
+struct session_impl final : session_base {
+  // Behind a pointer: df_context is neither movable nor copyable (its
+  // collections hold references into it).
+  std::unique_ptr<df_context<Value, Items>> ctx;
+  dp::cnc_variant variant;
+  session_shape shape;
+
+  session_impl(dp::recurrence& structural, const dataflow_options& opts,
+               forkjoin::worker_pool* pool)
+      : variant(opts.variant), shape(structural) {
+    const cnc::schedule_policy policy = policy_for(opts.variant);
+    if (pool != nullptr)
+      ctx = std::make_unique<df_context<Value, Items>>(structural, policy,
+                                                       *pool);
+    else
+      ctx = std::make_unique<df_context<Value, Items>>(structural, policy,
+                                                       opts.workers);
+    configure(*ctx, opts);
+  }
+
+  dp::cnc_run_info execute(dp::recurrence& rec) override {
+    shape.check(rec, std::is_same_v<Value, dp::tile_value>);
     ctx->rec = &rec;
     ctx->reset_stats();
     const dp::cnc_run_info info = execute_once(*ctx, rec, variant);
@@ -335,12 +566,55 @@ struct session_impl final : session_base {
   }
 };
 
+template <class Value>
+struct batched_session_impl final : session_base {
+  std::unique_ptr<bd_context<Value>> ctx;
+  session_shape shape;
+
+  batched_session_impl(dp::recurrence& structural,
+                       const dataflow_options& opts,
+                       forkjoin::worker_pool* pool)
+      : shape(structural) {
+    if (pool != nullptr)
+      ctx = std::make_unique<bd_context<Value>>(structural, *pool);
+    else
+      ctx = std::make_unique<bd_context<Value>>(structural, opts.workers);
+  }
+
+  dp::cnc_run_info execute(dp::recurrence& rec) override {
+    shape.check(rec, std::is_same_v<Value, dp::tile_value>);
+    ctx->rec = &rec;
+    ctx->reset_stats();
+    const dp::cnc_run_info info = execute_once_batched(*ctx, rec);
+    ctx->items.clear();
+    ctx->tags.clear();
+    ctx->rearm();
+    return info;
+  }
+};
+
+template <class Value>
+std::unique_ptr<session_base> make_session(dp::recurrence& structural,
+                                           const dataflow_options& opts) {
+  switch (opts.variant) {
+    case dp::cnc_variant::batched:
+      return std::make_unique<batched_session_impl<Value>>(structural, opts,
+                                                           opts.pool);
+    case dp::cnc_variant::sharded:
+      return std::make_unique<session_impl<Value, owner_items<Value>>>(
+          structural, opts, opts.pool);
+    default:
+      return std::make_unique<session_impl<Value, global_items<Value>>>(
+          structural, opts, opts.pool);
+  }
+}
+
 }  // namespace
 
 dp::cnc_run_info run_dataflow(dp::recurrence& rec,
                               const dataflow_options& opts) {
-  return rec.value_passing() ? run_df<dp::tile_value>(rec, opts)
-                             : run_df<bool>(rec, opts);
+  return rec.value_passing() ? run_variant<dp::tile_value>(rec, opts)
+                             : run_variant<bool>(rec, opts);
 }
 
 struct dataflow_session::impl {
@@ -351,11 +625,9 @@ dataflow_session::dataflow_session(dp::recurrence& structural,
                                    const dataflow_options& opts)
     : impl_(std::make_unique<impl>()) {
   if (structural.value_passing())
-    impl_->session = std::make_unique<session_impl<dp::tile_value>>(
-        structural, opts, opts.pool);
+    impl_->session = make_session<dp::tile_value>(structural, opts);
   else
-    impl_->session =
-        std::make_unique<session_impl<bool>>(structural, opts, opts.pool);
+    impl_->session = make_session<bool>(structural, opts);
 }
 
 dataflow_session::~dataflow_session() = default;

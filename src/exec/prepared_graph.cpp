@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "concurrent/backoff.hpp"
+#include "exec/banding.hpp"
 #include "forkjoin/task.hpp"
 #include "obs/metrics.hpp"
 #include "support/assertions.hpp"
@@ -50,97 +51,191 @@ struct key_list {
 
 // ---- freeze ----------------------------------------------------------------
 
-prepared_graph prepared_graph::freeze(dp::recurrence& rec) {
-  prepared_graph g;
-  g.name_ = rec.name();
-  g.n_ = rec.size();
-  g.base_ = rec.base();
-  g.value_passing_ = rec.value_passing();
+void prepared_graph::freeze_tiles(dp::recurrence& rec,
+                                  const std::vector<dp::tile4>& tags) {
+  name_ = rec.name();
+  n_ = rec.size();
+  base_ = rec.base();
+  value_passing_ = rec.value_passing();
 
   const std::size_t max_deps = rec.max_dependencies();
   RDP_REQUIRE_MSG(
       max_deps <= dp::max_dependency_capacity,
-      g.name_ + ": max_dependencies() exceeds the executor dependency-buffer "
-                "capacity (dp::max_dependency_capacity)");
+      name_ + ": max_dependencies() exceeds the executor dependency-buffer "
+              "capacity (dp::max_dependency_capacity)");
+  RDP_REQUIRE_MSG(!tags.empty(),
+                  name_ + ": enumerate_base emitted no base tiles");
 
-  // Node set: enumerate_base() emission order (== the manual-CnC
-  // pre-declaration order, so traces line up across backends).
-  auto emit = [&](const dp::tile4& tag) {
+  tiles_.reserve(tags.size());
+  for (const dp::tile4& tag : tags) {
     const dp::tile3 key{tag.i, tag.j, tag.k};
     const auto [it, inserted] =
-        g.slot_of_.emplace(key, static_cast<std::uint32_t>(g.nodes_.size()));
-    RDP_REQUIRE_MSG(inserted, g.name_ + ": enumerate_base emitted tile (" +
+        slot_of_.emplace(key, static_cast<std::uint32_t>(tiles_.size()));
+    RDP_REQUIRE_MSG(inserted, name_ + ": enumerate_base emitted tile (" +
                                   std::to_string(tag.i) + "," +
                                   std::to_string(tag.j) + "," +
                                   std::to_string(tag.k) + ") twice");
-    node nd;
-    nd.tag = tag;
-    g.nodes_.push_back(nd);
-  };
-  rec.enumerate_base(dp::tag_sink(emit));
-  RDP_REQUIRE_MSG(!g.nodes_.empty(),
-                  g.name_ + ": enumerate_base emitted no base tiles");
-  const auto node_count = static_cast<std::uint32_t>(g.nodes_.size());
+    tile_rec tr;
+    tr.tag = tag;
+    tiles_.push_back(tr);
+  }
+  const auto tile_count = static_cast<std::uint32_t>(tiles_.size());
 
-  // Edges: one depends() walk per node. Keys produced by a node become CSR
-  // edges; unproduced keys must be environment seeds (value-passing only).
-  std::vector<std::uint32_t> succ_count(node_count, 0);
-  for (std::uint32_t idx = 0; idx < node_count; ++idx) {
-    node& nd = g.nodes_[idx];
-    const dp::tile3 coord{nd.tag.i, nd.tag.j, nd.tag.k};
+  // Dependency slots: one depends() walk per tile. Keys produced by a tile
+  // resolve to its value slot; unproduced keys must be environment seeds
+  // (value-passing only).
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx) {
+    tile_rec& tr = tiles_[idx];
+    const dp::tile3 coord{tr.tag.i, tr.tag.j, tr.tag.k};
     key_list deps(max_deps);
     rec.depends(coord, dp::dep_sink(deps));
 
-    nd.dep_begin = static_cast<std::uint32_t>(g.dep_slots_.size());
+    tr.dep_begin = static_cast<std::uint32_t>(dep_slots_.size());
     for (std::size_t d = 0; d < deps.count; ++d) {
-      const auto it = g.slot_of_.find(deps.keys[d]);
+      const auto it = slot_of_.find(deps.keys[d]);
       std::uint32_t slot;
-      if (it != g.slot_of_.end()) {
+      if (it != slot_of_.end()) {
         slot = it->second;
       } else {
         RDP_REQUIRE_MSG(
-            g.value_passing_,
-            g.name_ + ": base tile depends on item (" +
+            value_passing_,
+            name_ + ": base tile depends on item (" +
                 std::to_string(deps.keys[d].i) + "," +
                 std::to_string(deps.keys[d].j) + "," +
                 std::to_string(deps.keys[d].k) +
                 ") that no base task produces — a token graph cannot seed "
                 "it from the environment, so the frozen graph would "
                 "deadlock");
-        slot = node_count + g.seed_slots_++;
-        g.slot_of_.emplace(deps.keys[d], slot);
+        slot = tile_count + seed_slots_++;
+        slot_of_.emplace(deps.keys[d], slot);
       }
-      g.dep_slots_.push_back(slot);
-      if (slot < node_count) {
+      dep_slots_.push_back(slot);
+    }
+    tr.dep_end = static_cast<std::uint32_t>(dep_slots_.size());
+  }
+}
+
+prepared_graph prepared_graph::freeze(dp::recurrence& rec) {
+  prepared_graph g;
+
+  // Node set: enumerate_base() emission order (== the manual-CnC
+  // pre-declaration order, so traces line up across backends).
+  std::vector<dp::tile4> tags;
+  auto emit = [&](const dp::tile4& tag) { tags.push_back(tag); };
+  rec.enumerate_base(dp::tag_sink(emit));
+  g.freeze_tiles(rec, tags);
+  const auto tile_count = static_cast<std::uint32_t>(g.tiles_.size());
+
+  // Unfused: one schedule node per tile (identity member lists), CSR edges
+  // straight from the recorded dependency slots.
+  g.members_.resize(tile_count);
+  g.nodes_.resize(tile_count);
+  std::vector<std::uint32_t> succ_count(tile_count, 0);
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx) {
+    g.members_[idx] = idx;
+    node& nd = g.nodes_[idx];
+    nd.member_begin = idx;
+    nd.member_end = idx + 1;
+    const tile_rec& tr = g.tiles_[idx];
+    for (std::uint32_t d = tr.dep_begin; d < tr.dep_end; ++d) {
+      const std::uint32_t slot = g.dep_slots_[d];
+      if (slot < tile_count) {
         ++succ_count[slot];
         ++nd.initial_pending;
       }
     }
-    nd.dep_end = static_cast<std::uint32_t>(g.dep_slots_.size());
   }
 
   // CSR successor lists: prefix sums, then a second pass over the recorded
   // dependency slots. Consumers appear in node-index order per producer.
   std::uint32_t edges = 0;
-  for (std::uint32_t idx = 0; idx < node_count; ++idx) {
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx) {
     g.nodes_[idx].succ_begin = edges;
     edges += succ_count[idx];
     g.nodes_[idx].succ_end = edges;
   }
   g.successors_.resize(edges);
-  std::vector<std::uint32_t> cursor(node_count);
-  for (std::uint32_t idx = 0; idx < node_count; ++idx)
+  std::vector<std::uint32_t> cursor(tile_count);
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx)
     cursor[idx] = g.nodes_[idx].succ_begin;
-  for (std::uint32_t idx = 0; idx < node_count; ++idx) {
-    const node& nd = g.nodes_[idx];
-    for (std::uint32_t d = nd.dep_begin; d < nd.dep_end; ++d) {
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx) {
+    const tile_rec& tr = g.tiles_[idx];
+    for (std::uint32_t d = tr.dep_begin; d < tr.dep_end; ++d) {
       const std::uint32_t slot = g.dep_slots_[d];
-      if (slot < node_count) g.successors_[cursor[slot]++] = idx;
+      if (slot < tile_count) g.successors_[cursor[slot]++] = idx;
     }
   }
 
-  for (std::uint32_t idx = 0; idx < node_count; ++idx)
+  for (std::uint32_t idx = 0; idx < tile_count; ++idx)
     if (g.nodes_[idx].initial_pending == 0) g.roots_.push_back(idx);
+  RDP_REQUIRE_MSG(!g.roots_.empty(),
+                  g.name_ + ": frozen graph has no ready roots (dependency "
+                            "cycle in the spec)");
+
+  prepared_metrics().freezes.add();
+  return g;
+}
+
+prepared_graph prepared_graph::freeze_batched(
+    dp::recurrence& rec, std::uint32_t chunk_parallelism) {
+  prepared_graph g;
+
+  // The band plan's tile list IS enumerate_base order, so the value plane
+  // and slot_of_ are laid out identically to freeze() — only the schedule
+  // nodes coarsen.
+  band_plan plan = build_band_plan(rec);
+  g.freeze_tiles(rec, plan.tiles);
+  const chunk_table chunks = build_chunks(plan, chunk_parallelism);
+  const auto node_count = static_cast<std::uint32_t>(chunks.chunks.size());
+
+  g.members_ = plan.members;
+  g.nodes_.resize(node_count);
+
+  // Band-barrier edges: every chunk of a predecessor band precedes every
+  // chunk of the successor band, so a chunk's initial_pending is the total
+  // chunk count of its band's (deduped) predecessor bands.
+  std::vector<std::uint32_t> band_pending(plan.band_count, 0);
+  std::vector<std::uint32_t> succ_count(node_count, 0);
+  for (std::uint32_t b = 0; b < plan.band_count; ++b) {
+    std::uint32_t fan_out = 0;
+    for (std::uint32_t s = plan.succ_begin[b]; s < plan.succ_begin[b + 1];
+         ++s) {
+      const std::uint32_t succ_band = plan.succ[s];
+      band_pending[succ_band] += chunks.chunk_count(b);
+      fan_out += chunks.chunk_count(succ_band);
+    }
+    for (std::uint32_t c = chunks.first_chunk[b];
+         c < chunks.first_chunk[b + 1]; ++c)
+      succ_count[c] = fan_out;
+  }
+
+  std::uint32_t edges = 0;
+  for (std::uint32_t c = 0; c < node_count; ++c) {
+    const chunk_ref& ch = chunks.chunks[c];
+    node& nd = g.nodes_[c];
+    nd.member_begin = ch.member_begin;
+    nd.member_end = ch.member_end;
+    nd.initial_pending = band_pending[ch.band];
+    nd.succ_begin = edges;
+    edges += succ_count[c];
+    nd.succ_end = edges;
+  }
+  g.successors_.resize(edges);
+  for (std::uint32_t b = 0; b < plan.band_count; ++b) {
+    std::uint32_t cursor = 0;
+    for (std::uint32_t s = plan.succ_begin[b]; s < plan.succ_begin[b + 1];
+         ++s) {
+      const std::uint32_t succ_band = plan.succ[s];
+      for (std::uint32_t t = chunks.first_chunk[succ_band];
+           t < chunks.first_chunk[succ_band + 1]; ++t, ++cursor)
+        for (std::uint32_t c = chunks.first_chunk[b];
+             c < chunks.first_chunk[b + 1]; ++c)
+          g.successors_[g.nodes_[c].succ_begin + cursor] = t;
+    }
+  }
+
+  for (std::uint32_t c = 0; c < node_count; ++c)
+    if (g.nodes_[c].initial_pending == 0) g.roots_.push_back(c);
   RDP_REQUIRE_MSG(!g.roots_.empty(),
                   g.name_ + ": frozen graph has no ready roots (dependency "
                             "cycle in the spec)");
@@ -174,7 +269,7 @@ struct prepared_execution::seed_store final : dp::value_store {
   void put(const dp::tile3& key, dp::tile_value v) override {
     const auto it = ex.graph_.slot_of_.find(key);
     if (it == ex.graph_.slot_of_.end()) return;
-    RDP_REQUIRE_MSG(it->second >= ex.graph_.nodes_.size(),
+    RDP_REQUIRE_MSG(it->second >= ex.graph_.tiles_.size(),
                     ex.graph_.name_ +
                         ": environment seed collides with a produced item");
     ex.values_[it->second] = std::move(v);
@@ -217,7 +312,7 @@ prepared_execution::prepared_execution(const prepared_graph& graph,
     pending_[i].store(graph_.nodes_[i].initial_pending,
                       std::memory_order_relaxed);
   if (graph_.value_passing_)
-    values_.resize(count + graph_.seed_slots_);
+    values_.resize(graph_.tiles_.size() + graph_.seed_slots_);
   remaining_.store(count, std::memory_order_relaxed);
 }
 
@@ -250,20 +345,24 @@ void prepared_execution::run_node(std::uint32_t idx) noexcept {
   // terminates and the pool is left clean) but skips its kernels.
   if (!failed_.load(std::memory_order_acquire)) {
     try {
-      if (graph_.value_passing_) {
-        dp::tile_value deps[dp::max_dependency_capacity];
-        std::size_t d = 0;
-        for (std::uint32_t s = nd.dep_begin; s < nd.dep_end; ++s, ++d)
-          deps[d] = values_[graph_.dep_slots_[s]];
-        const dp::tile3 coord{nd.tag.i, nd.tag.j, nd.tag.k};
-        dp::tile_value out = rec_.run_base_value(coord, deps);
-        RDP_ASSERT(out != nullptr);
-        values_[idx] = std::move(out);
-      } else {
-        rec_.run_base(nd.tag);
+      for (std::uint32_t m = nd.member_begin; m < nd.member_end; ++m) {
+        const std::uint32_t tile = graph_.members_[m];
+        const prepared_graph::tile_rec& tr = graph_.tiles_[tile];
+        if (graph_.value_passing_) {
+          dp::tile_value deps[dp::max_dependency_capacity];
+          std::size_t d = 0;
+          for (std::uint32_t s = tr.dep_begin; s < tr.dep_end; ++s, ++d)
+            deps[d] = values_[graph_.dep_slots_[s]];
+          const dp::tile3 coord{tr.tag.i, tr.tag.j, tr.tag.k};
+          dp::tile_value out = rec_.run_base_value(coord, deps);
+          RDP_ASSERT(out != nullptr);
+          values_[tile] = std::move(out);
+        } else {
+          rec_.run_base(tr.tag);
+        }
+        executed_.fetch_add(1, std::memory_order_relaxed);
+        prepared_metrics().nodes_run.add();
       }
-      executed_.fetch_add(1, std::memory_order_relaxed);
-      prepared_metrics().nodes_run.add();
     } catch (...) {
       {
         std::scoped_lock lock(error_mutex_);

@@ -65,6 +65,15 @@ class prepared_graph {
   /// token dependency is a frozen deadlock and throws contract_error.
   static prepared_graph freeze(dp::recurrence& rec);
 
+  /// Band-fused freeze (exec/banding.hpp): schedule nodes are chunks of a
+  /// dependency band (at most `chunk_parallelism` per band) instead of
+  /// single tiles, with band-barrier edges between them, so a request runs
+  /// ~|bands|·parallelism coarse tasks instead of one per tile. The value
+  /// plane, seed/gather stores and matches() contract are identical to
+  /// freeze() — only the scheduling granularity changes.
+  static prepared_graph freeze_batched(dp::recurrence& rec,
+                                       std::uint32_t chunk_parallelism);
+
   prepared_graph(prepared_graph&&) = default;
   prepared_graph& operator=(prepared_graph&&) = default;
 
@@ -73,7 +82,11 @@ class prepared_graph {
   std::size_t base() const noexcept { return base_; }
   bool value_passing() const noexcept { return value_passing_; }
 
+  /// Schedule nodes (== tile_count() for freeze(); band chunks for
+  /// freeze_batched()).
   std::size_t node_count() const noexcept { return nodes_.size(); }
+  /// Base tiles the graph computes (kernel invocations per execution).
+  std::size_t tile_count() const noexcept { return tiles_.size(); }
   std::size_t edge_count() const noexcept { return successors_.size(); }
   /// Nodes with no in-graph dependencies (ready immediately).
   std::size_t root_count() const noexcept { return roots_.size(); }
@@ -92,26 +105,40 @@ class prepared_graph {
  private:
   friend class prepared_execution;
 
-  struct node {
+  /// One base tile: its tag and its dependency-slot range. The tile's index
+  /// is also its output slot in the per-request value plane.
+  struct tile_rec {
     dp::tile4 tag{};
-    std::uint32_t succ_begin = 0, succ_end = 0;  // into successors_
-    std::uint32_t dep_begin = 0, dep_end = 0;    // into dep_slots_
-    std::uint32_t initial_pending = 0;           // frozen in-degree
+    std::uint32_t dep_begin = 0, dep_end = 0;  // into dep_slots_
+  };
+
+  /// One schedule node: the contiguous run of tiles_ indices it executes
+  /// (via members_) and its place in the node-level dependence CSR.
+  struct node {
+    std::uint32_t member_begin = 0, member_end = 0;  // into members_
+    std::uint32_t succ_begin = 0, succ_end = 0;      // into successors_
+    std::uint32_t initial_pending = 0;               // frozen in-degree
   };
 
   prepared_graph() = default;
 
+  /// Shared by both freezes: fill tiles_/dep_slots_/slot_of_/seed_slots_
+  /// from `tags` (already in enumerate_base order).
+  void freeze_tiles(dp::recurrence& rec, const std::vector<dp::tile4>& tags);
+
   std::string name_;
   std::size_t n_ = 0, base_ = 0;
   bool value_passing_ = false;
+  std::vector<tile_rec> tiles_;
+  std::vector<std::uint32_t> members_;  // tile indices grouped by node
   std::vector<node> nodes_;
   std::vector<std::uint32_t> successors_;
-  /// Value slot of each dependency, in depends() order: < nodes_.size() for
+  /// Value slot of each dependency, in depends() order: < tiles_.size() for
   /// an in-graph producer, >= for an environment seed slot.
   std::vector<std::uint32_t> dep_slots_;
   std::uint32_t seed_slots_ = 0;
   std::vector<std::uint32_t> roots_;
-  /// Item key → value slot (node outputs and seeds) — used only by the
+  /// Item key → value slot (tile outputs and seeds) — used only by the
   /// environment-side seed/gather stores, never on the execution hot path.
   std::unordered_map<dp::tile3, std::uint32_t> slot_of_;
 };
@@ -155,8 +182,10 @@ class prepared_execution {
   /// First error thrown by a kernel (null when none). Valid after done().
   std::exception_ptr error() const noexcept;
 
-  /// Base tasks whose kernel actually ran (== node_count() on success;
-  /// fewer when an error short-circuited the tail). Valid after done().
+  /// Base tiles whose kernel actually ran (== tile_count() on success;
+  /// fewer when an error short-circuited the tail). Counted per tile, not
+  /// per schedule node, so the number is comparable across freeze() and
+  /// freeze_batched() graphs. Valid after done().
   std::uint64_t nodes_executed() const noexcept {
     return executed_.load(std::memory_order_relaxed);
   }

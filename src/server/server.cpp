@@ -20,6 +20,7 @@ namespace rdp::server {
 const char* to_string(exec_mode m) noexcept {
   switch (m) {
     case exec_mode::prepared: return "prepared";
+    case exec_mode::batched: return "batched";
     case exec_mode::rearm: return "rearm";
     case exec_mode::rebuild: return "rebuild";
   }
@@ -151,7 +152,10 @@ struct batch_server::impl {
     }
     // Freeze outside the lock (dependency discovery is the expensive part);
     // a racing prepare() of the same shape loses and discards its copy.
-    exec::prepared_graph g = exec::prepared_graph::freeze(structural);
+    exec::prepared_graph g =
+        cfg.mode == exec_mode::batched
+            ? exec::prepared_graph::freeze_batched(structural, pool.worker_count())
+            : exec::prepared_graph::freeze(structural);
     std::unique_ptr<exec::dataflow_session> session;
     if (cfg.mode == exec_mode::rearm) {
       exec::dataflow_options o;
@@ -285,7 +289,8 @@ struct batch_server::impl {
     flight* raw = f.get();
     flights.push_back(std::move(f));
     switch (cfg.mode) {
-      case exec_mode::prepared: {
+      case exec_mode::prepared:
+      case exec_mode::batched: {
         raw->exec = std::make_unique<exec::prepared_execution>(
             raw->slot->graph, *raw->req.rec, pool);
         raw->exec->set_on_complete([this, raw] { finish_prepared(raw); });

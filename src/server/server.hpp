@@ -35,6 +35,9 @@
 // Execution modes — the same request stream over three cost models, which is
 // what bench/server_load measures:
 //   prepared  frozen-DAG execution (the tentpole; no per-request discovery)
+//   batched   frozen band-fused DAG (prepared_graph::freeze_batched) — same
+//             data plane as prepared, but schedule nodes are band chunks,
+//             collapsing per-tile countdowns into per-band barriers
 //   rearm     per-graph exec::dataflow_session — collections built once and
 //             re-armed per request, but tags re-expanded (per-graph serial)
 //   rebuild   full exec::run_dataflow per request on the shared pool — the
@@ -55,6 +58,7 @@ namespace rdp::server {
 
 enum class exec_mode : std::uint8_t {
   prepared,  ///< frozen prepared_graph, per-request data plane
+  batched,   ///< frozen band-fused prepared_graph (freeze_batched)
   rearm,     ///< persistent CnC session, re-armed per request
   rebuild,   ///< fresh CnC graph per request (baseline)
 };

@@ -139,7 +139,8 @@ TEST_P(GeVariantSweep, AllSixVariantsAgreeOnRandomInstances) {
   EXPECT_TRUE(m2 == oracle);
 
   for (cnc_variant v : {cnc_variant::native, cnc_variant::tuner,
-                        cnc_variant::manual, cnc_variant::nonblocking}) {
+                        cnc_variant::manual, cnc_variant::nonblocking,
+                        cnc_variant::batched, cnc_variant::sharded}) {
     auto m = in;
     ge_cnc(m, base, v, 3);
     EXPECT_TRUE(m == oracle) << to_string(v) << " seed=" << seed;

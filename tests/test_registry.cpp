@@ -78,10 +78,10 @@ void check_point(benchmark_id bm, const problem_ref& prob,
     }
     ++ran;
   }
-  // serial + forkjoin + tiled + 4 dataflow modes + rway:r2 + prepared +
-  // 4 sim modes always apply on a power-of-two sweep point; rway:r4 joins
-  // when n/base is a power of 4.
-  EXPECT_GE(ran, 12u) << "registry lost variants at n=" << n
+  // serial + forkjoin + tiled + 6 dataflow modes + rway:r2 + prepared +
+  // prepared:batched + 4 sim modes always apply on a power-of-two sweep
+  // point; rway:r4 joins when n/base is a power of 4.
+  EXPECT_GE(ran, 15u) << "registry lost variants at n=" << n
                       << ", base=" << opts.base;
 }
 
@@ -89,14 +89,17 @@ TEST(RegistryShape, AdvertisesEveryBackendPerBenchmark) {
   for (benchmark_id bm : {benchmark_id::ge, benchmark_id::sw,
                           benchmark_id::fw}) {
     const auto rows = variants_for(bm);
-    ASSERT_EQ(rows.size(), 14u) << to_string(bm);
+    ASSERT_EQ(rows.size(), 17u) << to_string(bm);
     // Labels resolve back to their own row, and are unique per benchmark.
     for (const variant* v : rows)
       EXPECT_EQ(find_variant(bm, v->label), v) << v->label;
   }
-  EXPECT_EQ(registry().size(), 42u);
+  EXPECT_EQ(registry().size(), 51u);
   EXPECT_EQ(find_variant(benchmark_id::ge, "no-such-backend"), nullptr);
   EXPECT_NE(impl_help().find("dataflow:tuner"), std::string::npos);
+  EXPECT_NE(impl_help().find("dataflow:batched"), std::string::npos);
+  EXPECT_NE(impl_help().find("dataflow:sharded"), std::string::npos);
+  EXPECT_NE(impl_help().find("prepared:batched"), std::string::npos);
   EXPECT_NE(impl_help().find("sim:omp"), std::string::npos);
 }
 
