@@ -8,7 +8,6 @@
 #include <string>
 
 #include "dp/ge.hpp"
-#include "dp/ge_cnc.hpp"
 #include "support/cli.hpp"
 #include "support/csv.hpp"
 #include "support/rng.hpp"

@@ -197,6 +197,30 @@ int main(int argc, char** argv) {
     smoke(benchmark_id::fw, fw_problem(m), opts, m, [&] { m = input; },
           rep_count, rep, measure_impls);
   }
+  {
+    const auto a = make_dna(static_cast<std::size_t>(n), 11);
+    const auto b = make_dna(static_cast<std::size_t>(n), 12);
+    matrix<std::int32_t> s(n + 1, n + 1, 0);
+    smoke(benchmark_id::lcs, lcs_problem(s, a, b), opts, s,
+          [&] { s = matrix<std::int32_t>(n + 1, n + 1, 0); }, rep_count, rep,
+          measure_impls);
+  }
+  {
+    // Integer-valued chain dimensions keep every candidate cost exact (the
+    // bit-exactness gate does not depend on it — min over a fixed candidate
+    // set is evaluation-order-free — but exact inputs make diffs readable).
+    xoshiro256 gen(13);
+    std::vector<double> dims(static_cast<std::size_t>(n) + 1);
+    for (double& d : dims) d = static_cast<double>(1 + gen.next() % 100);
+    matrix<double> c(static_cast<std::size_t>(n),
+                     static_cast<std::size_t>(n), 0.0);
+    smoke(benchmark_id::paren, paren_problem(c, dims), opts, c,
+          [&] {
+            c = matrix<double>(static_cast<std::size_t>(n),
+                               static_cast<std::size_t>(n), 0.0);
+          },
+          rep_count, rep, measure_impls);
+  }
 
   if (g_failures > 0) {
     std::cerr << g_failures << " variant(s) diverged from serial\n";

@@ -13,7 +13,6 @@
 #include <iostream>
 
 #include "dp/fw.hpp"
-#include "dp/fw_cnc.hpp"
 #include "forkjoin/worker_pool.hpp"
 #include "support/cli.hpp"
 #include "support/math_utils.hpp"

@@ -1,16 +1,22 @@
-// Extending the library: a NEW dynamic program in ~15 lines.
+// Extending the library: a NEW dynamic program as a first-class spec.
 //
 // Levenshtein edit distance is not one of the paper's three benchmarks —
-// this example shows how a downstream user adds their own wavefront DP and
-// immediately gets every execution model the paper studies: the serial
-// loop, the 2-way R-DP fork-join recursion (with its artificial join
-// dependencies), and the data-flow tile wavefront, in all four CnC
-// variants.
+// this example shows what a downstream user gets by writing a recurrence
+// spec (here the library's string-wavefront spec in edit-distance mode,
+// dp/spec/specs.hpp) instead of the old ad-hoc cell-functor adapter:
+// every execution model the paper studies, plus the ones the repo grew on
+// top — tiled rounds, r-way recursion, batched/sharded data-flow, and the
+// frozen dependence DAG (prepared_graph) that amortises dependency
+// discovery across repeated instances.
 //
 //   $ ./edit_distance --n=512 --base=64 --workers=4
 #include <iostream>
+#include <string>
 
-#include "dp/wavefront.hpp"
+#include "dp/spec/specs.hpp"
+#include "exec/backend.hpp"
+#include "exec/prepared_graph.hpp"
+#include "forkjoin/worker_pool.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"
 #include "support/stopwatch.hpp"
@@ -18,7 +24,7 @@
 int main(int argc, char** argv) {
   using namespace rdp;
   std::int64_t n = 512, base = 64, workers = 4;
-  cli_parser cli("Edit distance via the generic wavefront-DP framework");
+  cli_parser cli("Edit distance via the string-wavefront recurrence spec");
   cli.add_int("n", &n, "sequence length (power of two, default 512)");
   cli.add_int("base", &base, "tile size (default 64)");
   cli.add_int("workers", &workers, "worker threads (default 4)");
@@ -29,6 +35,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const auto len = static_cast<std::size_t>(n);
+  const auto tile = static_cast<std::size_t>(base);
 
   // Two related sequences: one is a mutated copy of the other.
   auto a = make_dna(len, 7);
@@ -41,40 +48,75 @@ int main(int argc, char** argv) {
       ++mutations;
     }
 
-  // The entire "new DP" definition: a cell functor plus boundary values.
-  const dp::edit_distance_cell cell{a, b};
-  auto top = [](std::size_t j) { return static_cast<std::int32_t>(j); };
-  auto left = [](std::size_t i) { return static_cast<std::int32_t>(i); };
-  dp::wavefront_problem<std::int32_t, dp::edit_distance_cell> problem(
-      len, len, cell, top, left);
+  // The entire "new DP" definition: one spec over the caller's table. The
+  // constructor writes the i/j boundary; every backend below consumes the
+  // same object.
+  matrix<std::int32_t> s(len + 1, len + 1, 0);
+  auto make_spec = [&] {
+    return dp::make_lcs_spec(s, a, b, dp::lcs_mode::edit_distance, tile);
+  };
 
   std::cout << "edit distance of two " << len << "bp reads (~" << mutations
             << " point mutations applied)\n\n";
 
   stopwatch t0;
-  problem.run_loop();
-  const auto expected = problem.table()(len, len);
-  std::cout << "serial loop:        " << t0.millis() << " ms  -> distance "
+  exec::run_serial(*make_spec());
+  const auto expected = s(len, len);
+  std::cout << "serial R-DP:        " << t0.millis() << " ms  -> distance "
             << expected << "\n";
 
-  problem.reset();
+  bool ok = true;
+  auto check = [&](const char* label, double ms) {
+    ok = ok && s(len, len) == expected;
+    std::cout << label << ms << " ms  -> distance " << s(len, len) << "\n";
+  };
+
   forkjoin::worker_pool pool(static_cast<unsigned>(workers));
-  stopwatch t1;
-  problem.run_rdp_forkjoin(static_cast<std::size_t>(base), pool);
-  std::cout << "fork-join R-DP:     " << t1.millis() << " ms  -> distance "
-            << problem.table()(len, len) << "\n";
+  {
+    auto spec = make_spec();
+    stopwatch t;
+    exec::run_forkjoin(*spec, pool);
+    check("fork-join R-DP:     ", t.millis());
+  }
+  {
+    auto spec = make_spec();
+    stopwatch t;
+    exec::run_tiled(*spec, pool);
+    check("tiled wavefront:    ", t.millis());
+  }
+  {
+    auto spec = make_spec();
+    stopwatch t;
+    exec::run_rway(*spec, 4, &pool);
+    check("4-way R-DP:         ", t.millis());
+  }
+  {
+    auto spec = make_spec();
+    exec::dataflow_options opts;
+    opts.variant = dp::cnc_variant::tuner;
+    opts.workers = static_cast<unsigned>(workers);
+    stopwatch t;
+    const auto info = exec::run_dataflow(*spec, opts);
+    const double ms = t.millis();
+    ok = ok && s(len, len) == expected;
+    std::cout << "data-flow (tuner):  " << ms << " ms  -> distance "
+              << s(len, len) << "  (" << info.stats.steps_executed
+              << " tile tasks, " << info.items_live_at_end
+              << " items left after get-count GC)\n";
+  }
+  {
+    // Freeze the dependence DAG once, replay it on a fresh instance — the
+    // batch-serving path (see src/server) for repeated same-shape queries.
+    auto structural = make_spec();
+    const exec::prepared_graph graph =
+        exec::prepared_graph::freeze_batched(*structural,
+                                             pool.worker_count());
+    auto spec = make_spec();
+    stopwatch t;
+    graph.execute(*spec, pool);
+    check("prepared (batched): ", t.millis());
+  }
 
-  problem.reset();
-  stopwatch t2;
-  const auto info = problem.run_cnc(static_cast<std::size_t>(base),
-                                    dp::cnc_variant::tuner,
-                                    static_cast<unsigned>(workers));
-  std::cout << "data-flow (tuner):  " << t2.millis() << " ms  -> distance "
-            << problem.table()(len, len) << "  (" << info.stats.steps_executed
-            << " tile tasks, " << info.items_live_at_end
-            << " items left after get-count GC)\n";
-
-  const bool ok = problem.table()(len, len) == expected;
   std::cout << "\n" << (ok ? "all models agree." : "MISMATCH!") << "\n";
   return ok ? 0 : 1;
 }

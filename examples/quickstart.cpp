@@ -11,7 +11,6 @@
 #include <iostream>
 
 #include "dp/ge.hpp"
-#include "dp/ge_cnc.hpp"
 #include "forkjoin/worker_pool.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"

@@ -11,7 +11,6 @@
 #include <string>
 
 #include "dp/sw.hpp"
-#include "dp/sw_cnc.hpp"
 #include "forkjoin/worker_pool.hpp"
 #include "support/cli.hpp"
 #include "support/rng.hpp"

@@ -5,15 +5,12 @@
 
 #include "dp/common.hpp"      // IWYU pragma: export
 #include "dp/fw.hpp"          // IWYU pragma: export
-#include "dp/fw_cnc.hpp"      // IWYU pragma: export
 #include "dp/ge.hpp"          // IWYU pragma: export
-#include "dp/ge_cnc.hpp"      // IWYU pragma: export
 #include "dp/registry.hpp"    // IWYU pragma: export
 #include "dp/rway.hpp"        // IWYU pragma: export
 #include "dp/spec/spec.hpp"   // IWYU pragma: export
 #include "dp/spec/specs.hpp"  // IWYU pragma: export
 #include "dp/sw.hpp"          // IWYU pragma: export
-#include "dp/sw_cnc.hpp"      // IWYU pragma: export
 #include "dp/tiled.hpp"          // IWYU pragma: export
 #include "dp/verify/verify.hpp"  // IWYU pragma: export
 #include "dp/wavefront.hpp"      // IWYU pragma: export

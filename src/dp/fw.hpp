@@ -13,6 +13,7 @@
 
 #include <cstddef>
 
+#include "dp/spec/spec.hpp"  // cnc_variant, cnc_run_info
 #include "forkjoin/worker_pool.hpp"
 #include "support/matrix.hpp"
 
@@ -31,5 +32,15 @@ void fw_rdp_serial(matrix<double>& c, std::size_t base);
 /// 2-way R-DP on the fork-join runtime (spawn/wait joins as in Listing 3).
 void fw_rdp_forkjoin(matrix<double>& c, std::size_t base,
                      forkjoin::worker_pool& pool);
+
+/// Data-flow (CnC) execution; `m` is updated in place. Requires
+/// power-of-two n and base. Unlike GE's boolean-item scheme, every FW tile
+/// is rewritten each pivot round, so the spec is value-passing and the
+/// backend runs it over immutable tile-snapshot items — the canonical
+/// single-assignment CnC formulation (item (I,J,K) holds tile (I,J) after
+/// its round-K update; the environment seeds (I,J,-1) and gathers
+/// (I,J,T-1)).
+cnc_run_info fw_cnc(matrix<double>& m, std::size_t base, cnc_variant variant,
+                    unsigned workers);
 
 }  // namespace rdp::dp

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "dp/ge_cnc.hpp"
 #include "dp/kernels.hpp"
 #include "dp/spec/specs.hpp"
 #include "exec/backend.hpp"

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 
+#include "dp/spec/spec.hpp"  // cnc_variant, cnc_run_info
 #include "forkjoin/worker_pool.hpp"
 #include "support/matrix.hpp"
 
@@ -40,5 +41,15 @@ void ge_rdp_serial(matrix<double>& c, std::size_t base);
 /// Listing 3 — B and C spawned in parallel, taskwait, then D, then A.
 void ge_rdp_forkjoin(matrix<double>& c, std::size_t base,
                      forkjoin::worker_pool& pool);
+
+/// Data-flow (CnC) execution — the design of §III-C (Listings 4 and 5).
+/// The graph is generated from the GE recurrence spec (dp/spec/specs.hpp)
+/// by the generic data-flow backend (exec/backend.hpp); `m` is updated in
+/// place, bit-identical to ge_loop_serial. Requires power-of-two n and
+/// base. `pin_tiles` enables the compute_on placement tuner (§V): every
+/// task on tile (I,J) is pinned to worker hash(I,J) % workers, the paper's
+/// suggestion for minimising inter-core and inter-NUMA tile movement.
+cnc_run_info ge_cnc(matrix<double>& m, std::size_t base, cnc_variant variant,
+                    unsigned workers, bool pin_tiles = false);
 
 }  // namespace rdp::dp

@@ -1,14 +1,13 @@
 #include "dp/registry.hpp"
 
 #include "dp/fw.hpp"
-#include "dp/fw_cnc.hpp"
 #include "dp/ge.hpp"
-#include "dp/ge_cnc.hpp"
 #include "dp/rway.hpp"
 #include "dp/spec/specs.hpp"
-#include "dp/sw_cnc.hpp"
+#include "dp/sw.hpp"
 #include "dp/tiled.hpp"
 #include "dp/verify/verify.hpp"
+#include "exec/backend.hpp"
 #include "exec/prepared_graph.hpp"
 #include "forkjoin/worker_pool.hpp"
 #include "sim/experiment.hpp"
@@ -22,6 +21,8 @@ const char* to_string(benchmark_id b) noexcept {
     case benchmark_id::ge: return "GE";
     case benchmark_id::sw: return "SW";
     case benchmark_id::fw: return "FW";
+    case benchmark_id::lcs: return "LCS";
+    case benchmark_id::paren: return "Paren";
   }
   return "?";
 }
@@ -44,6 +45,11 @@ sim::benchmark to_sim_benchmark(benchmark_id bm) noexcept {
     case benchmark_id::ge: return sim::benchmark::ge;
     case benchmark_id::sw: return sim::benchmark::sw;
     case benchmark_id::fw: return sim::benchmark::fw;
+    case benchmark_id::lcs:
+    case benchmark_id::paren:
+      // No sim:* rows exist for these; the registry never routes them here.
+      RDP_REQUIRE_MSG(false, "benchmark has no simulator series");
+      break;
   }
   return sim::benchmark::ge;
 }
@@ -67,11 +73,22 @@ problem_ref fw_problem(matrix<double>& m) {
 
 problem_ref sw_problem(matrix<std::int32_t>& s, std::string_view a,
                        std::string_view b, const sw_params& p) {
-  return {benchmark_id::sw, nullptr, &s, a, b, &p};
+  return {benchmark_id::sw, nullptr, &s, a, b, &p, nullptr};
+}
+
+problem_ref lcs_problem(matrix<std::int32_t>& s, std::string_view a,
+                        std::string_view b) {
+  return {benchmark_id::lcs, nullptr, &s, a, b, nullptr, nullptr};
+}
+
+problem_ref paren_problem(matrix<double>& c, const std::vector<double>& dims) {
+  return {benchmark_id::paren, &c, nullptr, {}, {}, nullptr, &dims};
 }
 
 std::size_t problem_size(const problem_ref& p) {
-  return p.bm == benchmark_id::sw ? p.a.size() : p.table->rows();
+  return p.bm == benchmark_id::sw || p.bm == benchmark_id::lcs
+             ? p.a.size()
+             : p.table->rows();
 }
 
 namespace {
@@ -116,6 +133,25 @@ void with_pool(const run_options& opts, Fn&& fn) {
   fn(pool);
 }
 
+/// Spec for one problem instance. The prepared rows, the batch server, and
+/// every runner of a spec-only benchmark (LCS, Paren — which have no
+/// per-benchmark entry points) build their execution from this.
+std::unique_ptr<recurrence> make_problem_spec(const problem_ref& p,
+                                              std::size_t base) {
+  switch (p.bm) {
+    case benchmark_id::ge: return make_ge_spec(*p.table, base);
+    case benchmark_id::fw: return make_fw_spec(*p.table, base);
+    case benchmark_id::sw:
+      return make_sw_spec(*p.sw_table, p.a, p.b, *p.params, base);
+    case benchmark_id::lcs:
+      return make_lcs_spec(*p.sw_table, p.a, p.b, lcs_mode::lcs, base);
+    case benchmark_id::paren:
+      return make_paren_spec(*p.table, *p.dims, base);
+  }
+  RDP_REQUIRE_MSG(false, "unknown benchmark");
+  return nullptr;
+}
+
 run_outcome run_serial_v(const variant& self, const problem_ref& p,
                          const run_options& opts) {
   (void)self;
@@ -124,6 +160,10 @@ run_outcome run_serial_v(const variant& self, const problem_ref& p,
     case benchmark_id::fw: fw_rdp_serial(*p.table, opts.base); break;
     case benchmark_id::sw:
       sw_rdp_serial(*p.sw_table, p.a, p.b, *p.params, opts.base);
+      break;
+    case benchmark_id::lcs:
+    case benchmark_id::paren:
+      exec::run_serial(*make_problem_spec(p, opts.base));
       break;
   }
   return {};
@@ -139,6 +179,10 @@ run_outcome run_forkjoin_v(const variant& self, const problem_ref& p,
       case benchmark_id::sw:
         sw_rdp_forkjoin(*p.sw_table, p.a, p.b, *p.params, opts.base, pool);
         break;
+      case benchmark_id::lcs:
+      case benchmark_id::paren:
+        exec::run_forkjoin(*make_problem_spec(p, opts.base), pool);
+        break;
     }
   });
   return {};
@@ -153,6 +197,10 @@ run_outcome run_tiled_v(const variant& self, const problem_ref& p,
       case benchmark_id::fw: fw_tiled_forkjoin(*p.table, opts.base, pool); break;
       case benchmark_id::sw:
         sw_tiled_forkjoin(*p.sw_table, p.a, p.b, *p.params, opts.base, pool);
+        break;
+      case benchmark_id::lcs:
+      case benchmark_id::paren:
+        exec::run_tiled(*make_problem_spec(p, opts.base), pool);
         break;
     }
   });
@@ -187,6 +235,15 @@ run_outcome run_dataflow_v(const variant& self, const problem_ref& p,
       out.info = sw_cnc(*p.sw_table, p.a, p.b, *p.params, opts.base, mode,
                         opts.workers);
       break;
+    case benchmark_id::lcs:
+    case benchmark_id::paren: {
+      exec::dataflow_options dopts;
+      dopts.variant = mode;
+      dopts.workers = opts.workers;
+      dopts.pin_tiles = opts.pin_tiles;
+      out.info = exec::run_dataflow(*make_problem_spec(p, opts.base), dopts);
+      break;
+    }
   }
   return out;
 }
@@ -210,20 +267,6 @@ run_outcome run_sim_v(const variant& self, const problem_ref& p,
   out.sim_utilization = r.utilization;
   out.sim_base_tasks = r.base_tasks;
   return out;
-}
-
-/// Spec for one problem instance (the structural half the prepared rows and
-/// the batch server both build graphs from).
-std::unique_ptr<recurrence> make_problem_spec(const problem_ref& p,
-                                              std::size_t base) {
-  switch (p.bm) {
-    case benchmark_id::ge: return make_ge_spec(*p.table, base);
-    case benchmark_id::fw: return make_fw_spec(*p.table, base);
-    case benchmark_id::sw:
-      return make_sw_spec(*p.sw_table, p.a, p.b, *p.params, base);
-  }
-  RDP_REQUIRE_MSG(false, "unknown benchmark");
-  return nullptr;
 }
 
 /// prepared rows exercise exec::prepared_graph through the same equivalence
@@ -262,6 +305,10 @@ run_outcome run_rway_v(const variant& self, const problem_ref& p,
         sw_rdp_rway_forkjoin(*p.sw_table, p.a, p.b, *p.params, opts.base, r,
                              pool);
         break;
+      case benchmark_id::lcs:
+      case benchmark_id::paren:
+        exec::run_rway(*make_problem_spec(p, opts.base), r, &pool);
+        break;
     }
   });
   return {};
@@ -293,6 +340,19 @@ void verify_registered_specs() {
     const verify_report r = verify_spec(*make_fw_spec(m, base));
     RDP_REQUIRE_MSG(r.ok(), r.summary());
   }
+  {
+    const std::string a(n, 'A'), b(n, 'C');
+    matrix<std::int32_t> s(n + 1, n + 1, 0);
+    const verify_report r =
+        verify_spec(*make_lcs_spec(s, a, b, lcs_mode::lcs, base));
+    RDP_REQUIRE_MSG(r.ok(), r.summary());
+  }
+  {
+    matrix<double> c(n, n, 0.0);
+    const std::vector<double> dims(n + 1, 1.0);
+    const verify_report r = verify_spec(*make_paren_spec(c, dims, base));
+    RDP_REQUIRE_MSG(r.ok(), r.summary());
+  }
 }
 #endif
 
@@ -302,7 +362,10 @@ std::vector<variant> build_registry() {
 #endif
   std::vector<variant> rows;
   for (const benchmark_id bm :
-       {benchmark_id::ge, benchmark_id::sw, benchmark_id::fw}) {
+       {benchmark_id::ge, benchmark_id::sw, benchmark_id::fw,
+        benchmark_id::lcs, benchmark_id::paren}) {
+    const bool has_sim = bm == benchmark_id::ge || bm == benchmark_id::sw ||
+                         bm == benchmark_id::fw;
     rows.push_back({bm, backend_kind::serial, "", "serial",  //
                     &supports_pow2, &run_serial_v});
     rows.push_back({bm, backend_kind::forkjoin, "", "forkjoin",
@@ -330,6 +393,8 @@ std::vector<variant> build_registry() {
     rows.push_back({bm, backend_kind::prepared, "batched", "prepared:batched",
                     &supports_tiled, &run_prepared_v});
     // Simulated schedules (fig4–fig9 series), in the paper's series order.
+    // Only the paper's benchmarks have calibrated cost models.
+    if (!has_sim) continue;
     rows.push_back({bm, backend_kind::sim, "cnc", "sim:cnc",  //
                     &supports_pow2, &run_sim_v});
     rows.push_back({bm, backend_kind::sim, "tuner", "sim:tuner",

@@ -33,7 +33,7 @@ struct machine_profile;
 
 namespace rdp::dp {
 
-enum class benchmark_id : std::uint8_t { ge, sw, fw };
+enum class benchmark_id : std::uint8_t { ge, sw, fw, lcs, paren };
 enum class backend_kind : std::uint8_t {
   serial,    ///< depth-first 2-way recursion on one thread
   forkjoin,  ///< 2-way recursion with task_group stages
@@ -52,19 +52,25 @@ const char* to_string(benchmark_id b) noexcept;
 const char* to_string(backend_kind b) noexcept;
 
 /// Non-owning reference to one benchmark's problem data. GE/FW use `table`;
-/// SW uses `sw_table` + the sequences + scoring params.
+/// SW/LCS use `sw_table` + the sequences (SW also the scoring params);
+/// Paren uses `table` (the cost triangle) + `dims` (the n+1 chain
+/// dimensions).
 struct problem_ref {
   benchmark_id bm;
   matrix<double>* table = nullptr;
   matrix<std::int32_t>* sw_table = nullptr;
   std::string_view a, b;
   const sw_params* params = nullptr;
+  const std::vector<double>* dims = nullptr;
 };
 
 problem_ref ge_problem(matrix<double>& m);
 problem_ref fw_problem(matrix<double>& m);
 problem_ref sw_problem(matrix<std::int32_t>& s, std::string_view a,
                        std::string_view b, const sw_params& p);
+problem_ref lcs_problem(matrix<std::int32_t>& s, std::string_view a,
+                        std::string_view b);
+problem_ref paren_problem(matrix<double>& c, const std::vector<double>& dims);
 
 /// Problem size n of a reference (table side / sequence length).
 std::size_t problem_size(const problem_ref& p);
@@ -109,7 +115,10 @@ struct variant {
                      const run_options& opts);
 };
 
-/// All registered variants (3 benchmarks × 17 backend[:mode] entries).
+/// All registered variants: the paper's three benchmarks get 17
+/// backend[:mode] entries each (13 real + 4 sim:* series); the
+/// variable-arity benchmarks (LCS, Paren) get the 13 real entries — the
+/// simulator's cost model only covers the paper's figures.
 /// Debug builds cross-check every spec with dp::verify_spec on a small
 /// instance the first time this is called (see registry.cpp).
 const std::vector<variant>& registry();
@@ -135,7 +144,8 @@ std::string trace_phase_label(const variant& v);
 /// the simulator's execution variant. Throws contract_error otherwise.
 sim::exec_variant sim_mode_to_exec(std::string_view mode);
 
-/// The simulator's benchmark enum for a registry benchmark.
+/// The simulator's benchmark enum for a registry benchmark. Only valid for
+/// the paper's three (GE/SW/FW) — the benchmarks with sim:* rows.
 sim::benchmark to_sim_benchmark(benchmark_id bm) noexcept;
 
 }  // namespace rdp::dp

@@ -92,8 +92,24 @@ class fw_spec final : public recurrence {
     }
   }
 
-  /// D tasks carry the widest fan-in: round-(K-1) snapshot + C + B reads.
-  std::size_t max_dependencies() const override { return 3; }
+  /// Tight instance-wide maximum: D tasks carry the widest fan-in
+  /// (round-(K-1) snapshot + C + B reads = 3); a single-tile instance has
+  /// only the pivot A with its seed snapshot.
+  std::size_t max_dependencies() const override {
+    return m_.rows() / base_ <= 1 ? 1 : 3;
+  }
+
+  /// Per-tile: the previous-round snapshot (always, seeds cover k == 0)
+  /// plus the kind's pivot-round reads.
+  std::size_t dependency_bound(const tile3& t) const override {
+    switch (classify(t.i, t.j, t.k)) {
+      case task_kind::A: return 1;
+      case task_kind::B:
+      case task_kind::C: return 2;
+      case task_kind::D: return 3;
+    }
+    return 3;
+  }
 
   /// Exact consumer count of the snapshot produced for key t (seed keys
   /// have k == -1). Every non-final snapshot feeds its round-(k+1)

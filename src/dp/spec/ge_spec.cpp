@@ -91,8 +91,28 @@ class ge_spec final : public recurrence {
     }
   }
 
-  /// D tasks carry the widest fan-in: write-write + A + B + C reads.
-  std::size_t max_dependencies() const override { return 4; }
+  /// Tight instance-wide maximum. D tasks carry the widest fan-in
+  /// (write-write + A + B + C reads = 4), but a D with a write-write
+  /// predecessor needs K >= 1, i.e. at least 3 tiles per side; at T == 2
+  /// the widest is a first-round D (3), and a single tile has none.
+  std::size_t max_dependencies() const override {
+    const std::size_t t = m_.rows() / base_;
+    if (t <= 1) return 0;
+    return t == 2 ? 3 : 4;
+  }
+
+  /// Per-tile: the write-write predecessor (K > 0 only) plus the kind's
+  /// read fan-in from Listing 5.
+  std::size_t dependency_bound(const tile3& t) const override {
+    std::size_t b = t.k > 0 ? 1 : 0;
+    switch (classify(t.i, t.j, t.k)) {
+      case task_kind::A: break;
+      case task_kind::B:
+      case task_kind::C: b += 1; break;
+      case task_kind::D: b += 3; break;
+    }
+    return b;
+  }
 
   /// Exact consumer count of each output item (get-count GC):
   ///   A(K,K,K): (T-1-K) B readers + (T-1-K) C readers + (T-1-K)^2 D readers

@@ -86,6 +86,11 @@ enum class structure_kind : std::uint8_t {
   /// SW & friends: tile (I,J) needs its north-west, north and west
   /// neighbours; k is unused (0) in tile coordinates.
   wavefront,
+  /// Parenthesization: upper-triangular tile grid, tile (I,J) on diagonal
+  /// d = J-I reads the full row segment (I,K) K<J and column segment
+  /// (K,J) K>I — fan-in 2(J-I), growing with the diagonal (the paper's
+  /// >O(1)-dependency class). k is unused (0) in tile coordinates.
+  diagonal_3way,
 };
 
 constexpr const char* to_string(structure_kind s) {
@@ -93,16 +98,17 @@ constexpr const char* to_string(structure_kind s) {
     case structure_kind::abcd_triangular: return "abcd_triangular";
     case structure_kind::abcd_full: return "abcd_full";
     case structure_kind::wavefront: return "wavefront";
+    case structure_kind::diagonal_3way: return "diagonal_3way";
   }
   return "?";
 }
 
-/// Hard capacity executors may size fixed per-step dependency buffers
-/// from. A spec whose max_dependencies() exceeds this is rejected when the
-/// data-flow graph is built (and by dp::verify_spec) — recurrences with
-/// unbounded fan-in (Parenthesization-class, >O(1) dependencies per tile)
-/// need a different lowering, not a silently-overflowing buffer.
-inline constexpr std::size_t max_dependency_capacity = 8;
+/// Inline (small-buffer) capacity hint for per-step dependency buffers:
+/// lists up to this long stay allocation-free in the executors'
+/// small_vectors. NOT a limit — specs may declare any max_dependencies()
+/// and longer lists spill to the heap. Sized to cover every O(1)-fan-in
+/// spec (GE's widest is 4) with headroom.
+inline constexpr std::size_t typical_dependency_arity = 8;
 
 /// The staged children of one non-base tag. Children within a stage are
 /// independent (fork-join runs them under one task_group); stages run in
@@ -218,15 +224,26 @@ class recurrence {
   /// this tile first, then the read dependencies.
   virtual void depends(const tile3& t, const dep_sink& need) const = 0;
 
-  /// Upper bound on how many keys depends() may emit for one base tile.
-  /// Executors size per-step dependency buffers from this instead of a
-  /// hard-coded literal; dp::verify_spec checks the observed maximum fan-in
-  /// never exceeds it, and the data-flow lowering rejects a spec whose
-  /// bound exceeds max_dependency_capacity at graph build. The default is
-  /// the historical 4 (GE's D kind: write-write + A + B + C), so a future
-  /// wider spec must declare itself or fail with a clear message instead of
-  /// corrupting a ready count mid-graph.
+  /// The exact maximum number of keys depends() emits over all base tiles
+  /// of THIS instance — a tight bound, not a generous cap. Executors
+  /// reserve per-step dependency buffers from it (variable arity: there is
+  /// no global capacity constant any more — lists longer than
+  /// typical_dependency_arity spill to the heap); dp::verify_spec checks
+  /// both directions (a fan-in above the bound is
+  /// fan_in_exceeds_declared / tile_arity_exceeds_bound, a bound no tile
+  /// attains is arity_bound_not_tight). The default is the historical 4
+  /// (GE's D kind: write-write + A + B + C).
   virtual std::size_t max_dependencies() const { return 4; }
+
+  /// Per-tile upper bound on how many keys depends(t, ...) may emit —
+  /// tighter than the instance-wide max_dependencies() for specs whose
+  /// fan-in varies by position (Parenthesization: 2(J-I), growing with the
+  /// diagonal). dp::verify_spec checks every tile's observed fan-in
+  /// against it; executors may size exact per-tile arrays from it.
+  virtual std::size_t dependency_bound(const tile3& t) const {
+    (void)t;
+    return max_dependencies();
+  }
 
   /// Exact number of gets that will consume the item produced for t
   /// (get-count garbage collection). 0 means "keep forever" — used for the

@@ -1,14 +1,16 @@
-// Spec factories for the paper's three benchmarks. Each returns a cheap
-// view over the caller's problem data implementing dp::recurrence, ready
-// for any src/exec backend. The spec encodes the recurrence only; the
-// public per-benchmark entry points (ge.hpp/sw.hpp/fw.hpp/tiled.hpp/
-// rway.hpp) keep their original precondition checks and hand the spec to
-// the chosen backend.
+// Spec factories for the repo's benchmarks (the paper's three plus the
+// variable-arity additions of ISSUE 10). Each returns a cheap view over
+// the caller's problem data implementing dp::recurrence, ready for any
+// src/exec backend. The spec encodes the recurrence only; the public
+// per-benchmark entry points (ge.hpp/sw.hpp/fw.hpp/tiled.hpp/rway.hpp)
+// keep their original precondition checks and hand the spec to the chosen
+// backend.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <string_view>
+#include <vector>
 
 #include "dp/spec/spec.hpp"
 #include "dp/sw.hpp"  // sw_params
@@ -36,5 +38,30 @@ std::unique_ptr<recurrence> make_sw_spec(matrix<std::int32_t>& s,
 /// a shared table would race — see the spec's comments).
 std::unique_ptr<recurrence> make_fw_spec(matrix<double>& m,
                                          std::size_t base);
+
+/// Parenthesization (matrix-chain): diagonal_3way over the upper triangle
+/// of an n×n cost table with the n+1 chain dimensions `dims`; fan-in
+/// 2(J-I) per tile — the variable-arity recurrence. Boolean signalling
+/// items (each tile written once). The spec only reads `dims`; the caller
+/// keeps it alive.
+std::unique_ptr<recurrence> make_paren_spec(matrix<double>& c,
+                                            const std::vector<double>& dims,
+                                            std::size_t base);
+
+/// Reference bottom-up loop (chain-length major) for Parenthesization —
+/// bit-identical to the spec under every backend (same per-cell candidate
+/// expression, min is evaluation-order-free).
+void paren_loop_serial(matrix<double>& c, const std::vector<double>& dims);
+
+/// Cell rule selector for the string-wavefront spec below.
+enum class lcs_mode { lcs, edit_distance };
+
+/// LCS / edit distance: wavefront over the (n+1)×(n+1) scoring table
+/// (equal-length sequences); boolean signalling items. The constructor
+/// (re)initialises the boundary row/column for the chosen mode.
+std::unique_ptr<recurrence> make_lcs_spec(matrix<std::int32_t>& s,
+                                          std::string_view a,
+                                          std::string_view b, lcs_mode mode,
+                                          std::size_t base);
 
 }  // namespace rdp::dp

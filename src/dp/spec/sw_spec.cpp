@@ -2,74 +2,31 @@
 // wavefront: tile (I,J) of the scoring table needs only its west, north
 // and north-west neighbours. Each tile is written exactly once, so (unlike
 // FW) a shared table with boolean signalling items is race-free — the same
-// scheme the paper's Listing 4/5 uses for GE.
+// scheme the paper's Listing 4/5 uses for GE. The recurrence shape itself
+// (split/depends/counts) lives in wavefront_recurrence, shared with the
+// LCS spec and the generic functor adapter.
 #include "dp/spec/specs.hpp"
 
 #include "dp/common.hpp"
 #include "dp/kernels.hpp"
+#include "dp/spec/wavefront_base.hpp"
 #include "support/assertions.hpp"
 
 namespace rdp::dp {
 
 namespace {
 
-class sw_spec final : public recurrence {
+class sw_spec final : public wavefront_recurrence {
  public:
   sw_spec(matrix<std::int32_t>& s, std::string_view a, std::string_view b,
           const sw_params& p, std::size_t base)
-      : s_(s), a_(a), b_(b), p_(p), base_(base) {
+      : wavefront_recurrence(a.size(), base), s_(s), a_(a), b_(b), p_(p) {
     RDP_REQUIRE(s.rows() == a.size() + 1 && s.cols() == b.size() + 1);
     RDP_REQUIRE_MSG(a.size() == b.size(),
                     "R-DP SW requires equal-length sequences");
-    RDP_REQUIRE_MSG(base > 0 && a.size() % base == 0,
-                    "base size must divide n");
   }
 
   const char* name() const override { return "SW"; }
-  structure_kind structure() const override {
-    return structure_kind::wavefront;
-  }
-  std::size_t size() const override { return a_.size(); }
-  std::size_t base() const override { return base_; }
-
-  /// R(X): R00; {R01 ∥ R10}; R11 — the joins that serialise anti-diagonals
-  /// and destroy wavefront parallelism (§IV-B).
-  split_plan split(const tile4& t) const override {
-    const std::int32_t h = t.b / 2;
-    const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j;
-    split_plan plan;
-    plan.stage({{i2, j2, 0, h}});
-    plan.stage({{i2, j2 + 1, 0, h}, {i2 + 1, j2, 0, h}});
-    plan.stage({{i2 + 1, j2 + 1, 0, h}});
-    return plan;
-  }
-
-  void depends(const tile3& t, const dep_sink& need) const override {
-    if (t.i > 0 && t.j > 0) need({t.i - 1, t.j - 1, 0});
-    if (t.i > 0) need({t.i - 1, t.j, 0});
-    if (t.j > 0) need({t.i, t.j - 1, 0});
-  }
-
-  /// At most the three wavefront neighbours (north-west, north, west).
-  std::size_t max_dependencies() const override { return 3; }
-
-  /// Consumers of tile (I,J): its east, south and south-east neighbours
-  /// (those inside the tiling). Zero (the bottom-right tile) keeps it.
-  std::uint32_t consumer_count(const tile3& t) const override {
-    const auto n_tiles = static_cast<std::int32_t>(a_.size() / base_);
-    std::uint32_t gets = 0;
-    if (t.i + 1 < n_tiles) ++gets;
-    if (t.j + 1 < n_tiles) ++gets;
-    if (t.i + 1 < n_tiles && t.j + 1 < n_tiles) ++gets;
-    return gets;
-  }
-
-  void enumerate_base(const tag_sink& emit) const override {
-    const auto n_tiles = static_cast<std::int32_t>(a_.size() / base_);
-    const auto b = static_cast<std::int32_t>(base_);
-    for (std::int32_t i = 0; i < n_tiles; ++i)
-      for (std::int32_t j = 0; j < n_tiles; ++j) emit({i, j, 0, b});
-  }
 
   void run_base(const tile4& t) override {
     const auto b = static_cast<std::size_t>(t.b);
@@ -81,7 +38,6 @@ class sw_spec final : public recurrence {
   std::string_view a_;
   std::string_view b_;
   sw_params p_;
-  std::size_t base_;
 };
 
 }  // namespace

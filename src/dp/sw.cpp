@@ -5,7 +5,6 @@
 
 #include "dp/kernels.hpp"
 #include "dp/spec/specs.hpp"
-#include "dp/sw_cnc.hpp"
 #include "exec/backend.hpp"
 #include "support/assertions.hpp"
 #include "support/math_utils.hpp"

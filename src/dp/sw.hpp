@@ -13,9 +13,11 @@
 // soon as its west/north/north-west neighbours are done.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
+#include "dp/spec/spec.hpp"  // cnc_variant, cnc_run_info
 #include "forkjoin/worker_pool.hpp"
 #include "support/matrix.hpp"
 
@@ -61,5 +63,13 @@ std::int32_t sw_linear_space_score(std::string_view a, std::string_view b,
 
 /// Maximum value in a filled SW table (the local alignment score).
 std::int32_t sw_best_score(const matrix<std::int32_t>& s);
+
+/// Data-flow (CnC) execution: tiles run as soon as their west/north/
+/// north-west neighbours are done — no barrier between anti-diagonals (the
+/// parallelism the fork-join joins destroy, §IV-B). Same preconditions as
+/// sw_rdp_serial (power-of-two equal-length sequences, zeroed table).
+cnc_run_info sw_cnc(matrix<std::int32_t>& s, std::string_view a,
+                    std::string_view b, const sw_params& p, std::size_t base,
+                    cnc_variant variant, unsigned workers);
 
 }  // namespace rdp::dp

@@ -22,6 +22,10 @@ const char* to_string(verify_failure_kind k) noexcept {
       return "consumer_count_mismatch";
     case verify_failure_kind::fan_in_exceeds_declared:
       return "fan_in_exceeds_declared";
+    case verify_failure_kind::tile_arity_exceeds_bound:
+      return "tile_arity_exceeds_bound";
+    case verify_failure_kind::arity_bound_not_tight:
+      return "arity_bound_not_tight";
     case verify_failure_kind::malformed_split: return "malformed_split";
     case verify_failure_kind::split_base_mismatch:
       return "split_base_mismatch";
@@ -167,7 +171,9 @@ struct verifier {
                 ", which no base task produces and no seed provides");
   }
 
-  // (b)/(e) every depends() edge, fan-in statistics vs the declared bound.
+  // (b)/(e) every depends() edge, fan-in statistics vs the declared
+  // bounds: the instance-wide max_dependencies() (which must be tight) and
+  // the per-tile dependency_bound(t).
   void collect_edges() {
     for (const auto& [c, mult] : base_multiplicity) {
       (void)mult;
@@ -181,6 +187,14 @@ struct verifier {
                   std::to_string(deps.keys.size()) +
                   " dependencies, max_dependencies() is " +
                   std::to_string(rep.declared_max_fan_in));
+      const std::size_t tile_bound = rec.dependency_bound(c);
+      rep.max_tile_bound = std::max(rep.max_tile_bound, tile_bound);
+      if (deps.keys.size() > tile_bound)
+        issue(verify_failure_kind::tile_arity_exceeds_bound, c,
+              "base task " + key_string(c) + " emits " +
+                  std::to_string(deps.keys.size()) +
+                  " dependencies, its dependency_bound() is " +
+                  std::to_string(tile_bound));
       for (const tile3& d : deps.keys) {
         if (d == c)
           issue(verify_failure_kind::self_dependency, c,
@@ -189,6 +203,13 @@ struct verifier {
         consume(d, "depends()");
       }
     }
+    if (rep.base_tasks > 0 && rep.declared_max_fan_in > rep.max_fan_in)
+      issue(verify_failure_kind::arity_bound_not_tight, {},
+            "max_dependencies() declares " +
+                std::to_string(rep.declared_max_fan_in) +
+                " but the widest base task emits only " +
+                std::to_string(rep.max_fan_in) +
+                " — the bound must be tight for this instance");
   }
 
   // (c) counted consumers of every produced item must equal the edges

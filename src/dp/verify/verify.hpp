@@ -27,8 +27,11 @@
 //     tag once, with the flattened stage order satisfying every depends()
 //     edge and the children of one stage mutually independent (the
 //     property DESIGN.md used to argue in prose, per decomposition);
-//   * the observed maximum dependency fan-in never exceeds
-//     max_dependencies(), the bound executors size their buffers from.
+//   * the observed dependency fan-in respects the variable-arity contract
+//     both per tile (dependency_bound(t)) and instance-wide
+//     (max_dependencies(), which must also be *tight* — attained by some
+//     tile — since executors reserve from it and session fingerprints
+//     compare it).
 //
 // The validator only calls the *descriptive* spec hooks (split, depends,
 // consumer_count, enumerate_base, seed_values, gather_values) — never
@@ -72,8 +75,17 @@ enum class verify_failure_kind : std::uint8_t {
   /// the item early (under-count) or leak it (over-count).
   consumer_count_mismatch,
   /// Observed depends() fan-in of some base task exceeds
-  /// max_dependencies() — executors sized a buffer the spec outgrew.
+  /// max_dependencies() — executors reserved buffers the spec outgrew.
   fan_in_exceeds_declared,
+  /// Observed depends() fan-in of a base task exceeds the spec's own
+  /// per-tile dependency_bound(t) — the variable-arity contract: a tile's
+  /// bound must cover exactly what depends() emits for it.
+  tile_arity_exceeds_bound,
+  /// max_dependencies() is not tight: no base task of this instance
+  /// attains the declared bound. Executors reserve from it and the
+  /// session-shape fingerprint compares it, so an inflated bound hides
+  /// real structural changes and over-allocates every step.
+  arity_bound_not_tight,
   /// split() returned a structurally broken plan (no children, stage
   /// prefix sums not increasing, or a child not strictly smaller than its
   /// parent — the recursion would not terminate).
@@ -120,8 +132,11 @@ struct verify_report {
   /// Largest depends() fan-in of any base task — the number executors must
   /// size dependency buffers for (ISSUE: replaces the hard-coded 4).
   std::size_t max_fan_in = 0;
-  /// The spec's declared bound (recurrence::max_dependencies()).
+  /// The spec's declared bound (recurrence::max_dependencies()) — must be
+  /// tight: equal to max_fan_in once the graph is enumerated.
   std::size_t declared_max_fan_in = 0;
+  /// Largest per-tile dependency_bound() over the base tasks.
+  std::size_t max_tile_bound = 0;
   /// Largest consumer count of any produced item.
   std::size_t max_fan_out = 0;
 

@@ -3,7 +3,7 @@
 // Many classic DPs (Smith-Waterman, LCS, edit distance, Needleman-Wunsch)
 // share one dependency structure: cell (i,j) needs its north-west, north
 // and west neighbours. This header turns that family into a reusable
-// component: supply a *cell functor*
+// *ad-hoc* component: supply a *cell functor*
 //
 //     T operator()(T nw, T north, T west, std::size_t i, std::size_t j);
 //
@@ -22,6 +22,13 @@
 //
 // Boundary row/column values are configurable (zero for local alignment,
 // i / j for edit distance, gap·i for global alignment).
+//
+// For the repo's concrete benchmarks prefer the first-class specs in
+// dp/spec/specs.hpp (make_sw_spec, make_lcs_spec): they run on *every*
+// backend through the registry — tiled, r-way, batched/sharded data-flow,
+// prepared graphs, the batch server — while this adapter only wires the
+// serial/fork-join/native-data-flow trio. It remains the extension point
+// for one-off wavefront DPs (and the generator-based property tests).
 #pragma once
 
 #include <algorithm>
@@ -30,6 +37,7 @@
 
 #include "dp/common.hpp"
 #include "dp/spec/spec.hpp"
+#include "dp/spec/wavefront_base.hpp"
 #include "dp/verify/verify.hpp"
 #include "exec/backend.hpp"
 #include "support/assertions.hpp"
@@ -112,56 +120,17 @@ public:
   }
 
 private:
-  /// The wavefront recurrence spec over this problem's tiles — identical
-  /// shape to the SW spec (dp/spec/sw_spec.cpp), with the cell functor
-  /// behind fill_tile as the base-case kernel.
-  struct spec_adapter final : recurrence {
+  /// The tile-wavefront structure (split rule, neighbour dependencies,
+  /// consumer counts, arity bounds) comes from wavefront_recurrence — the
+  /// same base class behind the SW and LCS specs (dp/spec/). Only the
+  /// base-case kernel is local: the cell functor behind fill_tile.
+  struct spec_adapter final : wavefront_recurrence {
     wavefront_problem& p;
-    std::size_t base_sz;
 
     spec_adapter(wavefront_problem& prob, std::size_t b)
-        : p(prob), base_sz(b) {}
+        : wavefront_recurrence(prob.rows_, b), p(prob) {}
 
     const char* name() const override { return "wavefront"; }
-    structure_kind structure() const override {
-      return structure_kind::wavefront;
-    }
-    std::size_t size() const override { return p.rows_; }
-    std::size_t base() const override { return base_sz; }
-
-    split_plan split(const tile4& t) const override {
-      const std::int32_t h = t.b / 2;
-      const std::int32_t i2 = 2 * t.i, j2 = 2 * t.j;
-      split_plan plan;
-      plan.stage({{i2, j2, 0, h}});
-      plan.stage({{i2, j2 + 1, 0, h}, {i2 + 1, j2, 0, h}});
-      plan.stage({{i2 + 1, j2 + 1, 0, h}});
-      return plan;
-    }
-
-    void depends(const tile3& t, const dep_sink& need) const override {
-      if (t.i > 0 && t.j > 0) need({t.i - 1, t.j - 1, 0});
-      if (t.i > 0) need({t.i - 1, t.j, 0});
-      if (t.j > 0) need({t.i, t.j - 1, 0});
-    }
-
-    std::size_t max_dependencies() const override { return 3; }
-
-    std::uint32_t consumer_count(const tile3& t) const override {
-      const auto n_tiles = static_cast<std::int32_t>(p.rows_ / base_sz);
-      std::uint32_t gets = 0;
-      if (t.i + 1 < n_tiles) ++gets;
-      if (t.j + 1 < n_tiles) ++gets;
-      if (t.i + 1 < n_tiles && t.j + 1 < n_tiles) ++gets;
-      return gets;
-    }
-
-    void enumerate_base(const tag_sink& emit) const override {
-      const auto n_tiles = static_cast<std::int32_t>(p.rows_ / base_sz);
-      const auto b = static_cast<std::int32_t>(base_sz);
-      for (std::int32_t i = 0; i < n_tiles; ++i)
-        for (std::int32_t j = 0; j < n_tiles; ++j) emit({i, j, 0, b});
-    }
 
     void run_base(const tile4& t) override {
       const auto b = static_cast<std::size_t>(t.b);

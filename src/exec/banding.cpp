@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "support/assertions.hpp"
+#include "support/small_vector.hpp"
 
 namespace rdp::exec {
 
@@ -14,10 +15,14 @@ namespace {
 /// phases — the pivot A, the B∥C band it unblocks, the D band those unblock
 /// — so round k maps to keys 3k/3k+1/3k+2; triangular specs simply never
 /// emit some of them (GE's last round is A-only). Wavefront tiles become
-/// ready along anti-diagonals.
+/// ready along anti-diagonals; diagonal_3way tiles along the diagonals
+/// j - i of the upper-triangular grid (every dependency of tile (I,J) —
+/// the (I,K)/(K,J) segments — sits on a strictly shorter diagonal).
 std::int64_t raw_band_key(dp::structure_kind kind, const dp::tile4& t) {
   if (kind == dp::structure_kind::wavefront)
     return static_cast<std::int64_t>(t.i) + t.j;
+  if (kind == dp::structure_kind::diagonal_3way)
+    return static_cast<std::int64_t>(t.j) - t.i;
   switch (dp::classify(t.i, t.j, t.k)) {
     case dp::task_kind::A: return 3 * static_cast<std::int64_t>(t.k);
     case dp::task_kind::B:
@@ -27,17 +32,19 @@ std::int64_t raw_band_key(dp::structure_kind kind, const dp::tile4& t) {
   return 0;
 }
 
+/// Dependency-key collector: inline storage covers the O(1)-fan-in specs,
+/// wider lists (diagonal_3way) spill to the heap. The per-tile bound check
+/// is a spec-consistency guard, not a capacity limit.
 struct key_list {
-  dp::tile3 keys[dp::max_dependency_capacity];
-  std::size_t count = 0;
+  rdp::small_vector<dp::tile3, dp::typical_dependency_arity> keys;
   std::size_t limit;
 
   explicit key_list(std::size_t lim) : limit(lim) {}
   void operator()(const dp::tile3& k) {
-    RDP_REQUIRE_MSG(count < limit,
+    RDP_REQUIRE_MSG(keys.size() < limit,
                     "base task emits more dependency keys than the spec's "
                     "max_dependencies() declares");
-    keys[count++] = k;
+    keys.push_back(k);
   }
 };
 
@@ -48,10 +55,6 @@ band_plan build_band_plan(dp::recurrence& rec) {
   const std::string name = rec.name();
   const dp::structure_kind kind = rec.structure();
   const std::size_t max_deps = rec.max_dependencies();
-  RDP_REQUIRE_MSG(
-      max_deps <= dp::max_dependency_capacity,
-      name + ": max_dependencies() exceeds the executor dependency-buffer "
-             "capacity (dp::max_dependency_capacity)");
 
   // Tile set + produced-key index, in enumerate_base() order.
   std::unordered_map<dp::tile3, std::uint32_t> tile_of;
@@ -108,7 +111,7 @@ band_plan build_band_plan(dp::recurrence& rec) {
     const dp::tile4& tag = plan.tiles[idx];
     key_list deps(max_deps);
     rec.depends({tag.i, tag.j, tag.k}, dp::dep_sink(deps));
-    for (std::size_t d = 0; d < deps.count; ++d) {
+    for (std::size_t d = 0; d < deps.keys.size(); ++d) {
       const auto it = tile_of.find(deps.keys[d]);
       if (it == tile_of.end()) {
         RDP_REQUIRE_MSG(

@@ -48,6 +48,7 @@
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "support/assertions.hpp"
+#include "support/small_vector.hpp"
 
 namespace rdp::exec {
 
@@ -119,8 +120,8 @@ struct df_context : cnc::context<df_context<Value, Items>> {
   cnc::tag_collection<dp::tile4> tags;
   Items items;
 
-  /// Per-spec dependency fan-in bound, checked once against the fixed
-  /// buffer capacity at graph build (see dep_list below).
+  /// Per-spec dependency fan-in bound (a spec-consistency guard for the
+  /// collectors below, not a buffer capacity — lists of any length work).
   std::size_t max_deps = 0;
 
   df_context(dp::recurrence& r, cnc::schedule_policy policy, unsigned workers)
@@ -130,7 +131,6 @@ struct df_context : cnc::context<df_context<Value, Items>> {
         tags(*this, std::string(r.name()) + "_tags", false),
         items(*this, std::string(r.name()) + "_items"),
         max_deps(r.max_dependencies()) {
-    check_capacity();
     tags.prescribe(steps);
   }
 
@@ -144,17 +144,7 @@ struct df_context : cnc::context<df_context<Value, Items>> {
         tags(*this, std::string(r.name()) + "_tags", false),
         items(*this, std::string(r.name()) + "_items"),
         max_deps(r.max_dependencies()) {
-    check_capacity();
     tags.prescribe(steps);
-  }
-
-  void check_capacity() const {
-    RDP_REQUIRE_MSG(
-        max_deps <= dp::max_dependency_capacity,
-        std::string(rec->name()) +
-            ": max_dependencies() exceeds the executor dependency-buffer "
-            "capacity (dp::max_dependency_capacity) — this recurrence "
-            "class needs a wider lowering");
   }
 
   std::uint32_t count_for(const dp::tile3& t) const {
@@ -162,23 +152,25 @@ struct df_context : cnc::context<df_context<Value, Items>> {
   }
 };
 
-/// Dependency keys of one base task. Capacity comes from the spec layer
-/// (dp::max_dependency_capacity), the enforced bound from the spec itself
-/// (recurrence::max_dependencies(), cross-checked against the real fan-in
-/// by dp::verify_spec) — this used to be a hard-coded 4, and a spec that
-/// outgrew it silently corrupted the step's ready count in Release.
+/// Dependency keys of one base task. Variable arity: inline storage covers
+/// the O(1)-fan-in specs, wider lists (Parenthesization's 2(J-I)) spill to
+/// the heap instead of overflowing — the bound check against the spec's
+/// declared max_dependencies() stays as a spec-consistency guard
+/// (cross-checked against the real fan-in by dp::verify_spec), no longer a
+/// capacity limit. This used to be a fixed array whose overflow silently
+/// corrupted the step's ready count in Release.
 struct dep_list {
-  dp::tile3 keys[dp::max_dependency_capacity];
-  std::size_t count = 0;
+  rdp::small_vector<dp::tile3, dp::typical_dependency_arity> keys;
   std::size_t limit;
 
   explicit dep_list(std::size_t lim) : limit(lim) {}
   void operator()(const dp::tile3& k) {
-    RDP_REQUIRE_MSG(count < limit,
+    RDP_REQUIRE_MSG(keys.size() < limit,
                     "base task emits more dependency keys than the spec's "
                     "max_dependencies() declares");
-    keys[count++] = k;
+    keys.push_back(k);
   }
+  void reset() { keys.clear(); }
 };
 
 template <class Ctx>
@@ -196,7 +188,8 @@ int df_step<Ctx>::execute(const dp::tile4& t, Ctx& ctx) const {
   dep_list deps(ctx.max_deps);
   ctx.rec->depends(coord, dp::dep_sink(deps));
 
-  Value vals[dp::max_dependency_capacity] = {};
+  rdp::small_vector<Value, dp::typical_dependency_arity> vals;
+  vals.assign_default(deps.keys.size());
   if (ctx.nonblocking) {
     // Poll every input in order, short-circuiting on the first miss, and
     // requeue this tag through the scheduler's FIFO path when unready. A
@@ -208,14 +201,14 @@ int df_step<Ctx>::execute(const dp::tile4& t, Ctx& ctx) const {
     // count and freeing an item early.
     RDP_ASSERT(!ctx.collect);
     bool ready = true;
-    for (std::size_t d = 0; ready && d < deps.count; ++d)
+    for (std::size_t d = 0; ready && d < deps.keys.size(); ++d)
       ready = ctx.items.try_get(deps.keys[d], vals[d]);
     if (!ready) {
       ctx.steps.respawn(t);
       return 0;
     }
   } else {
-    for (std::size_t d = 0; d < deps.count; ++d)
+    for (std::size_t d = 0; d < deps.keys.size(); ++d)
       ctx.items.get(deps.keys[d], vals[d]);
   }
 
@@ -223,13 +216,13 @@ int df_step<Ctx>::execute(const dp::tile4& t, Ctx& ctx) const {
   // gets — so requeued/re-executed attempts do not inflate the base-step
   // count or double-record the task's fan-in.
   df_metrics().base_steps.add();
-  df_metrics().dep_fanin.record(deps.count);
+  df_metrics().dep_fanin.record(deps.keys.size());
 
   if constexpr (std::is_same_v<Value, bool>) {
     ctx.rec->run_base(t);
     ctx.items.put(coord, true, ctx.count_for(coord));
   } else {
-    Value out = ctx.rec->run_base_value(coord, vals);
+    Value out = ctx.rec->run_base_value(coord, vals.data());
     ctx.items.put(coord, std::move(out), ctx.count_for(coord));
   }
   return 0;
@@ -355,7 +348,8 @@ struct bd_context : cnc::context<bd_context<Value>> {
   cnc::item_collection<dp::tile3, Value> items;
 
   bd_context(dp::recurrence& r, unsigned workers)
-      : cnc::context<bd_context<Value>>(workers), rec(&r), plan(make_plan(r)),
+      : cnc::context<bd_context<Value>>(workers), rec(&r),
+        plan(build_band_plan(r)),
         chunk_plan(build_chunks(
             plan, static_cast<std::uint32_t>(this->pool().worker_count()))),
         preds_left(
@@ -373,7 +367,8 @@ struct bd_context : cnc::context<bd_context<Value>> {
   }
 
   bd_context(dp::recurrence& r, forkjoin::worker_pool& pool)
-      : cnc::context<bd_context<Value>>(pool), rec(&r), plan(make_plan(r)),
+      : cnc::context<bd_context<Value>>(pool), rec(&r),
+        plan(build_band_plan(r)),
         chunk_plan(build_chunks(
             plan, static_cast<std::uint32_t>(this->pool().worker_count()))),
         preds_left(
@@ -388,15 +383,6 @@ struct bd_context : cnc::context<bd_context<Value>> {
         tags(*this, std::string(r.name()) + "_tags", false),
         items(*this, std::string(r.name()) + "_items") {
     tags.prescribe(steps);
-  }
-
-  static band_plan make_plan(dp::recurrence& r) {
-    RDP_REQUIRE_MSG(
-        r.max_dependencies() <= dp::max_dependency_capacity,
-        std::string(r.name()) +
-            ": max_dependencies() exceeds the executor dependency-buffer "
-            "capacity (dp::max_dependency_capacity)");
-    return build_band_plan(r);
   }
 
   std::uint32_t count_for(const dp::tile3&) const { return 0; }
@@ -422,25 +408,30 @@ int bd_step<Value>::execute(std::int32_t chunk,
                             bd_context<Value>& ctx) const {
   const chunk_ref c =
       ctx.chunk_plan.chunks[static_cast<std::uint32_t>(chunk)];
+  // Hoisted per-chunk buffers: cleared per member, so a heap allocation a
+  // wide tile forces (fan-in past the inline capacity) happens once per
+  // chunk, not once per tile.
+  dep_list deps(ctx.max_deps);
+  rdp::small_vector<Value, dp::typical_dependency_arity> vals;
   for (std::uint32_t m = c.member_begin; m < c.member_end; ++m) {
     const dp::tile4& tag = ctx.plan.tiles[ctx.plan.members[m]];
     const dp::tile3 coord{tag.i, tag.j, tag.k};
-    dep_list deps(ctx.max_deps);
+    deps.reset();
     ctx.rec->depends(coord, dp::dep_sink(deps));
-    Value vals[dp::max_dependency_capacity] = {};
+    vals.assign_default(deps.keys.size());
     // Band gating guarantees every producer band completed before this
     // chunk's tag was put, so these blocking gets always hit: a fused step
     // never parks mid-chunk (an abort after some member kernels ran would
     // re-run non-idempotent token kernels on re-execution).
-    for (std::size_t d = 0; d < deps.count; ++d)
+    for (std::size_t d = 0; d < deps.keys.size(); ++d)
       ctx.items.get(deps.keys[d], vals[d]);
     df_metrics().base_steps.add();
-    df_metrics().dep_fanin.record(deps.count);
+    df_metrics().dep_fanin.record(deps.keys.size());
     if constexpr (std::is_same_v<Value, bool>) {
       ctx.rec->run_base(tag);
       ctx.items.put(coord, true, 0);
     } else {
-      Value out = ctx.rec->run_base_value(coord, vals);
+      Value out = ctx.rec->run_base_value(coord, vals.data());
       ctx.items.put(coord, std::move(out), 0);
     }
   }

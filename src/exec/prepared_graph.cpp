@@ -8,6 +8,7 @@
 #include "forkjoin/task.hpp"
 #include "obs/metrics.hpp"
 #include "support/assertions.hpp"
+#include "support/small_vector.hpp"
 
 namespace rdp::exec {
 
@@ -30,20 +31,20 @@ prepared_metrics_t& prepared_metrics() {
   return m;
 }
 
-/// Bounded dependency-key buffer (same contract as the data-flow
-/// lowering's dep_list: the spec's max_dependencies() bound is enforced,
-/// not trusted).
+/// Variable-arity dependency-key buffer (same contract as the data-flow
+/// lowering's dep_list: the spec's max_dependencies() bound is enforced as
+/// a consistency check, not trusted — and it is a bound, not a capacity;
+/// wide lists spill past the inline storage).
 struct key_list {
-  dp::tile3 keys[dp::max_dependency_capacity];
-  std::size_t count = 0;
+  rdp::small_vector<dp::tile3, dp::typical_dependency_arity> keys;
   std::size_t limit;
 
   explicit key_list(std::size_t lim) : limit(lim) {}
   void operator()(const dp::tile3& k) {
-    RDP_REQUIRE_MSG(count < limit,
+    RDP_REQUIRE_MSG(keys.size() < limit,
                     "base task emits more dependency keys than the spec's "
                     "max_dependencies() declares");
-    keys[count++] = k;
+    keys.push_back(k);
   }
 };
 
@@ -59,10 +60,6 @@ void prepared_graph::freeze_tiles(dp::recurrence& rec,
   value_passing_ = rec.value_passing();
 
   const std::size_t max_deps = rec.max_dependencies();
-  RDP_REQUIRE_MSG(
-      max_deps <= dp::max_dependency_capacity,
-      name_ + ": max_dependencies() exceeds the executor dependency-buffer "
-              "capacity (dp::max_dependency_capacity)");
   RDP_REQUIRE_MSG(!tags.empty(),
                   name_ + ": enumerate_base emitted no base tiles");
 
@@ -91,7 +88,7 @@ void prepared_graph::freeze_tiles(dp::recurrence& rec,
     rec.depends(coord, dp::dep_sink(deps));
 
     tr.dep_begin = static_cast<std::uint32_t>(dep_slots_.size());
-    for (std::size_t d = 0; d < deps.count; ++d) {
+    for (std::size_t d = 0; d < deps.keys.size(); ++d) {
       const auto it = slot_of_.find(deps.keys[d]);
       std::uint32_t slot;
       if (it != slot_of_.end()) {
@@ -349,12 +346,13 @@ void prepared_execution::run_node(std::uint32_t idx) noexcept {
         const std::uint32_t tile = graph_.members_[m];
         const prepared_graph::tile_rec& tr = graph_.tiles_[tile];
         if (graph_.value_passing_) {
-          dp::tile_value deps[dp::max_dependency_capacity];
-          std::size_t d = 0;
-          for (std::uint32_t s = tr.dep_begin; s < tr.dep_end; ++s, ++d)
-            deps[d] = values_[graph_.dep_slots_[s]];
+          rdp::small_vector<dp::tile_value, dp::typical_dependency_arity>
+              deps;
+          deps.reserve(tr.dep_end - tr.dep_begin);
+          for (std::uint32_t s = tr.dep_begin; s < tr.dep_end; ++s)
+            deps.push_back(values_[graph_.dep_slots_[s]]);
           const dp::tile3 coord{tr.tag.i, tr.tag.j, tr.tag.k};
-          dp::tile_value out = rec_.run_base_value(coord, deps);
+          dp::tile_value out = rec_.run_base_value(coord, deps.data());
           RDP_ASSERT(out != nullptr);
           values_[tile] = std::move(out);
         } else {

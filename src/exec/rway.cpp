@@ -188,6 +188,83 @@ struct rway_wavefront {
   }
 };
 
+/// r-way parenthesization recursion over the upper-triangular region. A
+/// diagonal region splits into its r sub-diagonals (one parallel stage)
+/// followed by the off-diagonal regions between them, shortest diagonal
+/// offset first (regions with the same offset have disjoint row and column
+/// bands, hence are independent). An off-diagonal region splits into its
+/// r×r sub-regions along 2r-1 anti-diagonal phases with rows reversed —
+/// bottom-left first — since (a,b) reads row a to its left and column b
+/// below it.
+struct rway_diagonal {
+  dp::recurrence& rec;
+  std::size_t base;
+  std::size_t r;
+  forkjoin::worker_pool* pool;
+
+  using thunk = std::function<void()>;
+
+  void run_base(std::size_t xi, std::size_t xj, std::size_t s) {
+    rec.run_base({static_cast<std::int32_t>(xi / s),
+                  static_cast<std::int32_t>(xj / s), 0,
+                  static_cast<std::int32_t>(s)});
+  }
+
+  void stage(std::vector<thunk>& fns) {
+    if (fns.empty()) return;
+    if (pool == nullptr || fns.size() == 1) {
+      for (auto& f : fns) f();
+    } else {
+      forkjoin::task_group g(*pool);
+      for (auto& f : fns) g.spawn(std::move(f));
+      g.wait();
+    }
+    fns.clear();
+  }
+
+  void diag(std::size_t d, std::size_t s) {
+    if (s <= base) {
+      run_base(d, d, s);
+      return;
+    }
+    RDP_REQUIRE_MSG(s % r == 0, "size must be base * r^L");
+    const std::size_t h = s / r;
+    std::vector<thunk> fns;
+    for (std::size_t a = 0; a < r; ++a)
+      fns.push_back([this, da = d + a * h, h] { diag(da, h); });
+    stage(fns);
+    for (std::size_t o = 1; o < r; ++o) {
+      for (std::size_t a = 0; a + o < r; ++a)
+        fns.push_back([this, di = d + a * h, dj = d + (a + o) * h, h] {
+          off(di, dj, h);
+        });
+      stage(fns);
+    }
+  }
+
+  void off(std::size_t xi, std::size_t xj, std::size_t s) {
+    if (s <= base) {
+      run_base(xi, xj, s);
+      return;
+    }
+    RDP_REQUIRE_MSG(s % r == 0, "size must be base * r^L");
+    const std::size_t h = s / r;
+    std::vector<thunk> fns;
+    for (std::size_t p = 0; p <= 2 * (r - 1); ++p) {
+      // Sub-regions (a, b) with (r-1-a) + b == p are mutually independent.
+      for (std::size_t a = 0; a < r; ++a) {
+        const std::size_t need = p + a + 1;  // b = need - r
+        if (need < r || need >= 2 * r) continue;
+        fns.push_back(
+            [this, di = xi + a * h, dj = xj + (need - r) * h, h] {
+              off(di, dj, h);
+            });
+      }
+      stage(fns);
+    }
+  }
+};
+
 }  // namespace
 
 void run_rway(dp::recurrence& rec, std::size_t r,
@@ -200,6 +277,15 @@ void run_rway(dp::recurrence& rec, std::size_t r,
       pool->run([&] { rw.fill(0, 0, n); });
     } else {
       rw.fill(0, 0, n);
+    }
+    return;
+  }
+  if (rec.structure() == dp::structure_kind::diagonal_3way) {
+    rway_diagonal rw{rec, rec.base(), r, pool};
+    if (pool != nullptr) {
+      pool->run([&] { rw.diag(0, n); });
+    } else {
+      rw.diag(0, n);
     }
     return;
   }

@@ -66,6 +66,23 @@ void wavefront_rounds(dp::recurrence& rec, forkjoin::worker_pool& pool) {
   });
 }
 
+/// Tiled parenthesization: one barrier per diagonal of the upper-triangular
+/// tile grid. Tiles on diagonal d = J-I depend only on strictly shorter
+/// diagonals, so all T-d of them run in parallel.
+void diagonal_rounds(dp::recurrence& rec, forkjoin::worker_pool& pool) {
+  const auto t =
+      static_cast<std::int32_t>(rec.size() / rec.base());
+  const auto b = static_cast<std::int32_t>(rec.base());
+  pool.run([&] {
+    for (std::int32_t d = 0; d < t; ++d) {
+      forkjoin::task_group g(pool);
+      for (std::int32_t i = 0; i + d < t; ++i)
+        g.spawn([&rec, i, d, b] { rec.run_base({i, i + d, 0, b}); });
+      g.wait();  // one barrier per diagonal
+    }
+  });
+}
+
 }  // namespace
 
 void run_tiled(dp::recurrence& rec, forkjoin::worker_pool& pool) {
@@ -80,6 +97,9 @@ void run_tiled(dp::recurrence& rec, forkjoin::worker_pool& pool) {
       break;
     case dp::structure_kind::wavefront:
       wavefront_rounds(rec, pool);
+      break;
+    case dp::structure_kind::diagonal_3way:
+      diagonal_rounds(rec, pool);
       break;
   }
 }

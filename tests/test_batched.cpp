@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -173,6 +174,66 @@ TEST(BandPlan, SwBandsAreAntidiagonals) {
     }
   }
   // Chunking never exceeds the band size or the parallelism.
+  const exec::chunk_table chunks = exec::build_chunks(plan, 4);
+  for (std::uint32_t d = 0; d < plan.band_count; ++d)
+    EXPECT_EQ(chunks.chunk_count(d),
+              std::min<std::uint32_t>(plan.member_count(d), 4u))
+        << "band " << d;
+}
+
+TEST(BandPlan, LcsBandsMatchSwWavefrontShape) {
+  // The LCS spec shares SW's wavefront structure, so its band plan must
+  // have the same anti-diagonal shape: 2T-1 bands, band d holding
+  // min(d+1, 2T-1-d) tiles.
+  const std::size_t n = 64, base = 8, tiles = n / base;
+  const auto a = make_dna(n, 3);
+  const auto b = make_dna(n, 4);
+  matrix<std::int32_t> s(n + 1, n + 1, 0);
+  const auto spec = make_lcs_spec(s, a, b, lcs_mode::lcs, base);
+
+  const exec::band_plan plan = exec::build_band_plan(*spec);
+  EXPECT_EQ(plan.tiles.size(), tiles * tiles);
+  EXPECT_EQ(plan.band_count, 2 * tiles - 1);
+  for (std::uint32_t d = 0; d < plan.band_count; ++d) {
+    const std::uint32_t expect =
+        d < tiles ? d + 1 : static_cast<std::uint32_t>(2 * tiles - 1 - d);
+    EXPECT_EQ(plan.member_count(d), expect) << "band " << d;
+  }
+}
+
+TEST(BandPlan, ParenBandsAreDiagonalsOfShrinkingWidth) {
+  // diagonal_3way banding keys tile (I,J) by J-I: T bands, band d holding
+  // the T-d tiles of diagonal d. Every band past the first depends on
+  // earlier bands (a length-d chain splits at every k), and the band graph
+  // edges all point strictly forward — the property batching rests on.
+  const std::size_t n = 64, base = 8, tiles = n / base;
+  matrix<double> c(n, n, 0.0);
+  const std::vector<double> dims(n + 1, 1.0);
+  const auto spec = make_paren_spec(c, dims, base);
+
+  const exec::band_plan plan = exec::build_band_plan(*spec);
+  EXPECT_EQ(plan.tiles.size(), tiles * (tiles + 1) / 2);
+  EXPECT_EQ(plan.band_count, tiles);
+  EXPECT_EQ(plan.in_degree[0], 0u);
+  for (std::uint32_t d = 0; d < plan.band_count; ++d) {
+    EXPECT_EQ(plan.member_count(d),
+              static_cast<std::uint32_t>(tiles - d)) << "band " << d;
+    // Band members really sit on diagonal d.
+    for (std::uint32_t m = plan.band_begin[d]; m < plan.band_begin[d + 1];
+         ++m) {
+      const dp::tile4& t = plan.tiles[plan.members[m]];
+      EXPECT_EQ(t.j - t.i, static_cast<std::int32_t>(d));
+    }
+    if (d > 0) EXPECT_GT(plan.in_degree[d], 0u) << "band " << d;
+  }
+  // A diagonal-d tile reads every shorter diagonal 0..d-1: band d's
+  // predecessor set is exactly the d earlier bands, so successor lists
+  // must fan out to every later band.
+  for (std::uint32_t d = 0; d + 1 < plan.band_count; ++d)
+    EXPECT_EQ(plan.succ_begin[d + 1] - plan.succ_begin[d],
+              plan.band_count - 1 - d)
+        << "band " << d;
+
   const exec::chunk_table chunks = exec::build_chunks(plan, 4);
   for (std::uint32_t d = 0; d < plan.band_count; ++d)
     EXPECT_EQ(chunks.chunk_count(d),

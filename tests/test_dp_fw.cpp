@@ -10,7 +10,6 @@
 #include <tuple>
 
 #include "dp/fw.hpp"
-#include "dp/fw_cnc.hpp"
 #include "support/rng.hpp"
 
 namespace {

@@ -10,7 +10,6 @@
 #include <tuple>
 
 #include "dp/ge.hpp"
-#include "dp/ge_cnc.hpp"
 #include "support/rng.hpp"
 
 namespace {

@@ -6,7 +6,6 @@
 #include <tuple>
 
 #include "dp/sw.hpp"
-#include "dp/sw_cnc.hpp"
 #include "support/rng.hpp"
 
 namespace {

@@ -11,11 +11,8 @@
 
 #include "cnc/cnc.hpp"
 #include "dp/fw.hpp"
-#include "dp/fw_cnc.hpp"
 #include "dp/ge.hpp"
-#include "dp/ge_cnc.hpp"
 #include "dp/sw.hpp"
-#include "dp/sw_cnc.hpp"
 #include "forkjoin/task_group.hpp"
 #include "support/rng.hpp"
 

@@ -46,7 +46,8 @@ run_options options_for(std::size_t base, forkjoin::worker_pool& pool) {
 /// the produced table against the serial run, bit for bit.
 template <class Table, class Reset>
 void check_point(benchmark_id bm, const problem_ref& prob,
-                 const run_options& opts, Table& table, const Reset& reset) {
+                 const run_options& opts, Table& table, const Reset& reset,
+                 std::size_t min_ran = 15) {
   const std::size_t n = problem_size(prob);
   const variant* serial = find_variant(bm, "serial");
   ASSERT_NE(serial, nullptr);
@@ -78,11 +79,12 @@ void check_point(benchmark_id bm, const problem_ref& prob,
     }
     ++ran;
   }
-  // serial + forkjoin + tiled + 6 dataflow modes + rway:r2 + prepared +
-  // prepared:batched + 4 sim modes always apply on a power-of-two sweep
-  // point; rway:r4 joins when n/base is a power of 4.
-  EXPECT_GE(ran, 15u) << "registry lost variants at n=" << n
-                      << ", base=" << opts.base;
+  // forkjoin + tiled + 6 dataflow modes + rway:r2 + prepared +
+  // prepared:batched always apply on a power-of-two sweep point (11 rows
+  // past serial); GE/SW/FW add their 4 sim modes; rway:r4 joins whenever
+  // n/base is a power of 4.
+  EXPECT_GE(ran, min_ran) << "registry lost variants at n=" << n
+                          << ", base=" << opts.base;
 }
 
 TEST(RegistryShape, AdvertisesEveryBackendPerBenchmark) {
@@ -94,7 +96,17 @@ TEST(RegistryShape, AdvertisesEveryBackendPerBenchmark) {
     for (const variant* v : rows)
       EXPECT_EQ(find_variant(bm, v->label), v) << v->label;
   }
-  EXPECT_EQ(registry().size(), 51u);
+  // The variable-arity benchmarks carry every real backend but no sim:*
+  // series (the simulator's cost model only covers the paper's figures).
+  for (benchmark_id bm : {benchmark_id::lcs, benchmark_id::paren}) {
+    const auto rows = variants_for(bm);
+    ASSERT_EQ(rows.size(), 13u) << to_string(bm);
+    for (const variant* v : rows) {
+      EXPECT_EQ(find_variant(bm, v->label), v) << v->label;
+      EXPECT_NE(v->backend, backend_kind::sim) << v->label;
+    }
+  }
+  EXPECT_EQ(registry().size(), 77u);
   EXPECT_EQ(find_variant(benchmark_id::ge, "no-such-backend"), nullptr);
   EXPECT_NE(impl_help().find("dataflow:tuner"), std::string::npos);
   EXPECT_NE(impl_help().find("dataflow:batched"), std::string::npos);
@@ -138,6 +150,36 @@ TEST(RegistryEquivalence, FwAllVariantsMatchSerial) {
     auto m = input;
     check_point(benchmark_id::fw, fw_problem(m),
                 options_for(pt.base, pool), m, [&] { m = input; });
+  }
+}
+
+TEST(RegistryEquivalence, LcsAllVariantsMatchSerial) {
+  forkjoin::worker_pool pool(3);
+  for (const sweep_point pt : sweep_points()) {
+    const auto a = make_dna(pt.n, 11 + pt.n);
+    const auto b = make_dna(pt.n, 13 + pt.base);
+    matrix<std::int32_t> s(pt.n + 1, pt.n + 1, 0);
+    check_point(benchmark_id::lcs, lcs_problem(s, a, b),
+                options_for(pt.base, pool), s,
+                [&] { s = matrix<std::int32_t>(pt.n + 1, pt.n + 1, 0); },
+                /*min_ran=*/11);
+  }
+}
+
+TEST(RegistryEquivalence, ParenAllVariantsMatchSerial) {
+  forkjoin::worker_pool pool(3);
+  xoshiro256 gen(17);
+  for (const sweep_point pt : sweep_points()) {
+    // Integer-valued chain dimensions keep every candidate cost exact, but
+    // bit-exactness does not depend on it: min over a fixed candidate set
+    // is evaluation-order-free.
+    std::vector<double> dims(pt.n + 1);
+    for (double& d : dims) d = static_cast<double>(1 + gen.next() % 64);
+    matrix<double> c(pt.n, pt.n, 0.0);
+    check_point(benchmark_id::paren, paren_problem(c, dims),
+                options_for(pt.base, pool), c,
+                [&] { c = matrix<double>(pt.n, pt.n, 0.0); },
+                /*min_ran=*/11);
   }
 }
 

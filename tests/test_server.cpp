@@ -143,6 +143,56 @@ TEST(PreparedGraph, FwReuseBitExact) {
   }
 }
 
+/// Variable-arity fan-in through the frozen CSR: the Paren graph's widest
+/// node carries 2(T-1) dependency slots, well past the executors' inline
+/// buffers. Both freeze flavours (per-node and band-batched) must replay
+/// bit-identically to the serial backend over fresh data planes.
+TEST(PreparedGraph, ParenReuseBitExactIncludingBatched) {
+  forkjoin::worker_pool pool(3);
+  std::vector<double> exemplar_dims(k_n + 1, 2.0);
+  matrix<double> scratch(k_n, k_n, 0.0);
+  auto structural = make_paren_spec(scratch, exemplar_dims, k_base);
+  const exec::prepared_graph g = exec::prepared_graph::freeze(*structural);
+  const exec::prepared_graph gb =
+      exec::prepared_graph::freeze_batched(*structural, pool.worker_count());
+  EXPECT_EQ(g.size(), k_n);
+  EXPECT_LT(gb.node_count(), g.node_count());
+  for (std::uint64_t seed = 50; seed < 54; ++seed) {
+    xoshiro256 gen(seed);
+    std::vector<double> dims(k_n + 1);
+    for (double& d : dims) d = static_cast<double>(1 + gen.next() % 50);
+    matrix<double> expected(k_n, k_n, 0.0);
+    paren_loop_serial(expected, dims);
+
+    matrix<double> c(k_n, k_n, 0.0);
+    auto spec = make_paren_spec(c, dims, k_base);
+    g.execute(*spec, pool);
+    EXPECT_EQ(c, expected) << "reused Paren graph diverged, seed=" << seed;
+
+    matrix<double> cb(k_n, k_n, 0.0);
+    auto spec_b = make_paren_spec(cb, dims, k_base);
+    gb.execute(*spec_b, pool);
+    EXPECT_EQ(cb, expected) << "batched Paren graph diverged, seed=" << seed;
+  }
+}
+
+TEST(PreparedGraph, LcsReuseBitExact) {
+  forkjoin::worker_pool pool(3);
+  matrix<std::int32_t> scratch(k_n + 1, k_n + 1, 0);
+  const std::string ea = make_dna(k_n, 5), eb = make_dna(k_n, 6);
+  auto structural = make_lcs_spec(scratch, ea, eb, lcs_mode::lcs, k_base);
+  const exec::prepared_graph g = exec::prepared_graph::freeze(*structural);
+  for (std::uint64_t seed = 60; seed < 64; ++seed) {
+    const std::string a = make_dna(k_n, seed), b = make_dna(k_n, seed + 7);
+    matrix<std::int32_t> expected(k_n + 1, k_n + 1, 0);
+    exec::run_serial(*make_lcs_spec(expected, a, b, lcs_mode::lcs, k_base));
+    matrix<std::int32_t> t(k_n + 1, k_n + 1, 0);
+    auto spec = make_lcs_spec(t, a, b, lcs_mode::lcs, k_base);
+    g.execute(*spec, pool);
+    EXPECT_EQ(t, expected) << "reused LCS graph diverged, seed=" << seed;
+  }
+}
+
 /// Many executions of one graph racing on one pool: each binds its own data
 /// plane, so concurrent requests must not interfere (TSan coverage).
 TEST(PreparedGraph, ConcurrentExecutionsShareOneGraph) {
@@ -252,6 +302,49 @@ TEST(BatchServer, RearmModeBitExact) {
   cfg.workers = 3;
   cfg.mode = server::exec_mode::rearm;
   check_server_ge(cfg, 6);
+}
+
+/// The server must carry the variable-arity graph end to end: prepare one
+/// Paren shape, then stream requests with per-request chain dimensions.
+TEST(BatchServer, ParenPreparedModeBitExact) {
+  server::server_config cfg;
+  cfg.workers = 3;
+  cfg.mode = server::exec_mode::prepared;
+  server::batch_server srv(cfg);
+
+  std::vector<double> exemplar_dims(k_n + 1, 3.0);
+  matrix<double> scratch(k_n, k_n, 0.0);
+  auto structural = make_paren_spec(scratch, exemplar_dims, k_base);
+  const server::graph_id gid = srv.prepare(*structural);
+
+  struct request_state {
+    std::vector<double> dims;
+    matrix<double> table{k_n, k_n, 0.0};
+    std::shared_ptr<dp::recurrence> spec;
+  };
+  constexpr std::size_t k_requests = 6;
+  std::vector<std::shared_ptr<request_state>> states;
+  std::vector<matrix<double>> expected;
+  std::vector<std::future<server::response>> futs;
+  for (std::size_t i = 0; i < k_requests; ++i) {
+    auto st = std::make_shared<request_state>();
+    xoshiro256 gen(300 + i);
+    st->dims.resize(k_n + 1);
+    for (double& d : st->dims) d = static_cast<double>(1 + gen.next() % 40);
+    matrix<double> e(k_n, k_n, 0.0);
+    paren_loop_serial(e, st->dims);
+    expected.push_back(std::move(e));
+    st->spec = make_paren_spec(st->table, st->dims, k_base);
+    states.push_back(st);
+    futs.push_back(srv.submit(
+        gid, std::shared_ptr<dp::recurrence>(st, st->spec.get())));
+  }
+  for (std::size_t i = 0; i < k_requests; ++i) {
+    const server::response r = futs[i].get();
+    ASSERT_EQ(r.status, server::request_status::ok)
+        << to_string(r.status) << " " << r.error;
+    EXPECT_EQ(states[i]->table, expected[i]) << "request " << i;
+  }
 }
 
 TEST(BatchServer, RebuildModeBitExact) {

@@ -66,6 +66,28 @@ TEST(SpecVerify, AllSpecsConsistentAcrossSweep) {
         EXPECT_EQ(r.environment_seeds, n / base * (n / base));
         EXPECT_EQ(r.environment_gets, n / base * (n / base));
       }
+      {
+        const std::string a(n, 'G'), c(n, 'T');
+        matrix<std::int32_t> s(n + 1, n + 1, 0);
+        const verify_report r =
+            verify_spec(*make_lcs_spec(s, a, c, lcs_mode::lcs, base));
+        EXPECT_TRUE(r.ok()) << r.summary();
+        EXPECT_EQ(r.base_tasks, n / base * (n / base));
+      }
+      {
+        // The variable-arity spec: tile (I,J) on diagonal d = J-I has
+        // fan-in 2d, so the tight declared bound is 2(T-1) and the widest
+        // observed fan-in must attain it.
+        matrix<double> c(n, n, 0.0);
+        const std::vector<double> dims(n + 1, 1.0);
+        const verify_report r = verify_spec(*make_paren_spec(c, dims, base));
+        EXPECT_TRUE(r.ok()) << r.summary();
+        const std::size_t tiles = n / base;
+        EXPECT_EQ(r.base_tasks, tiles * (tiles + 1) / 2);
+        EXPECT_EQ(r.declared_max_fan_in,
+                  tiles > 1 ? 2 * (tiles - 1) : 0u);
+        EXPECT_EQ(r.max_fan_in, r.declared_max_fan_in);
+      }
     }
   }
 }
@@ -114,6 +136,9 @@ class spec_mutant : public recurrence {
   }
   std::size_t max_dependencies() const override {
     return inner_->max_dependencies();
+  }
+  std::size_t dependency_bound(const tile3& t) const override {
+    return inner_->dependency_bound(t);
   }
   std::uint32_t consumer_count(const tile3& t) const override {
     return inner_->consumer_count(t);
@@ -298,7 +323,7 @@ TEST(SpecVerifyMutants, SwappedSplitStagesAreCaught) {
       << r.summary();
 }
 
-/// Understates the dependency bound executors size buffers from (the
+/// Understates the dependency bound executors reserve buffers from (the
 /// shipped dep_list overflow: GE D tiles emit 4 keys).
 struct narrow_fanin_mutant : spec_mutant {
   using spec_mutant::spec_mutant;
@@ -312,6 +337,49 @@ TEST(SpecVerifyMutants, FanInExceedingDeclaredBoundIsCaught) {
       << r.summary();
   const verify_report clean = verify_spec(*ge16());
   EXPECT_FALSE(clean.has(verify_failure_kind::fan_in_exceeds_declared));
+}
+
+/// Understates the *per-tile* bound while leaving the instance-wide
+/// max_dependencies() honest: the variable-arity contract is violated for
+/// every tile that has any dependency at all.
+struct narrow_tile_bound_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  std::size_t dependency_bound(const tile3& t) const override {
+    (void)t;
+    return 0;
+  }
+};
+
+TEST(SpecVerifyMutants, TileArityExceedingPerTileBoundIsCaught) {
+  narrow_tile_bound_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_TRUE(r.has(verify_failure_kind::tile_arity_exceeds_bound))
+      << r.summary();
+  // The instance-wide bound is untouched, so the blanket check stays quiet.
+  EXPECT_FALSE(r.has(verify_failure_kind::fan_in_exceeds_declared))
+      << r.summary();
+  const verify_report clean = verify_spec(*ge16());
+  EXPECT_FALSE(clean.has(verify_failure_kind::tile_arity_exceeds_bound));
+}
+
+/// Overstates max_dependencies(): no tile attains the declared bound, so
+/// executors would oversize every dependency buffer and the session-shape
+/// fingerprint would carry a stale number.
+struct inflated_fanin_mutant : spec_mutant {
+  using spec_mutant::spec_mutant;
+  std::size_t max_dependencies() const override {
+    return inner_->max_dependencies() + 3;
+  }
+};
+
+TEST(SpecVerifyMutants, UnattainedDeclaredBoundIsCaught) {
+  inflated_fanin_mutant mutant(ge16());
+  const verify_report r = verify_spec(mutant);
+  EXPECT_TRUE(r.has(verify_failure_kind::arity_bound_not_tight))
+      << r.summary();
+  EXPECT_EQ(r.count(verify_failure_kind::arity_bound_not_tight), 1u);
+  const verify_report clean = verify_spec(*ge16());
+  EXPECT_FALSE(clean.has(verify_failure_kind::arity_bound_not_tight));
 }
 
 TEST(SpecVerifyMutants, IssueListTruncatesButKeepsStatistics) {
@@ -428,9 +496,11 @@ TEST(SpecVerifyProperty, RandomWavefrontCellsAlwaysLowerConsistently) {
     const std::size_t tiles = n / base;
     EXPECT_EQ(r.base_tasks, tiles * tiles);
     EXPECT_EQ(r.items_produced, tiles * tiles);
-    // Interior tiles need NW + N + W, never more.
+    // Interior tiles need NW + N + W, never more — and the declared bound
+    // is tight: a single-tile instance declares 0.
     EXPECT_LE(r.max_fan_in, 3u);
-    EXPECT_EQ(r.declared_max_fan_in, 3u);
+    EXPECT_EQ(r.declared_max_fan_in, tiles > 1 ? 3u : 0u);
+    EXPECT_EQ(r.max_fan_in, r.declared_max_fan_in);
   }
 }
 
